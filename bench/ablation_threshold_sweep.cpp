@@ -1,0 +1,80 @@
+// Experiment E8 — the accuracy/complexity tradeoff in T (§V, first
+// observation): upper bounds tighten as T grows, but block sizes — and
+// hence the matrix-geometric cost — grow as C(N+T-1, T).
+//
+// Prints, per T: both bounds, the sandwich width, the exact value (small N
+// reference), block/boundary sizes, and wall-clock solve times.
+#include <chrono>
+#include <iostream>
+
+#include "qbd/solver.h"
+#include "sqd/bound_solver.h"
+#include "sqd/exact_reference.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 3));
+  const int d = static_cast<int>(cli.get_int("d", 2));
+  const double rho = cli.get_double("rho", 0.7);
+  const int t_max = static_cast<int>(cli.get_int("tmax", 6));
+  const std::string csv = cli.get("csv", "");
+  cli.finish();
+
+  using rlb::sqd::BoundKind;
+  using rlb::sqd::BoundModel;
+  using rlb::sqd::Params;
+  const Params p{n, d, rho, 1.0};
+
+  std::cout << "E8: threshold sweep, N = " << n << ", d = " << d
+            << ", rho = " << rho << "\n";
+  const double exact =
+      n <= 3 ? rlb::sqd::solve_exact_truncated(p, 60).mean_delay : -1.0;
+  if (exact > 0) std::cout << "exact (truncated CTMC): " << exact << "\n";
+
+  rlb::util::Table table({"T", "block", "boundary", "lower", "upper",
+                          "width", "lower_err%", "t_lower(s)", "t_upper(s)"});
+  for (int t = 1; t <= t_max; ++t) {
+    auto start = std::chrono::steady_clock::now();
+    const auto lower =
+        rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Lower));
+    const double t_lower = seconds_since(start);
+
+    std::string upper_s = "unstable";
+    std::string width_s = "-";
+    double t_upper = 0.0;
+    try {
+      start = std::chrono::steady_clock::now();
+      const auto upper =
+          rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Upper));
+      t_upper = seconds_since(start);
+      upper_s = rlb::util::fmt(upper.mean_delay, 5);
+      width_s = rlb::util::fmt(upper.mean_delay - lower.mean_delay, 5);
+    } catch (const rlb::qbd::UnstableError&) {
+    }
+
+    const std::string err =
+        exact > 0 ? rlb::util::fmt(
+                        100.0 * std::abs(exact - lower.mean_delay) / exact, 3)
+                  : "-";
+    table.add_row({std::to_string(t), std::to_string(lower.block_size),
+                   std::to_string(lower.boundary_size),
+                   rlb::util::fmt(lower.mean_delay, 5), upper_s, width_s, err,
+                   rlb::util::fmt(t_lower, 3), rlb::util::fmt(t_upper, 3)});
+  }
+  table.print(std::cout);
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

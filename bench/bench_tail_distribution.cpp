@@ -1,0 +1,64 @@
+// Extension bench — marginal queue-length tails P(Q >= i): the quantity
+// Mitzenmacher's asymptotic fixed point describes (s_i =
+// lambda^{(d^i-1)/(d-1)}, doubly exponential), compared at finite N against
+// simulation and the lower bound model's closed-form tail. Shows both the
+// celebrated doubly-exponential decay AND the finite-N deviation from it.
+#include <iostream>
+
+#include "sim/fast_sqd.h"
+#include "sqd/asymptotic.h"
+#include "sqd/tail_distribution.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 6));
+  const int d = static_cast<int>(cli.get_int("d", 2));
+  const double rho = cli.get_double("rho", 0.9);
+  const int t = static_cast<int>(cli.get_int("T", 3));
+  const int kmax = static_cast<int>(cli.get_int("kmax", 8));
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(cli.get_int("jobs", 4'000'000));
+  const std::string csv = cli.get("csv", "");
+  cli.finish();
+
+  using rlb::sqd::BoundKind;
+  using rlb::sqd::BoundModel;
+  using rlb::sqd::Params;
+  const Params p{n, d, rho, 1.0};
+
+  std::cout << "Tail probabilities P(queue >= i), SQ(" << d << "), N = " << n
+            << ", rho = " << rho << "\n";
+
+  const auto lower_tail =
+      rlb::sqd::marginal_queue_tail(BoundModel(p, t, BoundKind::Lower), kmax);
+
+  rlb::sim::FastSqdConfig cfg;
+  cfg.params = p;
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.tail_kmax = kmax;
+  cfg.seed = 31;
+  const auto sim = rlb::sim::simulate_sqd_fast(cfg);
+
+  rlb::util::Table table({"i", "simulation", "lower bound (T=" +
+                                                 std::to_string(t) + ")",
+                          "asymptotic s_i"});
+  for (int i = 0; i <= kmax; ++i) {
+    table.add_row({std::to_string(i),
+                   rlb::util::fmt(sim.marginal_tail[i], 6),
+                   rlb::util::fmt(lower_tail.tail[i], 6),
+                   rlb::util::fmt(rlb::sqd::asymptotic_queue_tail(rho, d, i),
+                                  6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the asymptotic s_i decays doubly "
+               "exponentially, but the finite-N\nsimulated tail is markedly "
+               "heavier at high rho — the paper's core warning. The\nlower "
+               "bound tracks the simulation for small i and stays below it "
+               "(its far tail\ndecays geometrically at rho^N per level, the "
+               "price of the gap truncation).\n";
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Extension bench — waiting-time percentiles from the analytic profile
+// (Erlang mixture over the lower bound model's stationary law) against the
+// DES's reservoir-sampled quantiles. Mean-delay bounds are the paper's
+// product; operators usually care about p95/p99, and the same
+// matrix-geometric solution delivers them in milliseconds.
+#include <iostream>
+
+#include "sim/cluster_sim.h"
+#include "sqd/waiting_distribution.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 6));
+  const int d = static_cast<int>(cli.get_int("d", 2));
+  const int t = static_cast<int>(cli.get_int("T", 3));
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(cli.get_int("jobs", 800'000));
+  const std::string csv = cli.get("csv", "");
+  cli.finish();
+
+  using rlb::sqd::BoundKind;
+  using rlb::sqd::BoundModel;
+  using rlb::sqd::Params;
+
+  std::cout << "Waiting-time percentiles: analytic profile (lower bound "
+               "model) vs DES,\nSQ("
+            << d << "), N = " << n << ", T = " << t << "\n";
+  rlb::util::Table table({"rho", "P(W>0) model", "p50 model", "p50 sim",
+                          "p95 model", "p95 sim", "p99 model", "p99 sim"});
+
+  for (double rho : {0.5, 0.7, 0.8, 0.9}) {
+    const Params p{n, d, rho, 1.0};
+    const rlb::sqd::WaitingProfile profile(
+        BoundModel(p, t, BoundKind::Lower));
+
+    rlb::sim::ClusterConfig cfg;
+    cfg.servers = n;
+    cfg.jobs = jobs;
+    cfg.warmup = jobs / 10;
+    cfg.seed = 1618;
+    rlb::sim::SqdPolicy policy(n, d);
+    const auto arr = rlb::sim::make_exponential(rho * n);
+    const auto svc = rlb::sim::make_exponential(1.0);
+    const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc);
+
+    // The DES reports sojourn quantiles; subtracting the unit mean service
+    // gives a rough waiting comparison — report sojourn-minus-1 for sims.
+    table.add_row({rlb::util::fmt(rho, 2),
+                   rlb::util::fmt(profile.ccdf(0.0), 4),
+                   rlb::util::fmt(profile.quantile(0.50), 3),
+                   rlb::util::fmt(std::max(0.0, sim.p50_sojourn - 1.0), 3),
+                   rlb::util::fmt(profile.quantile(0.95), 3),
+                   rlb::util::fmt(std::max(0.0, sim.p95_sojourn - 1.0), 3),
+                   rlb::util::fmt(profile.quantile(0.99), 3),
+                   rlb::util::fmt(std::max(0.0, sim.p99_sojourn - 1.0), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: sim columns are sojourn quantiles minus the unit "
+               "mean service time; the\nwait and sojourn distributions "
+               "differ by an independent Exp(1), so treat the\ncomparison "
+               "as directional. The model columns are exact percentiles of "
+               "the\nsnapshot mixture (see src/sqd/waiting_distribution.h).\n";
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

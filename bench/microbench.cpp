@@ -1,0 +1,119 @@
+// Experiment E12 — microbenchmarks (google-benchmark) for the numerical
+// kernels and simulators: LU solve, logarithmic reduction, QBD boundary
+// solve, fast simulator throughput, DES throughput.
+#include <benchmark/benchmark.h>
+
+#include "linalg/lu.h"
+#include "qbd/logred.h"
+#include "qbd/solver.h"
+#include "sim/cluster_sim.h"
+#include "sim/fast_sqd.h"
+#include "sim/rng.h"
+#include "sqd/blocks_builder.h"
+#include "sqd/bound_solver.h"
+
+namespace {
+
+rlb::linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  rlb::sim::Rng rng(seed);
+  rlb::linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() - 0.5;
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 1);
+  rlb::linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlb::linalg::solve(a, b));
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LogReduction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rlb::sqd::BoundModel model(rlb::sqd::Params{n, 2, 0.9, 1.0}, 3,
+                                   rlb::sqd::BoundKind::Lower);
+  const auto q = rlb::sqd::build_bound_qbd(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlb::qbd::logarithmic_reduction(
+        q.blocks.A0, q.blocks.A1, q.blocks.A2));
+  }
+  state.SetLabel("block=" + std::to_string(q.blocks.block_size()));
+}
+BENCHMARK(BM_LogReduction)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_FullBoundSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rlb::sqd::BoundModel model(rlb::sqd::Params{n, 2, 0.9, 1.0}, 3,
+                                   rlb::sqd::BoundKind::Lower);
+  const auto q = rlb::sqd::build_bound_qbd(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlb::sqd::solve_bound(model, q));
+  }
+}
+BENCHMARK(BM_FullBoundSolve)->Arg(3)->Arg(6);
+
+void BM_ImprovedBoundSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rlb::sqd::BoundModel model(rlb::sqd::Params{n, 2, 0.9, 1.0}, 3,
+                                   rlb::sqd::BoundKind::Lower);
+  const auto q = rlb::sqd::build_bound_qbd(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlb::sqd::solve_lower_improved(model, q, 0.9));
+  }
+}
+BENCHMARK(BM_ImprovedBoundSolve)->Arg(3)->Arg(6);
+
+void BM_FastSimulatorThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::FastSqdConfig cfg;
+  cfg.params = {n, 2, 0.9, 1.0};
+  cfg.jobs = 200'000;
+  cfg.warmup = 1'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlb::sim::simulate_sqd_fast(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.jobs));
+}
+BENCHMARK(BM_FastSimulatorThroughput)->Arg(10)->Arg(100);
+
+void BM_ClusterDesThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = 100'000;
+  cfg.warmup = 1'000;
+  rlb::sim::SqdPolicy policy(n, 2);
+  const auto arr = rlb::sim::make_exponential(0.9 * n);
+  const auto svc = rlb::sim::make_exponential(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rlb::sim::simulate_cluster(cfg, policy, *arr, *svc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.jobs));
+}
+BENCHMARK(BM_ClusterDesThroughput)->Arg(10)->Arg(100);
+
+void BM_DistinctSampling(benchmark::State& state) {
+  const int n = 250;
+  const int d = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(5);
+  rlb::sim::DistinctSampler sampler(n);
+  std::vector<int> out;
+  for (auto _ : state) {
+    sampler.sample(d, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DistinctSampling)->Arg(2)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

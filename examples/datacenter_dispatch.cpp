@@ -1,0 +1,76 @@
+// Scenario: choosing a dispatch policy for a small service tier.
+//
+// A team runs N = 12 application servers behind one dispatcher. Polling
+// every server on every request (JSQ) is operationally expensive; random
+// routing is free but slow. This example quantifies the middle ground —
+// the paper's SQ(d) — under realistic (bursty, non-exponential) workloads,
+// and shows that d = 2 captures most of JSQ's benefit.
+#include <iostream>
+#include <memory>
+
+#include "sim/cluster_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 12));
+  const double rho = cli.get_double("rho", 0.85);
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(cli.get_int("jobs", 500'000));
+  cli.finish();
+
+  using namespace rlb::sim;
+
+  std::cout << "Dispatch policies for N = " << n
+            << " servers at utilization " << rho << "\n"
+            << "Workloads: request sizes exponential / lognormal(cv=2) "
+               "(heavy tail-ish),\narrivals Poisson / bursty "
+               "hyperexponential(scv=4).\n\n";
+
+  struct Workload {
+    std::string name;
+    std::unique_ptr<Distribution> arrivals;
+    std::unique_ptr<Distribution> service;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"poisson/exp", make_exponential(rho * n),
+                       make_exponential(1.0)});
+  workloads.push_back({"poisson/lognormal", make_exponential(rho * n),
+                       make_lognormal(1.0, 2.0)});
+  workloads.push_back({"bursty/exp",
+                       make_hyperexp_fitted(1.0 / (rho * n), 4.0),
+                       make_exponential(1.0)});
+  workloads.push_back({"bursty/lognormal",
+                       make_hyperexp_fitted(1.0 / (rho * n), 4.0),
+                       make_lognormal(1.0, 2.0)});
+
+  rlb::util::Table table({"workload", "random", "sq(2)", "sq(3)", "jsq",
+                          "polls/req jsq", "polls/req sq(2)"});
+  for (const auto& w : workloads) {
+    ClusterConfig cfg;
+    cfg.servers = n;
+    cfg.jobs = jobs;
+    cfg.warmup = jobs / 10;
+    cfg.seed = 97531;
+
+    std::vector<std::string> row{w.name};
+    std::vector<std::unique_ptr<Policy>> policies;
+    policies.push_back(std::make_unique<SqdPolicy>(n, 1));
+    policies.push_back(std::make_unique<SqdPolicy>(n, 2));
+    policies.push_back(std::make_unique<SqdPolicy>(n, 3));
+    policies.push_back(std::make_unique<JsqPolicy>());
+    for (auto& policy : policies) {
+      const auto r = simulate_cluster(cfg, *policy, *w.arrivals, *w.service);
+      row.push_back(rlb::util::fmt(r.mean_sojourn, 3));
+    }
+    row.push_back(std::to_string(n));
+    row.push_back("2");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: sq(2) gets most of JSQ's delay win at 1/" << n / 2
+            << " of the feedback cost,\nand the advantage persists for "
+               "bursty arrivals and heavy-tailed service.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scenario: non-Poisson traffic and Theorem 2.
+//
+// Production arrival streams are rarely Poisson. Theorem 2 extends the
+// improved lower bound's geometric tail to any renewal arrival process via
+// sigma, the root of x = sum_k x^k beta_k = LST(mu(1-x)). This example
+// computes sigma for several traffic shapes at equal utilization, shows the
+// resulting tail-decay rates sigma^N, and confirms the burstiness ordering
+// with the event-driven simulator.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "sim/cluster_sim.h"
+#include "sqd/interarrival.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 4));
+  const double rho = cli.get_double("rho", 0.85);
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(cli.get_int("jobs", 400'000));
+  cli.finish();
+
+  using namespace rlb::sqd;
+
+  std::cout << "Theorem 2: tail decay sigma for renewal arrivals at "
+               "utilization rho = "
+            << rho << ", N = " << n << "\n\n";
+
+  struct Shape {
+    std::string name;
+    std::unique_ptr<Interarrival> dist;
+    std::unique_ptr<rlb::sim::Distribution> sampler;  // cluster-level stream
+  };
+  const double cluster_mean_ia = 1.0 / (rho * n);
+  const double p1 = 0.5 * (1.0 + std::sqrt(3.0 / 5.0));  // scv = 4 fit
+  std::vector<Shape> shapes;
+  shapes.push_back({"deterministic (cv=0)",
+                    std::make_unique<DeterministicInterarrival>(1.0 / rho),
+                    rlb::sim::make_deterministic(cluster_mean_ia)});
+  shapes.push_back({"erlang-4 (cv=0.5)",
+                    std::make_unique<ErlangInterarrival>(4, 4.0 * rho),
+                    rlb::sim::make_erlang(4, 4.0 / cluster_mean_ia)});
+  shapes.push_back({"poisson (cv=1)",
+                    std::make_unique<ExponentialInterarrival>(rho),
+                    rlb::sim::make_exponential(1.0 / cluster_mean_ia)});
+  shapes.push_back(
+      {"hyperexp (scv=4)",
+       std::make_unique<HyperExpInterarrival>(p1, 2.0 * p1 * rho,
+                                              2.0 * (1.0 - p1) * rho),
+       rlb::sim::make_hyperexp_fitted(cluster_mean_ia, 4.0)});
+
+  rlb::util::Table table({"arrivals", "sigma", "tail ratio sigma^N",
+                          "sim mean delay (SQ(2))"});
+  for (auto& s : shapes) {
+    const double sigma = solve_sigma(*s.dist, 1.0).sigma;
+
+    rlb::sim::ClusterConfig cfg;
+    cfg.servers = n;
+    cfg.jobs = jobs;
+    cfg.warmup = jobs / 10;
+    cfg.seed = 24680;
+    rlb::sim::SqdPolicy policy(n, 2);
+    const auto svc = rlb::sim::make_exponential(1.0);
+    const auto r = rlb::sim::simulate_cluster(cfg, policy, *s.sampler, *svc);
+
+    table.add_row({s.name, rlb::util::fmt(sigma, 5),
+                   rlb::util::fmt(std::pow(sigma, n), 6),
+                   rlb::util::fmt(r.mean_sojourn, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: smoother-than-Poisson traffic (cv < 1) has "
+               "sigma < rho — queues drain\ngeometrically faster — while "
+               "bursty traffic (scv > 1) has sigma > rho. The DES\ndelays "
+               "order the same way, as Theorem 2 predicts.\n";
+  return 0;
+}

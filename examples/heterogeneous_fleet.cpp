@@ -1,0 +1,70 @@
+// Scenario: mixed-generation server fleet.
+//
+// Real clusters are rarely homogeneous — half the machines are last year's
+// hardware. The paper's model (and most SQ(d) theory) assumes identical
+// servers; this example quantifies what queue-length-based SQ(d) loses on a
+// skewed fleet of equal TOTAL capacity, and how much of it a
+// workload-aware policy (least-work-left, which sees speeds through
+// remaining work) recovers. Heterogeneous SQ(d) is the related-work
+// setting of Mukhopadhyay et al. and Izagirre & Makowski.
+#include <iostream>
+#include <memory>
+
+#include "sim/cluster_sim.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const rlb::util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 8));
+  const double rho = cli.get_double("rho", 0.85);
+  const std::uint64_t jobs =
+      static_cast<std::uint64_t>(cli.get_int("jobs", 400'000));
+  cli.finish();
+
+  using namespace rlb::sim;
+
+  std::cout << "Mixed fleet, N = " << n << " servers, total capacity " << n
+            << ", utilization " << rho
+            << "\nSkew: half the fleet fast, half slow; total capacity held "
+               "constant.\n\n";
+
+  rlb::util::Table table({"skew (fast:slow)", "random", "sq(2)", "jsq",
+                          "least-work", "sq(2) p99"});
+  for (double fast : {1.0, 1.25, 1.5, 1.75}) {
+    const double slow = 2.0 - fast;
+    ClusterConfig cfg;
+    cfg.servers = n;
+    cfg.jobs = jobs;
+    cfg.warmup = jobs / 10;
+    cfg.seed = 86420;
+    cfg.server_speeds.assign(n, 1.0);
+    for (int s = 0; s < n / 2; ++s) {
+      cfg.server_speeds[s] = fast;
+      cfg.server_speeds[n / 2 + s] = slow;
+    }
+    const auto arr = make_exponential(rho * n);
+    const auto svc = make_exponential(1.0);
+
+    std::vector<std::string> row{rlb::util::fmt(fast, 2) + ":" +
+                                 rlb::util::fmt(slow, 2)};
+    SqdPolicy random_policy(n, 1), sq2(n, 2);
+    JsqPolicy jsq;
+    LeastWorkLeftPolicy lwl;
+    double sq2_p99 = 0.0;
+    for (Policy* policy :
+         std::vector<Policy*>{&random_policy, &sq2, &jsq, &lwl}) {
+      const auto r = simulate_cluster(cfg, *policy, *arr, *svc);
+      row.push_back(rlb::util::fmt(r.mean_sojourn, 3));
+      if (policy == &sq2) sq2_p99 = r.p99_sojourn;
+    }
+    row.push_back(rlb::util::fmt(sq2_p99, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: queue-length signals degrade as speeds diverge — "
+               "a short queue on a\nslow machine is a trap. Workload-aware "
+               "least-work-left degrades far less. For\nmildly skewed fleets "
+               "sq(2) remains a good cost/performance compromise.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace rlb::linalg {
+
+Lu::Lu(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  RLB_REQUIRE(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the pivot.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-300)
+      throw std::runtime_error("Lu: matrix is numerically singular");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = lu_(i, k) / pivot;
+      lu_(i, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= f * lu_(k, j);
+    }
+  }
+}
+
+Vector Lu::solve(Vector b) const {
+  const std::size_t n = size();
+  RLB_REQUIRE(b.size() == n, "Lu::solve shape mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) x[i] -= lu_(i, j) * x[j];
+    x[i] /= lu_(i, i);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  RLB_REQUIRE(b.rows() == size(), "Lu::solve shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(size())); }
+
+Vector solve(const Matrix& a, Vector b) { return Lu(a).solve(std::move(b)); }
+
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+Vector solve_transposed(const Matrix& a, Vector b) {
+  return Lu(a.transpose()).solve(std::move(b));
+}
+
+}  // namespace rlb::linalg

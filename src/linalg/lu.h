@@ -1,0 +1,39 @@
+// LU decomposition with partial pivoting, plus solve/inverse built on it.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rlb::linalg {
+
+/// Factorization P·A = L·U stored compactly. Throws std::runtime_error if A
+/// is numerically singular.
+class Lu {
+ public:
+  explicit Lu(Matrix a);
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(Vector b) const;
+
+  /// Solve A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// A^{-1} (via n solves).
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// One-shot helpers.
+Vector solve(const Matrix& a, Vector b);
+Matrix solve(const Matrix& a, const Matrix& b);
+Matrix inverse(const Matrix& a);
+
+/// Solve x^T A = b^T (i.e., A^T x = b) without forming the transpose at the
+/// call site.
+Vector solve_transposed(const Matrix& a, Vector b);
+
+}  // namespace rlb::linalg

@@ -1,0 +1,35 @@
+#include "markov/first_passage.h"
+
+#include "linalg/lu.h"
+#include "util/require.h"
+
+namespace rlb::markov {
+
+linalg::Vector expected_hitting_times(const linalg::Matrix& generator,
+                                      const std::vector<bool>& target) {
+  const std::size_t n = generator.rows();
+  RLB_REQUIRE(generator.cols() == n, "generator must be square");
+  RLB_REQUIRE(target.size() == n, "target mask size mismatch");
+  std::vector<std::size_t> free_states;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!target[i]) free_states.push_back(i);
+  RLB_REQUIRE(free_states.size() < n, "need at least one target state");
+
+  // Restrict Q to the non-target states and solve Q_ff h_f = -1.
+  const std::size_t m = free_states.size();
+  linalg::Matrix qff(m, m);
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      qff(a, b) = generator(free_states[a], free_states[b]);
+  const linalg::Vector hf = linalg::solve(qff, linalg::Vector(m, -1.0));
+
+  linalg::Vector h(n, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    RLB_REQUIRE(hf[a] >= 0.0,
+                "negative hitting time: target not reachable everywhere");
+    h[free_states[a]] = hf[a];
+  }
+  return h;
+}
+
+}  // namespace rlb::markov

@@ -1,0 +1,22 @@
+// Expected first-passage (hitting) times for finite CTMCs.
+//
+// Solves the standard linear system: h = 0 on the target set and
+// sum_j Q(i, j) h(j) = -1 elsewhere. Used for busy-period style analyses
+// of the queueing chains (e.g., expected time for a loaded cluster to
+// drain) and as another exactly-testable substrate primitive.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rlb::markov {
+
+/// h[i] = expected time to reach any state with target[i] == true, starting
+/// from state i (0 for target states). Requires at least one target and
+/// that targets are reachable from every state (the system is singular
+/// otherwise and an exception is thrown).
+linalg::Vector expected_hitting_times(const linalg::Matrix& generator,
+                                      const std::vector<bool>& target);
+
+}  // namespace rlb::markov

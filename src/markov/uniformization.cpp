@@ -1,0 +1,51 @@
+#include "markov/uniformization.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::markov {
+
+linalg::Vector transient_distribution(const linalg::Matrix& generator,
+                                      const linalg::Vector& initial, double t,
+                                      double tol) {
+  RLB_REQUIRE(generator.rows() == generator.cols(), "square generator");
+  RLB_REQUIRE(initial.size() == generator.rows(), "initial size mismatch");
+  RLB_REQUIRE(t >= 0.0, "time must be non-negative");
+  const std::size_t n = generator.rows();
+
+  // Uniformization rate: max |diagonal| (plus slack for strict positivity).
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    lambda = std::max(lambda, -generator(i, i));
+  if (lambda == 0.0 || t == 0.0) return initial;
+  lambda *= 1.0001;
+
+  // P = I + Q / lambda (stochastic).
+  linalg::Matrix p = generator;
+  p *= 1.0 / lambda;
+  for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
+
+  // result = sum_k Poisson(lambda t; k) * initial * P^k, truncated when the
+  // remaining Poisson mass drops below tol.
+  linalg::Vector term = initial;
+  linalg::Vector result(n, 0.0);
+  const double lt = lambda * t;
+  double log_weight = -lt;  // log Poisson(k=0)
+  double cumulative = 0.0;
+  for (int k = 0;; ++k) {
+    const double w = std::exp(log_weight);
+    for (std::size_t i = 0; i < n; ++i) result[i] += w * term[i];
+    cumulative += w;
+    if (1.0 - cumulative < tol && k > lt) break;
+    term = linalg::vec_mat(term, p);
+    log_weight += std::log(lt) - std::log1p(k);  // -> log Poisson(k+1)
+  }
+  // Renormalize the truncated series.
+  double total = 0.0;
+  for (double v : result) total += v;
+  for (double& v : result) v /= total;
+  return result;
+}
+
+}  // namespace rlb::markov

@@ -1,0 +1,14 @@
+// Transient analysis of a finite CTMC by uniformization (Jensen's method).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rlb::markov {
+
+/// Distribution at time t starting from `initial`, computed by
+/// uniformization with truncation error below `tol` (in total variation).
+linalg::Vector transient_distribution(const linalg::Matrix& generator,
+                                      const linalg::Vector& initial, double t,
+                                      double tol = 1e-12);
+
+}  // namespace rlb::markov

@@ -1,0 +1,27 @@
+#include "qbd/blocks.h"
+
+#include <cmath>
+
+namespace rlb::qbd {
+
+double Blocks::generator_row_sum_error() const {
+  double worst = 0.0;
+  // Boundary rows: B00 + B01.
+  const auto b00 = B00.row_sums();
+  const auto b01 = B01.row_sums();
+  for (std::size_t i = 0; i < b00.size(); ++i)
+    worst = std::max(worst, std::abs(b00[i] + b01[i]));
+  // Level-0 rows: B10 + A1 + A0.
+  const auto b10 = B10.row_sums();
+  const auto a1 = A1.row_sums();
+  const auto a0 = A0.row_sums();
+  for (std::size_t i = 0; i < b10.size(); ++i)
+    worst = std::max(worst, std::abs(b10[i] + a1[i] + a0[i]));
+  // Repeating rows: A2 + A1 + A0.
+  const auto a2 = A2.row_sums();
+  for (std::size_t i = 0; i < a2.size(); ++i)
+    worst = std::max(worst, std::abs(a2[i] + a1[i] + a0[i]));
+  return worst;
+}
+
+}  // namespace rlb::qbd

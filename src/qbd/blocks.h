@@ -1,0 +1,33 @@
+// Block form of a level-independent QBD generator (paper §IV-A):
+//
+//        |  B00  B01   0    0   ...
+//   Q =  |  B10  A1   A0    0   ...
+//        |   0   A2   A1   A0   ...
+//        |   0    0   A2   A1   ...
+//
+// B00: boundary -> boundary, B01: boundary -> level 0, B10: level 0 ->
+// boundary; A0/A1/A2 the repeating up/within/down blocks. Diagonal entries
+// live in B00 and A1, so every full row of Q sums to zero.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rlb::qbd {
+
+struct Blocks {
+  linalg::Matrix B00;  ///< boundary x boundary
+  linalg::Matrix B01;  ///< boundary x m
+  linalg::Matrix B10;  ///< m x boundary
+  linalg::Matrix A0;   ///< m x m, level up
+  linalg::Matrix A1;   ///< m x m, within level (holds the diagonal)
+  linalg::Matrix A2;   ///< m x m, level down
+
+  [[nodiscard]] std::size_t boundary_size() const { return B00.rows(); }
+  [[nodiscard]] std::size_t block_size() const { return A1.rows(); }
+
+  /// Max |row sum| over the full (conceptual) generator rows; ~0 for a
+  /// well-formed QBD.
+  [[nodiscard]] double generator_row_sum_error() const;
+};
+
+}  // namespace rlb::qbd

@@ -1,0 +1,21 @@
+#include "qbd/drift.h"
+
+#include "markov/gth.h"
+#include "util/require.h"
+
+namespace rlb::qbd {
+
+Drift drift_condition(const linalg::Matrix& A0, const linalg::Matrix& A1,
+                      const linalg::Matrix& A2) {
+  linalg::Matrix a = A0;
+  a += A1;
+  a += A2;
+  Drift out;
+  out.pi = markov::stationary_gth(a);
+  out.up = linalg::dot(out.pi, A0.row_sums());
+  out.down = linalg::dot(out.pi, A2.row_sums());
+  out.stable = out.up < out.down;
+  return out;
+}
+
+}  // namespace rlb::qbd

@@ -1,0 +1,23 @@
+// Positive-recurrence (stability) check for a level-independent QBD:
+// Neuts' mean-drift condition  pi A0 e < pi A2 e  where  pi A = 0,
+// pi e = 1, A = A0 + A1 + A2 (the generator of the within-level "shape"
+// process). For the lower bound model this reduces to lambda < mu; the
+// upper bound model loses capacity to redirections and becomes unstable
+// earlier — exactly the behaviour Figure 10 shows for T = 2.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rlb::qbd {
+
+struct Drift {
+  double up = 0.0;     ///< pi A0 e: mean upward rate
+  double down = 0.0;   ///< pi A2 e: mean downward rate
+  bool stable = false;
+  linalg::Vector pi;   ///< stationary vector of A
+};
+
+Drift drift_condition(const linalg::Matrix& A0, const linalg::Matrix& A1,
+                      const linalg::Matrix& A2);
+
+}  // namespace rlb::qbd

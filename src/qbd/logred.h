@@ -1,0 +1,45 @@
+// Matrix-geometric kernels: the Latouche–Ramaswami logarithmic reduction
+// for G (the first-passage matrix solving 0 = A2 + A1 G + A0 G^2), the
+// naive functional iteration (kept as an independent cross-check), and the
+// rate matrix R = -A0 (A1 + A0 G)^{-1} of Theorem 1.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rlb::qbd {
+
+struct GResult {
+  linalg::Matrix G;
+  int iterations = 0;
+  double residual = 0.0;  ///< ||A2 + A1 G + A0 G^2||_inf at exit
+  bool converged = false;
+};
+
+/// Logarithmic reduction (Latouche & Ramaswami 1993). Quadratic
+/// convergence; the paper reports k <= 6 iterations for its configurations.
+GResult logarithmic_reduction(const linalg::Matrix& A0,
+                              const linalg::Matrix& A1,
+                              const linalg::Matrix& A2, double tol = 1e-14,
+                              int max_iter = 64);
+
+/// Classic fixed-point iteration G <- (-A1)^{-1} (A2 + A0 G^2); linear
+/// convergence, used only to cross-validate the logarithmic reduction.
+GResult functional_iteration(const linalg::Matrix& A0,
+                             const linalg::Matrix& A1,
+                             const linalg::Matrix& A2, double tol = 1e-13,
+                             int max_iter = 100000);
+
+/// R = -A0 (A1 + A0 G)^{-1}.
+linalg::Matrix rate_matrix_from_g(const linalg::Matrix& A0,
+                                  const linalg::Matrix& A1,
+                                  const linalg::Matrix& G);
+
+/// ||A2 + A1 G + A0 G^2||_inf.
+double g_residual(const linalg::Matrix& A0, const linalg::Matrix& A1,
+                  const linalg::Matrix& A2, const linalg::Matrix& G);
+
+/// ||A0 + R A1 + R^2 A2||_inf.
+double r_residual(const linalg::Matrix& A0, const linalg::Matrix& A1,
+                  const linalg::Matrix& A2, const linalg::Matrix& R);
+
+}  // namespace rlb::qbd

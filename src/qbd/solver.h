@@ -1,0 +1,53 @@
+// Stationary solver for the block QBD of Theorem 1, plus the scalar-rate
+// variant of Theorems 2-3 (improved lower bound).
+//
+// Unknowns are (pi_b, pi_0, pi_1); levels q >= 1 follow the matrix-
+// geometric tail pi_{q+1} = pi_q R. The boundary system is
+//
+//   (pi_b, pi_0, pi_1) | B00  B01     0        |
+//                      | B10  A1     A0        |  =  0
+//                      | 0    A2   A1 + R A2   |
+//
+// with normalization pi_b e + pi_0 e + pi_1 (I - R)^{-1} e = 1. For the
+// improved lower bound R is replaced by the scalar sigma^N (= rho^N for
+// Poisson arrivals), which skips the G/R iteration entirely.
+#pragma once
+
+#include <stdexcept>
+
+#include "qbd/blocks.h"
+#include "qbd/drift.h"
+#include "qbd/logred.h"
+
+namespace rlb::qbd {
+
+/// Thrown when the drift condition fails (mean up-rate >= mean down-rate).
+struct UnstableError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Solution {
+  linalg::Vector pi_boundary;  ///< stationary mass of boundary states
+  linalg::Vector pi0;          ///< level 0
+  linalg::Vector pi1;          ///< level 1
+  linalg::Matrix R;            ///< rate matrix (empty when scalar form used)
+  double scalar_rate = -1.0;   ///< sigma^N when the scalar form was used
+  int logred_iterations = 0;   ///< 0 when the scalar form was used
+  double r_residual = 0.0;
+
+  linalg::Vector tail_sum;       ///< sum_{q>=1} pi_q = pi_1 (I-R)^{-1}
+  linalg::Vector tail_weighted;  ///< sum_{q>=1} (q-1) pi_q = pi_1 R (I-R)^{-2}
+  double total_probability = 0.0;  ///< should be ~1 after normalization
+
+  Drift drift;
+};
+
+/// Full matrix-geometric solve (Theorem 1). Throws UnstableError when the
+/// drift condition fails.
+Solution solve(const Blocks& blocks, double tol = 1e-14);
+
+/// Scalar-rate solve (Theorems 2-3): pi_{q+1} = rate * pi_q with
+/// rate = sigma^N in (0, 1). Throws UnstableError when rate >= 1.
+Solution solve_scalar(const Blocks& blocks, double rate);
+
+}  // namespace rlb::qbd

@@ -1,0 +1,79 @@
+#include "sim/arrival_process.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+RenewalArrivals::RenewalArrivals(const Distribution& interarrival)
+    : interarrival_(interarrival) {}
+
+double RenewalArrivals::next(Rng& rng) { return interarrival_.sample(rng); }
+
+double RenewalArrivals::mean_rate() const {
+  return 1.0 / interarrival_.mean();
+}
+
+std::string RenewalArrivals::name() const {
+  return "renewal(" + interarrival_.name() + ")";
+}
+
+MmppArrivals::MmppArrivals(double rate1, double rate2, double switch12,
+                           double switch21)
+    : rate_{rate1, rate2}, switch_{switch12, switch21} {
+  RLB_REQUIRE(rate1 >= 0.0 && rate2 >= 0.0, "rates must be non-negative");
+  RLB_REQUIRE(rate1 > 0.0 || rate2 > 0.0, "at least one phase must arrive");
+  RLB_REQUIRE(switch12 > 0.0 && switch21 > 0.0,
+              "switching rates must be positive");
+}
+
+double MmppArrivals::next(Rng& rng) {
+  double elapsed = 0.0;
+  for (;;) {
+    const double arrival_rate = rate_[phase_];
+    const double switch_rate = switch_[phase_];
+    const double t_switch = rng.exponential(switch_rate);
+    if (arrival_rate <= 0.0) {
+      elapsed += t_switch;
+      phase_ ^= 1;
+      continue;
+    }
+    const double t_arrival = rng.exponential(arrival_rate);
+    if (t_arrival <= t_switch) return elapsed + t_arrival;
+    elapsed += t_switch;
+    phase_ ^= 1;
+  }
+}
+
+double MmppArrivals::mean_rate() const {
+  // Stationary phase probabilities of the modulating chain.
+  const double p1 = switch_[1] / (switch_[0] + switch_[1]);
+  return p1 * rate_[0] + (1.0 - p1) * rate_[1];
+}
+
+std::string MmppArrivals::name() const { return "mmpp2"; }
+
+MmppArrivals MmppArrivals::bursty(double mean_rate, double burst_factor,
+                                  double hold) {
+  RLB_REQUIRE(mean_rate > 0.0, "mean rate must be positive");
+  RLB_REQUIRE(burst_factor > 1.0, "burst factor must exceed 1");
+  RLB_REQUIRE(hold > 0.0, "holding time must be positive");
+  // Symmetric holding times: phases alternate every `hold` on average, so
+  // rates (b*m, (2-b)*m) average to m; clamp the slow phase at 0.
+  const double fast = burst_factor * mean_rate;
+  const double slow = std::max(0.0, (2.0 - burst_factor) * mean_rate);
+  // With asymmetric residual: adjust slow-phase holding so the mean is
+  // exact even when clamped: p_fast * fast + (1-p_fast) * slow = mean.
+  if (slow == 0.0) {
+    // p_fast = mean / fast = 1 / burst_factor; holding times in ratio
+    // p_fast : (1 - p_fast) with total scale `hold`.
+    const double p_fast = 1.0 / burst_factor;
+    const double s_fast = 1.0 / (hold * p_fast * 2.0);
+    const double s_slow = 1.0 / (hold * (1.0 - p_fast) * 2.0);
+    return MmppArrivals(fast, 0.0, s_fast, s_slow);
+  }
+  return MmppArrivals(fast, slow, 1.0 / hold, 1.0 / hold);
+}
+
+}  // namespace rlb::sim

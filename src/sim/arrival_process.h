@@ -1,0 +1,69 @@
+// Arrival processes for the cluster simulator.
+//
+// Renewal streams (i.i.d. interarrival draws) cover the paper's Theorem 2
+// setting; the Markov-modulated Poisson process (MMPP) implements the
+// paper's stated future-work direction of Markov Arrival Processes —
+// correlated, bursty traffic that no renewal process can express.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace rlb::sim {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Time until the next arrival (stateful: successive calls walk the
+  /// process).
+  [[nodiscard]] virtual double next(Rng& rng) = 0;
+
+  /// Long-run arrival rate.
+  [[nodiscard]] virtual double mean_rate() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Return to the initial phase (used between simulation runs).
+  virtual void reset() {}
+};
+
+/// I.i.d. interarrival times drawn from a Distribution (renewal process).
+class RenewalArrivals final : public ArrivalProcess {
+ public:
+  explicit RenewalArrivals(const Distribution& interarrival);
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  const Distribution& interarrival_;
+};
+
+/// Two-phase Markov-modulated Poisson process: Poisson rate r_i while the
+/// modulating chain sits in phase i, switching 1->2 at rate s12 and 2->1
+/// at rate s21. The canonical simple MAP.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double rate1, double rate2, double switch12, double switch21);
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override { phase_ = 0; }
+
+  /// Construct a bursty MMPP with the given mean rate: an "on" phase at
+  /// `burst_factor` times the mean rate and a slow background phase, with
+  /// mean phase holding time `hold`.
+  [[nodiscard]] static MmppArrivals bursty(double mean_rate,
+                                           double burst_factor, double hold);
+
+ private:
+  double rate_[2];
+  double switch_[2];
+  int phase_ = 0;
+};
+
+}  // namespace rlb::sim

@@ -1,0 +1,57 @@
+#include "sim/bound_sim.h"
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "statespace/state.h"
+#include "util/require.h"
+
+namespace rlb::sim {
+
+BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
+                                    std::uint64_t steps,
+                                    std::uint64_t warmup_steps,
+                                    std::uint64_t seed) {
+  RLB_REQUIRE(warmup_steps < steps, "warmup must be below step count");
+  Rng rng(seed);
+  statespace::State state(static_cast<std::size_t>(model.params().N), 0);
+
+  BoundSimResult out;
+  double weight_total = 0.0;
+  double waiting_acc = 0.0;
+  double jobs_acc = 0.0;
+
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const std::vector<sqd::Transition> ts = model.transitions(state);
+    double total_rate = 0.0;
+    for (const auto& t : ts) total_rate += t.rate;
+    RLB_ASSERT(total_rate > 0.0, "absorbing state in bound model");
+
+    if (step >= warmup_steps) {
+      const double hold = 1.0 / total_rate;  // expected holding time
+      weight_total += hold;
+      waiting_acc += hold * statespace::waiting_jobs(state);
+      jobs_acc += hold * statespace::total_jobs(state);
+      out.max_gap_seen =
+          std::max(out.max_gap_seen, static_cast<double>(statespace::gap(state)));
+    }
+
+    double u = rng.next_double() * total_rate;
+    std::size_t chosen = ts.size() - 1;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      u -= ts[i].rate;
+      if (u <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    state = ts[chosen].to;
+  }
+
+  out.mean_waiting_jobs = waiting_acc / weight_total;
+  out.mean_jobs = jobs_acc / weight_total;
+  out.steps = steps;
+  return out;
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,28 @@
+// Direct CTMC simulation of the lower/upper bound models themselves.
+//
+// The bound models are ordinary finite-rate CTMCs on S(T) (jockeying /
+// pausing / batch redirects included), so simulating them and comparing
+// against the matrix-geometric solution validates the builder and the
+// solver end to end. Time averages use expected holding times (1/total
+// rate), which is unbiased and lower-variance than sampling the clocks.
+#pragma once
+
+#include <cstdint>
+
+#include "sqd/bound_model.h"
+
+namespace rlb::sim {
+
+struct BoundSimResult {
+  double mean_waiting_jobs = 0.0;
+  double mean_jobs = 0.0;
+  double max_gap_seen = 0.0;  ///< should never exceed T
+  std::uint64_t steps = 0;
+};
+
+BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
+                                    std::uint64_t steps,
+                                    std::uint64_t warmup_steps,
+                                    std::uint64_t seed);
+
+}  // namespace rlb::sim

@@ -1,0 +1,191 @@
+#include "sim/cluster_sim.h"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/stats.h"
+#include "util/require.h"
+
+namespace rlb::sim {
+
+namespace {
+
+struct Job {
+  std::uint64_t index = 0;
+  double arrival_time = 0.0;
+  double service_time = 0.0;
+};
+
+/// The engine itself is the policy-visible cluster state.
+class Engine final : public ClusterState {
+ public:
+  Engine(const ClusterConfig& cfg, Policy& policy, ArrivalProcess& arrivals,
+         const Distribution& service)
+      : cfg_(cfg),
+        policy_(policy),
+        arrivals_(arrivals),
+        service_(service),
+        rng_(cfg.seed),
+        queues_(cfg.servers),
+        completion_(cfg.servers, 0.0),
+        queued_work_(cfg.servers, 0.0) {}
+
+  int servers() const override { return cfg_.servers; }
+
+  int queue_length(int server) const override {
+    return static_cast<int>(queues_[server].size());
+  }
+
+  double remaining_work(int server) const override {
+    const auto& q = queues_[server];
+    if (q.empty()) return 0.0;
+    return (completion_[server] - now_) + queued_work_[server];
+  }
+
+  ClusterResult run() {
+    RLB_REQUIRE(cfg_.servers >= 1, "need at least one server");
+    RLB_REQUIRE(cfg_.warmup < cfg_.jobs, "warmup must be below job count");
+    RLB_REQUIRE(cfg_.server_speeds.empty() ||
+                    cfg_.server_speeds.size() ==
+                        static_cast<std::size_t>(cfg_.servers),
+                "server_speeds must be empty or one entry per server");
+    for (double sp : cfg_.server_speeds)
+      RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
+    const std::uint64_t measured_jobs = cfg_.jobs - cfg_.warmup;
+    const std::uint64_t batch =
+        cfg_.batch_size > 0 ? cfg_.batch_size : std::max<std::uint64_t>(
+                                                    1, measured_jobs / 30);
+    BatchMeans sojourn_ci(batch);
+    StreamingMoments sojourn_stats, wait_stats;
+    ReservoirQuantiles sojourn_quantiles(100'000, cfg_.seed ^ 0xabcdefull);
+
+    double next_arrival = arrivals_.next(rng_);
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+
+    double measure_start = -1.0;
+    double area_jobs = 0.0;     // integral of total jobs over measured window
+    double busy_area = 0.0;     // integral of busy servers
+    std::uint64_t in_system = 0;
+
+    const auto advance_to = [&](double t) {
+      if (measure_start >= 0.0) {
+        area_jobs += static_cast<double>(in_system) * (t - now_);
+        busy_area += static_cast<double>(busy_servers_) * (t - now_);
+      }
+      now_ = t;
+    };
+
+    while (departures < cfg_.jobs) {
+      const bool have_arrival = arrivals < cfg_.jobs;
+      const bool arrival_next =
+          have_arrival &&
+          (departure_heap_.empty() || next_arrival <= departure_heap_.top().first);
+
+      if (arrival_next) {
+        advance_to(next_arrival);
+        if (arrivals == cfg_.warmup && measure_start < 0.0)
+          measure_start = now_;
+        Job job{arrivals, now_, service_.sample(rng_)};
+        ++arrivals;
+        ++in_system;
+        const int s = policy_.select(*this, rng_);
+        RLB_ASSERT(s >= 0 && s < cfg_.servers, "policy picked a bad server");
+        if (!cfg_.server_speeds.empty())
+          job.service_time /= cfg_.server_speeds[s];
+        auto& q = queues_[s];
+        if (q.empty()) {
+          completion_[s] = now_ + job.service_time;
+          departure_heap_.emplace(completion_[s], s);
+          ++busy_servers_;
+        } else {
+          queued_work_[s] += job.service_time;
+        }
+        q.push_back(job);
+        next_arrival = now_ + arrivals_.next(rng_);
+      } else {
+        RLB_ASSERT(!departure_heap_.empty(), "no events left");
+        const auto [t, s] = departure_heap_.top();
+        departure_heap_.pop();
+        advance_to(t);
+        auto& q = queues_[s];
+        RLB_ASSERT(!q.empty(), "departure from empty server");
+        const Job done = q.front();
+        q.pop_front();
+        ++departures;
+        --in_system;
+        if (done.index >= cfg_.warmup) {
+          const double sojourn = now_ - done.arrival_time;
+          sojourn_stats.add(sojourn);
+          wait_stats.add(sojourn - done.service_time);
+          sojourn_ci.add(sojourn);
+          sojourn_quantiles.add(sojourn);
+        }
+        if (!q.empty()) {
+          const Job& next = q.front();
+          queued_work_[s] -= next.service_time;
+          completion_[s] = now_ + next.service_time;
+          departure_heap_.emplace(completion_[s], s);
+        } else {
+          --busy_servers_;
+        }
+      }
+    }
+
+    ClusterResult out;
+    out.mean_sojourn = sojourn_stats.mean();
+    out.mean_wait = wait_stats.mean();
+    out.ci95_sojourn = sojourn_ci.ci95_halfwidth();
+    if (sojourn_quantiles.count() > 0) {
+      out.p50_sojourn = sojourn_quantiles.quantile(0.50);
+      out.p95_sojourn = sojourn_quantiles.quantile(0.95);
+      out.p99_sojourn = sojourn_quantiles.quantile(0.99);
+    }
+    out.jobs_measured = sojourn_stats.count();
+    out.sim_time = now_;
+    const double window = now_ - std::max(measure_start, 0.0);
+    if (window > 0.0) {
+      out.mean_jobs_in_system = area_jobs / window;
+      out.utilization = busy_area / window / cfg_.servers;
+    }
+    return out;
+  }
+
+ private:
+  using Event = std::pair<double, int>;  // (time, server)
+
+  const ClusterConfig& cfg_;
+  Policy& policy_;
+  ArrivalProcess& arrivals_;
+  const Distribution& service_;
+  Rng rng_;
+
+  std::vector<std::deque<Job>> queues_;
+  std::vector<double> completion_;
+  std::vector<double> queued_work_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>>
+      departure_heap_;
+  double now_ = 0.0;
+  int busy_servers_ = 0;
+};
+
+}  // namespace
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               const Distribution& interarrival,
+                               const Distribution& service) {
+  RenewalArrivals arrivals(interarrival);
+  return simulate_cluster(cfg, policy, arrivals, service);
+}
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               ArrivalProcess& arrivals,
+                               const Distribution& service) {
+  policy.reset();
+  arrivals.reset();
+  Engine engine(cfg, policy, arrivals, service);
+  return engine.run();
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,141 @@
+#include "sim/distributions.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+namespace {
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {
+    RLB_REQUIRE(rate > 0.0, "rate must be positive");
+  }
+  double sample(Rng& rng) const override { return rng.exponential(rate_); }
+  double mean() const override { return 1.0 / rate_; }
+  std::string name() const override { return "exp"; }
+
+ private:
+  double rate_;
+};
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value) : value_(value) {
+    RLB_REQUIRE(value >= 0.0, "value must be non-negative");
+  }
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  std::string name() const override { return "det"; }
+
+ private:
+  double value_;
+};
+
+class Erlang final : public Distribution {
+ public:
+  Erlang(int shape, double stage_rate) : shape_(shape), rate_(stage_rate) {
+    RLB_REQUIRE(shape >= 1, "shape >= 1");
+    RLB_REQUIRE(stage_rate > 0.0, "rate must be positive");
+  }
+  double sample(Rng& rng) const override {
+    double total = 0.0;
+    for (int i = 0; i < shape_; ++i) total += rng.exponential(rate_);
+    return total;
+  }
+  double mean() const override { return shape_ / rate_; }
+  std::string name() const override {
+    return "erlang" + std::to_string(shape_);
+  }
+
+ private:
+  int shape_;
+  double rate_;
+};
+
+class HyperExp final : public Distribution {
+ public:
+  HyperExp(double p1, double rate1, double rate2)
+      : p1_(p1), rate1_(rate1), rate2_(rate2) {
+    RLB_REQUIRE(p1 >= 0.0 && p1 <= 1.0, "mixing probability in [0,1]");
+    RLB_REQUIRE(rate1 > 0.0 && rate2 > 0.0, "rates must be positive");
+  }
+  double sample(Rng& rng) const override {
+    return rng.next_double() < p1_ ? rng.exponential(rate1_)
+                                   : rng.exponential(rate2_);
+  }
+  double mean() const override { return p1_ / rate1_ + (1.0 - p1_) / rate2_; }
+  std::string name() const override { return "hyperexp2"; }
+
+ private:
+  double p1_, rate1_, rate2_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mean, double cv) {
+    RLB_REQUIRE(mean > 0.0 && cv > 0.0, "mean and cv must be positive");
+    sigma2_ = std::log(1.0 + cv * cv);
+    mu_ = std::log(mean) - 0.5 * sigma2_;
+    mean_ = mean;
+  }
+  double sample(Rng& rng) const override {
+    return std::exp(mu_ + std::sqrt(sigma2_) * rng.normal());
+  }
+  double mean() const override { return mean_; }
+  std::string name() const override { return "lognormal"; }
+
+ private:
+  double mu_, sigma2_, mean_;
+};
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    RLB_REQUIRE(0.0 <= lo && lo <= hi, "need 0 <= lo <= hi");
+  }
+  double sample(Rng& rng) const override {
+    return lo_ + (hi_ - lo_) * rng.next_double();
+  }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  double lo_, hi_;
+};
+
+}  // namespace
+
+std::unique_ptr<Distribution> make_exponential(double rate) {
+  return std::make_unique<Exponential>(rate);
+}
+std::unique_ptr<Distribution> make_deterministic(double value) {
+  return std::make_unique<Deterministic>(value);
+}
+std::unique_ptr<Distribution> make_erlang(int shape, double stage_rate) {
+  return std::make_unique<Erlang>(shape, stage_rate);
+}
+std::unique_ptr<Distribution> make_hyperexp(double p1, double rate1,
+                                            double rate2) {
+  return std::make_unique<HyperExp>(p1, rate1, rate2);
+}
+std::unique_ptr<Distribution> make_lognormal(double mean, double cv) {
+  return std::make_unique<LogNormal>(mean, cv);
+}
+std::unique_ptr<Distribution> make_uniform(double lo, double hi) {
+  return std::make_unique<Uniform>(lo, hi);
+}
+
+std::unique_ptr<Distribution> make_hyperexp_fitted(double mean, double scv) {
+  RLB_REQUIRE(scv > 1.0, "hyperexp fitting needs scv > 1");
+  // Balanced means fit: p1/r1 = (1-p1)/r2 = mean/2.
+  const double p1 =
+      0.5 * (1.0 + std::sqrt((scv - 1.0) / (scv + 1.0)));
+  const double rate1 = 2.0 * p1 / mean;
+  const double rate2 = 2.0 * (1.0 - p1) / mean;
+  return std::make_unique<HyperExp>(p1, rate1, rate2);
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,36 @@
+// Sampling distributions for service times and interarrival times in the
+// discrete-event simulator. The analysis-side Interarrival classes
+// (sqd/interarrival.h) carry transforms; these carry samplers. The factory
+// helpers keep bench code terse.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace rlb::sim {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+std::unique_ptr<Distribution> make_exponential(double rate);
+std::unique_ptr<Distribution> make_deterministic(double value);
+std::unique_ptr<Distribution> make_erlang(int shape, double stage_rate);
+std::unique_ptr<Distribution> make_hyperexp(double p1, double rate1,
+                                            double rate2);
+/// Lognormal parameterized by its MEAN and coefficient of variation.
+std::unique_ptr<Distribution> make_lognormal(double mean, double cv);
+std::unique_ptr<Distribution> make_uniform(double lo, double hi);
+
+/// Balanced two-phase hyperexponential with given mean and squared
+/// coefficient of variation scv > 1 (classic fitting used in queueing
+/// studies).
+std::unique_ptr<Distribution> make_hyperexp_fitted(double mean, double scv);
+
+}  // namespace rlb::sim

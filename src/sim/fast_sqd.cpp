@@ -1,0 +1,111 @@
+#include "sim/fast_sqd.h"
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "util/require.h"
+
+namespace rlb::sim {
+
+FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
+  const sqd::Params& p = cfg.params;
+  p.validate();
+  RLB_REQUIRE(cfg.warmup < cfg.jobs, "warmup must be below job count");
+
+  Rng rng(cfg.seed);
+  DistinctSampler sampler(p.N);
+  std::vector<int> polled;
+
+  std::vector<int> queue(p.N, 0);
+  // Busy-server bookkeeping for O(1) departure sampling.
+  std::vector<int> busy;          // indices of busy servers
+  std::vector<int> busy_pos(p.N, -1);
+  busy.reserve(p.N);
+
+  const double arrival_rate = p.total_arrival_rate();
+  const std::uint64_t measured_jobs = cfg.jobs - cfg.warmup;
+  const std::uint64_t batch =
+      cfg.batch_size > 0 ? cfg.batch_size
+                         : std::max<std::uint64_t>(1, measured_jobs / 30);
+  BatchMeans delay_ci(batch);
+  StreamingMoments delay_stats, queue_seen;
+  // Histogram of a uniformly sampled server's queue length at arrival
+  // epochs (PASTA makes these time-stationary samples).
+  std::vector<std::uint64_t> tail_hist(
+      cfg.tail_kmax > 0 ? cfg.tail_kmax + 2 : 0, 0);
+
+  std::uint64_t arrivals = 0;
+  while (arrivals < cfg.jobs) {
+    const double total_rate =
+        arrival_rate + p.mu * static_cast<double>(busy.size());
+    const bool is_arrival =
+        rng.next_double() * total_rate < arrival_rate;
+    if (is_arrival) {
+      sampler.sample(p.d, rng, polled);
+      int best = polled[0];
+      int best_len = queue[best];
+      int ties = 1;
+      for (int i = 1; i < p.d; ++i) {
+        const int s = polled[i];
+        if (queue[s] < best_len) {
+          best = s;
+          best_len = queue[s];
+          ties = 1;
+        } else if (queue[s] == best_len) {
+          ++ties;
+          if (rng.uniform_int(ties) == 0) best = s;
+        }
+      }
+      if (arrivals >= cfg.warmup) {
+        const double delay = (best_len + 1) / p.mu;
+        delay_stats.add(delay);
+        delay_ci.add(delay);
+        queue_seen.add(best_len);
+        if (!tail_hist.empty()) {
+          const int probe = queue[rng.uniform_int(p.N)];
+          tail_hist[std::min<int>(probe, cfg.tail_kmax + 1)] += 1;
+        }
+      }
+      if (queue[best] == 0) {
+        busy_pos[best] = static_cast<int>(busy.size());
+        busy.push_back(best);
+      }
+      ++queue[best];
+      ++arrivals;
+    } else {
+      // Uniform busy server departs (all busy servers have equal rate mu).
+      const auto idx = rng.uniform_int(busy.size());
+      const int s = busy[idx];
+      if (--queue[s] == 0) {
+        // Swap-remove from the busy list.
+        const int last = busy.back();
+        busy[idx] = last;
+        busy_pos[last] = static_cast<int>(idx);
+        busy.pop_back();
+        busy_pos[s] = -1;
+      }
+    }
+  }
+
+  FastSqdResult out;
+  out.mean_delay = delay_stats.mean();
+  out.mean_wait = out.mean_delay - 1.0 / p.mu;
+  out.ci95_delay = delay_ci.ci95_halfwidth();
+  out.mean_queue_seen = queue_seen.mean();
+  out.jobs_measured = delay_stats.count();
+  if (!tail_hist.empty()) {
+    // Suffix sums of the histogram give the tail probabilities; the last
+    // bucket collects all probes longer than kmax.
+    out.marginal_tail.assign(cfg.tail_kmax + 1, 0.0);
+    const double total = static_cast<double>(delay_stats.count());
+    double cum = static_cast<double>(tail_hist[cfg.tail_kmax + 1]);
+    for (int k = cfg.tail_kmax; k >= 0; --k) {
+      cum += static_cast<double>(tail_hist[k]);
+      out.marginal_tail[k] = cum / total;
+    }
+  }
+  return out;
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,167 @@
+#include "sim/gi_bound_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/rng.h"
+#include "statespace/state.h"
+#include "util/combinatorics.h"
+#include "util/require.h"
+
+namespace rlb::sim {
+
+namespace {
+
+using statespace::State;
+using statespace::TieGroup;
+
+/// Apply a lower-model arrival to the sorted state in place.
+void apply_arrival(State& m, int threshold, const sqd::Params& p, Rng& rng) {
+  const auto groups = statespace::tie_groups(m);
+  // Choose the receiving tie group by the SQ(d) polling probabilities.
+  double u = rng.next_double();
+  int head = groups.back().head;  // fallback to the shortest group
+  for (const TieGroup& g : groups) {
+    const double prob = sqd::arrival_group_probability(g.head, g.size(), p);
+    u -= prob;
+    if (u <= 0.0) {
+      head = g.head;
+      break;
+    }
+  }
+  m[head] += 1;
+  if (statespace::gap(m) > threshold) {
+    // Lower-model redirect: join the shortest queue instead.
+    m[head] -= 1;
+    m[groups.back().head] += 1;
+  }
+  RLB_ASSERT(statespace::is_valid_state(m) &&
+                 statespace::gap(m) <= threshold,
+             "GI arrival left S(T)");
+}
+
+/// Apply a lower-model departure (uniform busy server) in place.
+void apply_departure(State& m, int threshold, Rng& rng) {
+  const auto groups = statespace::tie_groups(m);
+  // Pick a busy server uniformly: group weight = size (value > 0 only).
+  int busy = 0;
+  for (const TieGroup& g : groups)
+    if (g.value > 0) busy += g.size();
+  RLB_ASSERT(busy > 0, "departure with no busy server");
+  auto pick = static_cast<int>(rng.uniform_int(busy));
+  int tail = -1;
+  for (const TieGroup& g : groups) {
+    if (g.value == 0) continue;
+    if (pick < g.size()) {
+      tail = g.tail;
+      break;
+    }
+    pick -= g.size();
+  }
+  RLB_ASSERT(tail >= 0, "no departing group found");
+  m[tail] -= 1;
+  if (statespace::gap(m) > threshold) {
+    // Lower-model redirect: jockey — take the departure from the longest
+    // queue instead.
+    m[tail] += 1;
+    m[statespace::tie_groups(m).front().tail] -= 1;
+  }
+  RLB_ASSERT(statespace::is_valid_state(m) &&
+                 statespace::gap(m) <= threshold,
+             "GI departure left S(T)");
+}
+
+}  // namespace
+
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed) {
+  RLB_REQUIRE(model.kind() == sqd::BoundKind::Lower,
+              "GI simulation implemented for the lower bound model");
+  RLB_REQUIRE(warmup < arrivals, "warmup must be below arrival count");
+  const sqd::Params& p = model.params();
+  const int threshold = model.threshold();
+
+  Rng rng(seed);
+  State m(static_cast<std::size_t>(p.N), 0);
+
+  std::vector<double> occupancy;  // time in state with total == index
+  occupancy.reserve(256);
+  double waiting_area = 0.0;
+  double jobs_area = 0.0;
+  double measured_time = 0.0;
+  bool measuring = false;
+
+  double now = 0.0;
+  double next_arrival = interarrival.sample(rng);
+  std::uint64_t arrival_count = 0;
+  std::uint64_t events = 0;
+
+  const auto account = [&](double dt) {
+    if (!measuring || dt <= 0.0) return;
+    const auto total = static_cast<std::size_t>(statespace::total_jobs(m));
+    if (occupancy.size() <= total) occupancy.resize(total + 1, 0.0);
+    occupancy[total] += dt;
+    waiting_area += dt * statespace::waiting_jobs(m);
+    jobs_area += dt * statespace::total_jobs(m);
+    measured_time += dt;
+  };
+
+  while (arrival_count < arrivals) {
+    ++events;
+    const int busy = statespace::busy_servers(m);
+    // Memoryless services: resample the pooled departure clock each event.
+    const double t_departure =
+        busy > 0 ? rng.exponential(busy * p.mu)
+                 : std::numeric_limits<double>::infinity();
+    const double dt_arrival = next_arrival - now;
+    if (dt_arrival <= t_departure) {
+      account(dt_arrival);
+      now = next_arrival;
+      apply_arrival(m, threshold, p, rng);
+      ++arrival_count;
+      if (arrival_count == warmup) measuring = true;
+      next_arrival = now + interarrival.sample(rng);
+    } else {
+      account(t_departure);
+      now += t_departure;
+      apply_departure(m, threshold, rng);
+    }
+  }
+
+  GiBoundSimResult out;
+  out.events = events;
+  RLB_REQUIRE(measured_time > 0.0, "no measured time accumulated");
+  out.mean_waiting_jobs = waiting_area / measured_time;
+  out.mean_jobs = jobs_area / measured_time;
+  out.total_jobs_dist.resize(occupancy.size());
+  for (std::size_t k = 0; k < occupancy.size(); ++k)
+    out.total_jobs_dist[k] = occupancy[k] / measured_time;
+
+  // Level masses: N-job bands above the boundary block.
+  const int band = p.N;
+  const int base = (p.N - 1) * threshold;  // boundary total max
+  std::vector<double> level_mass;
+  for (std::size_t k = base + 1; k < occupancy.size();
+       k += static_cast<std::size_t>(band)) {
+    double mass = 0.0;
+    for (int j = 0; j < band && k + j < occupancy.size(); ++j)
+      mass += out.total_jobs_dist[k + j];
+    level_mass.push_back(mass);
+  }
+  // Estimate the geometric ratio from interior levels with enough mass,
+  // averaging successive ratios weighted by mass.
+  double num = 0.0, den = 0.0;
+  for (std::size_t q = 1; q + 1 < level_mass.size(); ++q) {
+    if (level_mass[q] < 1e-6 || level_mass[q + 1] < 1e-7) break;
+    num += level_mass[q + 1];
+    den += level_mass[q];
+  }
+  out.level_tail_ratio = den > 0.0 ? num / den : 0.0;
+  return out;
+}
+
+}  // namespace rlb::sim

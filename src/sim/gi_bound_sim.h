@@ -1,0 +1,43 @@
+// Simulation of the LOWER bound model under general renewal arrivals —
+// the setting of Theorem 2, which predicts that the stationary level
+// masses decay geometrically with ratio sigma^N, where sigma solves
+// x = LST(mu(1-x)).
+//
+// The chain is no longer a CTMC (interarrival times are arbitrary), so this
+// runs an event-driven simulation: renewal arrival clock + exponential
+// service clocks, with the lower model's redirects (join-shortest fallback,
+// threshold jockeying) applied at the gap boundary. The measured
+// total-jobs histogram exposes the level-tail ratio for direct comparison
+// with sigma^N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sqd/bound_model.h"
+
+namespace rlb::sim {
+
+struct GiBoundSimResult {
+  double mean_waiting_jobs = 0.0;
+  double mean_jobs = 0.0;
+  /// Time-average probability of holding exactly k jobs (k = index).
+  std::vector<double> total_jobs_dist;
+  /// Ratio of successive level masses, estimated from the histogram tail
+  /// (levels are N-job bands above the boundary); Theorem 2 predicts
+  /// sigma^N.
+  double level_tail_ratio = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Simulate the lower bound model with i.i.d. `interarrival` times and
+/// Exp(mu) services for `arrivals` arrival events (after `warmup`).
+/// Requires model.kind() == BoundKind::Lower.
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed);
+
+}  // namespace rlb::sim

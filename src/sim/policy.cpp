@@ -1,0 +1,78 @@
+#include "sim/policy.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+SqdPolicy::SqdPolicy(int n, int d) : d_(d), sampler_(n) {
+  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
+}
+
+int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
+  sampler_.sample(d_, rng, polled_);
+  int best = polled_[0];
+  int best_len = cluster.queue_length(best);
+  int ties = 1;
+  for (int i = 1; i < d_; ++i) {
+    const int s = polled_[i];
+    const int len = cluster.queue_length(s);
+    if (len < best_len) {
+      best = s;
+      best_len = len;
+      ties = 1;
+    } else if (len == best_len) {
+      // Reservoir-style uniform tie breaking among polled minima.
+      ++ties;
+      if (rng.uniform_int(ties) == 0) best = s;
+    }
+  }
+  return best;
+}
+
+std::string SqdPolicy::name() const { return "sq(" + std::to_string(d_) + ")"; }
+
+int JsqPolicy::select(const ClusterState& cluster, Rng& rng) {
+  int best = 0;
+  int best_len = cluster.queue_length(0);
+  int ties = 1;
+  for (int s = 1; s < cluster.servers(); ++s) {
+    const int len = cluster.queue_length(s);
+    if (len < best_len) {
+      best = s;
+      best_len = len;
+      ties = 1;
+    } else if (len == best_len) {
+      ++ties;
+      if (rng.uniform_int(ties) == 0) best = s;
+    }
+  }
+  return best;
+}
+
+int RoundRobinPolicy::select(const ClusterState& cluster, Rng&) {
+  const int s = next_;
+  next_ = (next_ + 1) % cluster.servers();
+  return s;
+}
+
+int LeastWorkLeftPolicy::select(const ClusterState& cluster, Rng& rng) {
+  int best = 0;
+  double best_work = cluster.remaining_work(0);
+  int ties = 1;
+  for (int s = 1; s < cluster.servers(); ++s) {
+    const double w = cluster.remaining_work(s);
+    if (w < best_work) {
+      best = s;
+      best_work = w;
+      ties = 1;
+    } else if (w == best_work) {
+      ++ties;
+      if (rng.uniform_int(ties) == 0) best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace rlb::sim

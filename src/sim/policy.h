@@ -1,0 +1,73 @@
+// Dispatch policies for the cluster simulator.
+//
+// SqdPolicy(d) is the paper's policy family: d = 1 is uniform random
+// routing, d = N is JSQ. RoundRobin and LeastWorkLeft are classic
+// comparators used in the example scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace rlb::sim {
+
+/// Read-only view of the cluster that policies may inspect.
+class ClusterState {
+ public:
+  virtual ~ClusterState() = default;
+  [[nodiscard]] virtual int servers() const = 0;
+  [[nodiscard]] virtual int queue_length(int server) const = 0;
+  [[nodiscard]] virtual double remaining_work(int server) const = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  /// Choose the server for an arriving job.
+  [[nodiscard]] virtual int select(const ClusterState& cluster, Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void reset() {}
+};
+
+/// SQ(d): poll d distinct servers uniformly, join the shortest polled queue
+/// (ties resolved uniformly among the polled minima).
+class SqdPolicy final : public Policy {
+ public:
+  SqdPolicy(int n, int d);
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int d_;
+  DistinctSampler sampler_;
+  std::vector<int> polled_;
+};
+
+/// JSQ = SQ(N), implemented with a full scan (no sampling overhead).
+class JsqPolicy final : public Policy {
+ public:
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "jsq"; }
+};
+
+class RoundRobinPolicy final : public Policy {
+ public:
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  void reset() override { next_ = 0; }
+
+ private:
+  int next_ = 0;
+};
+
+/// Joins the server with the least remaining work (an idealized policy that
+/// needs full workload information).
+class LeastWorkLeftPolicy final : public Policy {
+ public:
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "least-work"; }
+};
+
+}  // namespace rlb::sim

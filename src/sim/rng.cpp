@@ -1,0 +1,104 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) {
+  RLB_REQUIRE(bound > 0, "uniform_int bound must be positive");
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::exponential(double rate) {
+  RLB_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // 1 - U in (0, 1], so the log is finite.
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  have_spare_normal_ = true;
+  return u * f;
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
+
+DistinctSampler::DistinctSampler(int n) : perm_(n) {
+  RLB_REQUIRE(n >= 1, "sampler needs a positive population");
+  for (int i = 0; i < n; ++i) perm_[i] = i;
+}
+
+void DistinctSampler::sample(int d, Rng& rng, std::vector<int>& out) {
+  const int n = static_cast<int>(perm_.size());
+  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= n");
+  out.resize(d);
+  swaps_.resize(d);
+  for (int i = 0; i < d; ++i) {
+    const auto j = static_cast<std::uint32_t>(
+        i + rng.uniform_int(static_cast<std::uint64_t>(n - i)));
+    swaps_[i] = j;
+    std::swap(perm_[i], perm_[j]);
+    out[i] = perm_[i];
+  }
+  // Undo swaps in reverse order to restore the identity permutation.
+  for (int i = d - 1; i >= 0; --i) std::swap(perm_[i], perm_[swaps_[i]]);
+}
+
+}  // namespace rlb::sim

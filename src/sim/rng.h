@@ -1,0 +1,53 @@
+// xoshiro256++ pseudo-random generator with splitmix64 seeding, plus the
+// sampling primitives the simulators need. Deterministic across platforms
+// (unlike std::*_distribution), which keeps simulation tests reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlb::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double();
+
+  /// Uniform integer in [0, bound); bound > 0 (Lemire-style, unbiased via
+  /// rejection).
+  std::uint64_t uniform_int(std::uint64_t bound);
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Standard normal (Marsaglia polar method).
+  double normal();
+
+  /// A decorrelated child generator (for independent streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// O(d) sampling of d distinct indices from {0, ..., n-1}, uniformly
+/// without replacement (partial Fisher–Yates with undo).
+class DistinctSampler {
+ public:
+  explicit DistinctSampler(int n);
+
+  /// Fills `out` (resized to d) with d distinct uniform indices.
+  void sample(int d, Rng& rng, std::vector<int>& out);
+
+ private:
+  std::vector<int> perm_;
+  std::vector<std::uint32_t> swaps_;
+};
+
+}  // namespace rlb::sim

@@ -1,0 +1,106 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+void StreamingMoments::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingMoments::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  RLB_REQUIRE(batch_size >= 1, "batch size must be positive");
+}
+
+void BatchMeans::add(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_means_.add(batch_sum_ / static_cast<double>(batch_size_));
+    in_batch_ = 0;
+    batch_sum_ = 0.0;
+  }
+}
+
+std::uint64_t BatchMeans::completed_batches() const {
+  return batch_means_.count();
+}
+
+double BatchMeans::mean() const { return batch_means_.mean(); }
+
+double BatchMeans::ci95_halfwidth() const {
+  const std::uint64_t b = batch_means_.count();
+  if (b < 2) return 0.0;
+  return t_quantile_95(b - 1) * batch_means_.stddev() /
+         std::sqrt(static_cast<double>(b));
+}
+
+ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
+                                       std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed * 0x9e3779b97f4a7c15ull + 1) {
+  RLB_REQUIRE(capacity >= 1, "reservoir capacity must be positive");
+  sample_.reserve(capacity);
+}
+
+void ReservoirQuantiles::add(double x) {
+  ++seen_;
+  sorted_ = false;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // splitmix64 step for the replacement index.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % seen_;
+  if (slot < capacity_) sample_[slot] = x;
+}
+
+double ReservoirQuantiles::quantile(double q) const {
+  RLB_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  RLB_REQUIRE(!sample_.empty(), "quantile of empty stream");
+  if (!sorted_) {
+    scratch_ = sample_;
+    std::sort(scratch_.begin(), scratch_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(scratch_.size() - 1) + 0.5);
+  return scratch_[std::min(rank, scratch_.size() - 1)];
+}
+
+double t_quantile_95(std::uint64_t df) {
+  static constexpr std::array<double, 31> table = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return table[1];
+  if (df < table.size()) return table[df];
+  if (df < 60) return 2.00;
+  if (df < 120) return 1.98;
+  return 1.96;
+}
+
+}  // namespace rlb::sim

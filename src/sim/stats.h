@@ -1,0 +1,83 @@
+// Streaming statistics: Welford moments and batch-means confidence
+// intervals (the standard way to get CIs from autocorrelated steady-state
+// simulation output).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rlb::sim {
+
+/// Numerically stable running mean/variance plus extrema.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch means: observations are grouped into fixed-size batches; the batch
+/// means are treated as approximately independent normal samples.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t completed_batches() const;
+  [[nodiscard]] double mean() const;  ///< over completed batches
+
+  /// Half-width of the 95% confidence interval (Student t over the batch
+  /// means); 0 while fewer than two batches completed.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  StreamingMoments batch_means_;
+};
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom (clamped
+/// lookup; converges to 1.96 for large df).
+double t_quantile_95(std::uint64_t df);
+
+/// Streaming quantile estimation by uniform reservoir sampling: holds a
+/// fixed-size uniform sample of the stream and answers arbitrary quantile
+/// queries from it. Error ~ 1/sqrt(capacity) in probability, which is
+/// plenty for reporting p50/p95/p99 of simulated sojourn times.
+class ReservoirQuantiles {
+ public:
+  explicit ReservoirQuantiles(std::size_t capacity, std::uint64_t seed = 1);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return seen_; }
+
+  /// Quantile q in [0, 1] of the sampled distribution (nearest-rank).
+  /// Requires at least one observation.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<double> sample_;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace rlb::sim

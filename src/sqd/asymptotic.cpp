@@ -1,0 +1,42 @@
+#include "sqd/asymptotic.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+double asymptotic_delay(double lambda, int d, double tol) {
+  RLB_REQUIRE(lambda >= 0.0 && lambda < 1.0, "need 0 <= lambda < 1");
+  RLB_REQUIRE(d >= 1, "need d >= 1");
+  if (lambda == 0.0) return 1.0;
+  if (d == 1) return 1.0 / (1.0 - lambda);
+
+  const double log_lambda = std::log(lambda);
+  double sum = 0.0;
+  // exponent_i = (d^i - d)/(d - 1); track d^i in floating point and stop
+  // once the term underflows the tolerance.
+  double d_pow = static_cast<double>(d);  // d^i for i = 1
+  for (int i = 1;; ++i) {
+    const double exponent = (d_pow - d) / (d - 1.0);
+    const double term = std::exp(exponent * log_lambda);
+    sum += term;
+    if (term < tol || exponent * log_lambda < -745.0) break;
+    d_pow *= d;
+    if (!std::isfinite(d_pow)) break;
+  }
+  return sum;
+}
+
+double asymptotic_queue_tail(double lambda, int d, int i) {
+  RLB_REQUIRE(lambda >= 0.0 && lambda < 1.0, "need 0 <= lambda < 1");
+  RLB_REQUIRE(d >= 1 && i >= 0, "need d >= 1, i >= 0");
+  if (i == 0) return 1.0;
+  if (lambda == 0.0) return 0.0;
+  const double exponent =
+      d == 1 ? static_cast<double>(i)
+             : (std::pow(static_cast<double>(d), i) - 1.0) / (d - 1.0);
+  return std::pow(lambda, exponent);
+}
+
+}  // namespace rlb::sqd

@@ -1,0 +1,16 @@
+// The classical N -> infinity results (Mitzenmacher; Vvedenskaya et al.)
+// that the paper's finite-regime bounds are compared against.
+#pragma once
+
+namespace rlb::sqd {
+
+/// Eq. (16): E[Delay] = sum_{i>=1} lambda^{(d^i - d)/(d - 1)}; for d = 1 the
+/// exponent degenerates to i-1 and the sum to the M/M/1 sojourn 1/(1-lambda).
+/// Independent of N. Requires 0 <= lambda < 1 and d >= 1; mu = 1 convention.
+double asymptotic_delay(double lambda, int d, double tol = 1e-15);
+
+/// Asymptotic fraction of servers with at least i jobs:
+/// s_i = lambda^{(d^i - 1)/(d - 1)}.
+double asymptotic_queue_tail(double lambda, int d, int i);
+
+}  // namespace rlb::sqd

@@ -1,0 +1,81 @@
+#include "sqd/blocks_builder.h"
+
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+using statespace::LevelSpace;
+using statespace::State;
+
+BoundQbd build_bound_qbd(const BoundModel& model) {
+  const Params& p = model.params();
+  BoundQbd out{LevelSpace(p.N, model.threshold()), {}};
+  const LevelSpace& space = out.space;
+  const std::size_t nb = space.boundary_states().size();
+  const std::size_t m = space.block_size();
+
+  qbd::Blocks& b = out.blocks;
+  b.B00 = linalg::Matrix(nb, nb);
+  b.B01 = linalg::Matrix(nb, m);
+  b.B10 = linalg::Matrix(m, nb);
+  b.A0 = linalg::Matrix(m, m);
+  b.A1 = linalg::Matrix(m, m);
+  b.A2 = linalg::Matrix(m, m);
+
+  // Boundary rows: targets stay in the boundary or reach level 0.
+  for (std::size_t i = 0; i < nb; ++i) {
+    const State& from = space.boundary_states()[i];
+    double outflow = 0.0;
+    for (const Transition& t : model.transitions(from)) {
+      outflow += t.rate;
+      const auto loc = space.locate(t.to);
+      if (loc.boundary) {
+        b.B00(i, loc.index) += t.rate;
+      } else {
+        RLB_ASSERT(loc.level == 0, "boundary row reaches level > 0");
+        b.B01(i, loc.index) += t.rate;
+      }
+    }
+    b.B00(i, i) -= outflow;
+  }
+
+  // Level-1 rows define the repeating blocks.
+  for (std::size_t j = 0; j < m; ++j) {
+    const State from = space.level_state(1, j);
+    double outflow = 0.0;
+    for (const Transition& t : model.transitions(from)) {
+      outflow += t.rate;
+      const auto loc = space.locate(t.to);
+      RLB_ASSERT(!loc.boundary, "level-1 row reaches the boundary");
+      switch (loc.level) {
+        case 0:
+          b.A2(j, loc.index) += t.rate;
+          break;
+        case 1:
+          b.A1(j, loc.index) += t.rate;
+          break;
+        case 2:
+          b.A0(j, loc.index) += t.rate;
+          break;
+        default:
+          RLB_ASSERT(false, "level-1 row skips more than one level");
+      }
+    }
+    b.A1(j, j) -= outflow;
+  }
+
+  // Level-0 rows contribute only their downward (boundary) block.
+  for (std::size_t j = 0; j < m; ++j) {
+    const State from = space.level_state(0, j);
+    for (const Transition& t : model.transitions(from)) {
+      const auto loc = space.locate(t.to);
+      if (loc.boundary) b.B10(j, loc.index) += t.rate;
+    }
+  }
+
+  RLB_ASSERT(b.generator_row_sum_error() < 1e-9,
+             "QBD generator rows do not sum to zero");
+  return out;
+}
+
+}  // namespace rlb::sqd

@@ -1,0 +1,74 @@
+#include "sqd/bound_solver.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+namespace {
+
+BoundResult aggregate(const BoundModel& model, const BoundQbd& q,
+                      const qbd::Solution& sol) {
+  const statespace::LevelSpace& space = q.space;
+  const Params& p = model.params();
+  BoundResult out;
+
+  const auto accumulate = [&](const linalg::Vector& dist, auto state_at) {
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      const statespace::State s = state_at(i);
+      out.mean_waiting_jobs += dist[i] * statespace::waiting_jobs(s);
+      out.mean_jobs += dist[i] * statespace::total_jobs(s);
+    }
+  };
+  accumulate(sol.pi_boundary,
+             [&](std::size_t i) { return space.boundary_states()[i]; });
+  accumulate(sol.pi0, [&](std::size_t i) { return space.level0_states()[i]; });
+  // Levels q >= 1: state(q, j) = state(1, j) + (q-1) extra jobs everywhere,
+  // and every server is busy, so both waiting and total jobs grow by N per
+  // level.
+  accumulate(sol.tail_sum, [&](std::size_t i) { return space.level_state(1, i); });
+  const double extra = p.N * linalg::sum(sol.tail_weighted);
+  out.mean_waiting_jobs += extra;
+  out.mean_jobs += extra;
+
+  out.mean_waiting_time = out.mean_waiting_jobs / p.total_arrival_rate();
+  out.mean_delay = out.mean_waiting_time + 1.0 / p.mu;
+  out.prob_boundary = linalg::sum(sol.pi_boundary);
+  out.total_probability = sol.total_probability;
+  out.scalar_rate = sol.scalar_rate;
+  out.logred_iterations = sol.logred_iterations;
+  out.r_residual = sol.r_residual;
+  out.boundary_size = space.boundary_states().size();
+  out.block_size = space.block_size();
+  return out;
+}
+
+}  // namespace
+
+BoundResult solve_bound(const BoundModel& model) {
+  return solve_bound(model, build_bound_qbd(model));
+}
+
+BoundResult solve_bound(const BoundModel& model, const BoundQbd& q) {
+  return aggregate(model, q, qbd::solve(q.blocks));
+}
+
+BoundResult solve_lower_improved(const BoundModel& model) {
+  return solve_lower_improved(model, model.params().rho());
+}
+
+BoundResult solve_lower_improved(const BoundModel& model, double sigma) {
+  return solve_lower_improved(model, build_bound_qbd(model), sigma);
+}
+
+BoundResult solve_lower_improved(const BoundModel& model, const BoundQbd& q,
+                                 double sigma) {
+  RLB_REQUIRE(model.kind() == BoundKind::Lower,
+              "improved solver applies to the lower bound model only");
+  RLB_REQUIRE(sigma > 0.0 && sigma < 1.0, "sigma must lie in (0, 1)");
+  const double rate = std::pow(sigma, model.params().N);
+  return aggregate(model, q, qbd::solve_scalar(q.blocks, rate));
+}
+
+}  // namespace rlb::sqd

@@ -1,0 +1,53 @@
+// End-to-end solvers for the delay bounds.
+//
+//   solve_bound          — Theorem 1: logarithmic reduction, rate matrix R,
+//                          boundary solve. Works for both bound kinds.
+//   solve_lower_improved — Theorems 2-3: the lower bound model's rate matrix
+//                          acts as the scalar sigma^N (= rho^N for Poisson),
+//                          so no G/R iteration is needed at all.
+//
+// Both report the stationary mean number of waiting jobs and convert it to
+// waiting time / delay through Little's law with the ORIGINAL arrival rate
+// lambda*N (the stochastic ordering is on the queue-length cost process).
+#pragma once
+
+#include <cstddef>
+
+#include "qbd/solver.h"
+#include "sqd/blocks_builder.h"
+#include "sqd/bound_model.h"
+
+namespace rlb::sqd {
+
+struct BoundResult {
+  double mean_waiting_jobs = 0.0;  ///< E[sum_i max(m_i - 1, 0)]
+  double mean_jobs = 0.0;          ///< E[#m]
+  double mean_waiting_time = 0.0;  ///< E[W] = waiting jobs / (lambda N)
+  double mean_delay = 0.0;         ///< E[W] + 1/mu (sojourn time)
+  double prob_boundary = 0.0;      ///< stationary mass of the boundary block
+  double total_probability = 0.0;  ///< diagnostic; ~1
+  double scalar_rate = -1.0;       ///< sigma^N when the improved path ran
+  int logred_iterations = 0;
+  double r_residual = 0.0;
+  std::size_t boundary_size = 0;
+  std::size_t block_size = 0;
+};
+
+/// Theorem 1 path (full matrix-geometric). Throws qbd::UnstableError when
+/// the model's drift condition fails (upper bound at high rho / small T).
+BoundResult solve_bound(const BoundModel& model);
+
+/// Same, reusing already-built blocks (for sweeps that vary only lambda the
+/// caller still has to rebuild blocks; this overload avoids rebuilding when
+/// experimenting with one model).
+BoundResult solve_bound(const BoundModel& model, const BoundQbd& qbd);
+
+/// Theorems 2-3 path; requires model.kind() == BoundKind::Lower. The
+/// default uses sigma = rho (Poisson, Theorem 3); pass an explicit sigma for
+/// the general-renewal variant of Theorem 2.
+BoundResult solve_lower_improved(const BoundModel& model);
+BoundResult solve_lower_improved(const BoundModel& model, double sigma);
+BoundResult solve_lower_improved(const BoundModel& model, const BoundQbd& qbd,
+                                 double sigma);
+
+}  // namespace rlb::sqd

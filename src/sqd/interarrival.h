@@ -1,0 +1,101 @@
+// Interarrival-time distributions for Theorem 2's sigma equation.
+//
+// Theorem 2: for the lower bound model with a general renewal arrival
+// process A(t), the level tail decays as pi_{q+1} = sigma^N pi_q where
+// sigma is the unique root in (0, 1) of
+//
+//   x = sum_{k>=0} x^k beta_k,   beta_k = E[ (mu U)^k / k! * e^{-mu U} ]
+//
+// with U ~ interarrival time. The right-hand side is exactly the Laplace-
+// Stieltjes transform of U evaluated at mu (1 - x), so each distribution
+// only needs to expose its LST (and beta_k analytically for tests).
+// Theorem 3: for Poisson arrivals sigma = rho.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rlb::sqd {
+
+class Interarrival {
+ public:
+  virtual ~Interarrival() = default;
+
+  /// E[e^{-s U}], s >= 0.
+  [[nodiscard]] virtual double lst(double s) const = 0;
+
+  /// E[U].
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// beta_k = E[(mu U)^k / k! * e^{-mu U}] in closed form.
+  [[nodiscard]] virtual double beta(int k, double mu) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Exponential(rate): Poisson arrivals. beta_k = rate * mu^k / (rate+mu)^{k+1}.
+class ExponentialInterarrival final : public Interarrival {
+ public:
+  explicit ExponentialInterarrival(double rate);
+  [[nodiscard]] double lst(double s) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double beta(int k, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double rate_;
+};
+
+/// Erlang(k shape, rate per stage): smoother than Poisson (CV^2 = 1/k).
+class ErlangInterarrival final : public Interarrival {
+ public:
+  ErlangInterarrival(int shape, double stage_rate);
+  [[nodiscard]] double lst(double s) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double beta(int k, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int shape_;
+  double stage_rate_;
+};
+
+/// Two-phase hyperexponential (burstier than Poisson, CV^2 > 1).
+class HyperExpInterarrival final : public Interarrival {
+ public:
+  HyperExpInterarrival(double p1, double rate1, double rate2);
+  [[nodiscard]] double lst(double s) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double beta(int k, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double p1_, rate1_, rate2_;
+};
+
+/// Deterministic interarrival (CV = 0).
+class DeterministicInterarrival final : public Interarrival {
+ public:
+  explicit DeterministicInterarrival(double value);
+  [[nodiscard]] double lst(double s) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double beta(int k, double mu) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double value_;
+};
+
+struct SigmaResult {
+  double sigma = 0.0;
+  double residual = 0.0;
+  int iterations = 0;
+};
+
+/// Solve x = LST(mu(1-x)) for the root in (0, 1) (Theorem 2). Throws
+/// UnstableError-style std::runtime_error when the per-server utilization
+/// rho = 1/(mu E[U]) is >= 1 (no root inside the unit circle).
+SigmaResult solve_sigma(const Interarrival& a, double mu);
+
+}  // namespace rlb::sqd

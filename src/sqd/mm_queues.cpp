@@ -1,0 +1,56 @@
+#include "sqd/mm_queues.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+double Mm1::mean_jobs() const {
+  const double r = rho();
+  RLB_REQUIRE(r < 1.0, "M/M/1 unstable");
+  return r / (1.0 - r);
+}
+
+double Mm1::mean_waiting_jobs() const {
+  const double r = rho();
+  RLB_REQUIRE(r < 1.0, "M/M/1 unstable");
+  return r * r / (1.0 - r);
+}
+
+double Mm1::mean_sojourn() const {
+  RLB_REQUIRE(rho() < 1.0, "M/M/1 unstable");
+  return 1.0 / (mu - lambda);
+}
+
+double Mm1::mean_wait() const { return mean_sojourn() - 1.0 / mu; }
+
+double Mm1::prob_jobs(int n) const {
+  const double r = rho();
+  RLB_REQUIRE(r < 1.0, "M/M/1 unstable");
+  RLB_REQUIRE(n >= 0, "job count must be non-negative");
+  return (1.0 - r) * std::pow(r, n);
+}
+
+double Mmc::erlang_c() const {
+  const double a = lambda / mu;  // offered load
+  RLB_REQUIRE(rho() < 1.0, "M/M/c unstable");
+  // Stable recurrence for the Erlang-B blocking probability, then convert.
+  double b = 1.0;  // Erlang B with 0 servers
+  for (int k = 1; k <= c; ++k) b = a * b / (k + a * b);
+  const double r = rho();
+  return b / (1.0 - r * (1.0 - b));
+}
+
+double Mmc::mean_waiting_jobs() const {
+  const double r = rho();
+  return erlang_c() * r / (1.0 - r);
+}
+
+double Mmc::mean_jobs() const { return mean_waiting_jobs() + lambda / mu; }
+
+double Mmc::mean_wait() const { return mean_waiting_jobs() / lambda; }
+
+double Mmc::mean_sojourn() const { return mean_wait() + 1.0 / mu; }
+
+}  // namespace rlb::sqd

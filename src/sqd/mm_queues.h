@@ -1,0 +1,35 @@
+// Closed-form M/M/1 and M/M/c results used as exact references in tests and
+// examples (SQ(1) with N servers is N independent M/M/1 queues; the lower
+// bound model with N = 1 collapses to M/M/1).
+#pragma once
+
+namespace rlb::sqd {
+
+/// M/M/1 with arrival rate lambda, service rate mu.
+struct Mm1 {
+  double lambda = 0.0;
+  double mu = 1.0;
+
+  [[nodiscard]] double rho() const { return lambda / mu; }
+  [[nodiscard]] double mean_jobs() const;          ///< E[L]
+  [[nodiscard]] double mean_waiting_jobs() const;  ///< E[Lq]
+  [[nodiscard]] double mean_sojourn() const;       ///< E[T] = E[W] + 1/mu
+  [[nodiscard]] double mean_wait() const;          ///< E[W]
+  [[nodiscard]] double prob_jobs(int n) const;     ///< P(L = n)
+};
+
+/// M/M/c with total arrival rate lambda, per-server rate mu, c servers.
+struct Mmc {
+  double lambda = 0.0;
+  double mu = 1.0;
+  int c = 1;
+
+  [[nodiscard]] double rho() const { return lambda / (c * mu); }
+  [[nodiscard]] double erlang_c() const;           ///< P(wait > 0)
+  [[nodiscard]] double mean_waiting_jobs() const;  ///< E[Lq]
+  [[nodiscard]] double mean_jobs() const;          ///< E[L]
+  [[nodiscard]] double mean_wait() const;          ///< E[W]
+  [[nodiscard]] double mean_sojourn() const;       ///< E[T]
+};
+
+}  // namespace rlb::sqd

@@ -1,0 +1,24 @@
+#include "sqd/overhead.h"
+
+#include "sqd/asymptotic.h"
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+int optimal_d_asymptotic(double lambda, double cost_per_message, int d_max) {
+  RLB_REQUIRE(d_max >= 1, "need d_max >= 1");
+  RLB_REQUIRE(cost_per_message >= 0.0, "message cost must be non-negative");
+  OverheadModel model{cost_per_message};
+  int best_d = 1;
+  double best = model.combined_cost(1, asymptotic_delay(lambda, 1));
+  for (int d = 2; d <= d_max; ++d) {
+    const double cost = model.combined_cost(d, asymptotic_delay(lambda, d));
+    if (cost < best) {
+      best = cost;
+      best_d = d;
+    }
+  }
+  return best_d;
+}
+
+}  // namespace rlb::sqd

@@ -1,0 +1,38 @@
+// The feedback-cost side of the delay/overhead tradeoff (paper §I).
+//
+// SQ(d)'s entire reason to exist is that JSQ's delay optimality costs N
+// queue-length reports per arrival. This small model makes the tradeoff
+// quantitative: messages per job, aggregate message rate, and a combined
+// cost J = E[Delay] + c * (messages per job) that the examples use to pick
+// d for a given message price c.
+#pragma once
+
+#include "sqd/params.h"
+
+namespace rlb::sqd {
+
+struct OverheadModel {
+  /// Cost charged per poll message (query + response counted together).
+  double cost_per_message = 0.0;
+
+  /// Poll messages per job under SQ(d): d queries + d responses.
+  [[nodiscard]] static double messages_per_job(int d) { return 2.0 * d; }
+
+  /// Aggregate message rate for the cluster.
+  [[nodiscard]] static double message_rate(const Params& p) {
+    return messages_per_job(p.d) * p.total_arrival_rate();
+  }
+
+  /// Combined cost of running SQ(d) at mean delay `delay`.
+  [[nodiscard]] double combined_cost(int d, double delay) const {
+    return delay + cost_per_message * messages_per_job(d);
+  }
+};
+
+/// The d minimizing the combined asymptotic cost for given lambda and
+/// message price, scanned over 1..d_max. (Uses the asymptotic delay, which
+/// is what operators would plug in for large-N fleets; finite-N users can
+/// rerun with bound values.)
+int optimal_d_asymptotic(double lambda, double cost_per_message, int d_max);
+
+}  // namespace rlb::sqd

@@ -1,0 +1,14 @@
+#include "sqd/params.h"
+
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+void Params::validate() const {
+  RLB_REQUIRE(N >= 1, "need at least one server");
+  RLB_REQUIRE(d >= 1 && d <= N, "need 1 <= d <= N");
+  RLB_REQUIRE(lambda > 0.0, "lambda must be positive");
+  RLB_REQUIRE(mu > 0.0, "mu must be positive");
+}
+
+}  // namespace rlb::sqd

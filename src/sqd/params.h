@@ -1,0 +1,25 @@
+// SQ(d) model parameters (paper Section II): N parallel FIFO servers,
+// Poisson arrivals of total rate lambda*N, Exp(mu) service (mu = 1 in the
+// paper), each arrival polls d servers uniformly without replacement and
+// joins the shortest polled queue.
+#pragma once
+
+namespace rlb::sqd {
+
+struct Params {
+  int N = 1;            ///< number of servers
+  int d = 1;            ///< number of polled servers, 1 <= d <= N
+  double lambda = 0.5;  ///< per-server arrival rate; total rate is lambda*N
+  double mu = 1.0;      ///< service rate (paper convention: 1)
+
+  /// Traffic intensity rho = lambda / mu.
+  [[nodiscard]] double rho() const { return lambda / mu; }
+
+  /// Total arrival rate lambda * N.
+  [[nodiscard]] double total_arrival_rate() const { return lambda * N; }
+
+  /// Throws std::invalid_argument when out of domain.
+  void validate() const;
+};
+
+}  // namespace rlb::sqd

@@ -1,0 +1,90 @@
+#include "sqd/tail_distribution.h"
+
+#include <cmath>
+
+#include "qbd/solver.h"
+#include "util/require.h"
+
+namespace rlb::sqd {
+
+namespace {
+
+/// Number of components of m that are >= k.
+int count_at_least(const statespace::State& m, int k) {
+  int c = 0;
+  for (int v : m)
+    if (v >= k) ++c;
+  return c;
+}
+
+}  // namespace
+
+double TailDistribution::mean_queue_length() const {
+  double mean = 0.0;
+  for (std::size_t k = 1; k < tail.size(); ++k) mean += tail[k];
+  return mean;
+}
+
+TailDistribution marginal_queue_tail(const BoundModel& model, int kmax) {
+  RLB_REQUIRE(kmax >= 0, "kmax must be non-negative");
+  const BoundQbd q = build_bound_qbd(model);
+  const qbd::Solution sol =
+      model.kind() == BoundKind::Lower
+          ? qbd::solve_scalar(q.blocks,
+                              std::pow(model.params().rho(),
+                                       model.params().N))
+          : qbd::solve(q.blocks);
+
+  const int n = model.params().N;
+  const std::size_t m = q.space.block_size();
+  TailDistribution out;
+  out.tail.assign(static_cast<std::size_t>(kmax) + 1, 0.0);
+
+  // E[#servers >= k] accumulated per block, then normalized by N.
+  std::vector<double> expected(out.tail.size(), 0.0);
+
+  const auto accumulate = [&](const linalg::Vector& dist, auto state_at) {
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      if (dist[i] == 0.0) continue;
+      const statespace::State s = state_at(i);
+      for (int k = 0; k <= kmax; ++k)
+        expected[k] += dist[i] * count_at_least(s, k);
+    }
+  };
+  accumulate(sol.pi_boundary,
+             [&](std::size_t i) { return q.space.boundary_states()[i]; });
+  accumulate(sol.pi0,
+             [&](std::size_t i) { return q.space.level0_states()[i]; });
+
+  // Levels q >= 1: state(q, j) = state(1, j) + (q-1). For level q, a server
+  // holds >= k jobs iff its level-1 length is >= k - (q-1); once q >= k
+  // every server qualifies. Walk pi_q = pi_{q-1} R (or the scalar rate)
+  // explicitly for q < kmax+1, then close the tail with the geometric sum.
+  linalg::Vector pi_q = sol.pi1;  // q = 1
+  double consumed = 0.0;          // sum of pi_q e already walked
+  const double total_tail = linalg::sum(sol.tail_sum);
+  for (int level = 1; level <= kmax; ++level) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (pi_q[j] == 0.0) continue;
+      const statespace::State base = q.space.level_state(1, j);
+      for (int k = 0; k <= kmax; ++k) {
+        const int threshold = k - (level - 1);
+        expected[k] += pi_q[j] * count_at_least(base, threshold);
+      }
+    }
+    consumed += linalg::sum(pi_q);
+    if (sol.scalar_rate >= 0.0) {
+      pi_q = linalg::scaled(pi_q, sol.scalar_rate);
+    } else {
+      pi_q = linalg::vec_mat(pi_q, sol.R);
+    }
+  }
+  // Remaining levels (q > kmax): every server has >= kmax jobs there.
+  const double remainder = std::max(0.0, total_tail - consumed);
+  for (int k = 0; k <= kmax; ++k) expected[k] += remainder * n;
+
+  for (int k = 0; k <= kmax; ++k) out.tail[k] = expected[k] / n;
+  return out;
+}
+
+}  // namespace rlb::sqd

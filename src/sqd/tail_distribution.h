@@ -1,0 +1,33 @@
+// Marginal queue-length distribution of a solved bound model.
+//
+// Mitzenmacher's asymptotic analysis is phrased in terms of the fraction
+// s_i of servers holding at least i jobs (s_i = lambda^{(d^i-1)/(d-1)} as
+// N -> infinity). The bound models make the same quantity computable at
+// finite N: tail[k] = E[#servers with >= k jobs] / N under the stationary
+// distribution, using the matrix-geometric level structure to sum the
+// infinite tail in closed form.
+#pragma once
+
+#include <vector>
+
+#include "sqd/bound_model.h"
+#include "sqd/blocks_builder.h"
+
+namespace rlb::sqd {
+
+struct TailDistribution {
+  /// tail[k] = P(a uniformly chosen server has >= k jobs), k = 0..kmax.
+  std::vector<double> tail;
+
+  /// Mean queue length recovered from the tail (sum_{k>=1} tail[k] * N / N);
+  /// cross-checkable against BoundResult::mean_jobs / N.
+  [[nodiscard]] double mean_queue_length() const;
+};
+
+/// Solve the bound model and accumulate the marginal tail up to kmax.
+/// Uses the improved scalar path for the lower model and the full
+/// matrix-geometric path for the upper model. Throws qbd::UnstableError
+/// when the model is unstable.
+TailDistribution marginal_queue_tail(const BoundModel& model, int kmax);
+
+}  // namespace rlb::sqd

@@ -1,0 +1,93 @@
+#include "statespace/level_space.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace rlb::statespace {
+
+namespace {
+
+/// Block ordering: by total jobs, ties broken lexicographically.
+bool block_less(const State& a, const State& b) {
+  const int ta = total_jobs(a);
+  const int tb = total_jobs(b);
+  if (ta != tb) return ta < tb;
+  return a < b;
+}
+
+}  // namespace
+
+LevelSpace::LevelSpace(int N, int T)
+    : n_(N), t_(T), boundary_total_max_((N - 1) * T) {
+  RLB_REQUIRE(N >= 1, "need at least one server");
+  RLB_REQUIRE(T >= 1, "threshold must be at least 1");
+
+  const std::vector<State> shapes = enumerate_shapes(N, T);
+
+  // Boundary: every (shape, base) with total <= (N-1)T.
+  for (const State& shape : shapes) {
+    const int s = total_jobs(shape);
+    for (int base = 0; N * base + s <= boundary_total_max_; ++base) {
+      State m = shape;
+      for (int& v : m) v += base;
+      boundary_.push_back(std::move(m));
+    }
+  }
+  std::sort(boundary_.begin(), boundary_.end(), block_less);
+  for (std::size_t i = 0; i < boundary_.size(); ++i)
+    boundary_index_.emplace(boundary_[i], i);
+
+  // Level 0: per shape, the unique base with total in ((N-1)T, (N-1)T + N].
+  for (const State& shape : shapes) {
+    const int s = total_jobs(shape);
+    RLB_ASSERT(s <= boundary_total_max_, "shape sum exceeds (N-1)T");
+    const int base = (boundary_total_max_ - s) / N + 1;
+    State m = shape;
+    for (int& v : m) v += base;
+    const int tot = total_jobs(m);
+    RLB_ASSERT(tot > boundary_total_max_ && tot <= boundary_total_max_ + N,
+               "level-0 total out of range");
+    level0_.push_back(std::move(m));
+  }
+  std::sort(level0_.begin(), level0_.end(), block_less);
+  for (std::size_t i = 0; i < level0_.size(); ++i)
+    level0_index_.emplace(level0_[i], i);
+  RLB_ASSERT(level0_.size() == shape_count(N, T), "level size mismatch");
+}
+
+State LevelSpace::level_state(int q, std::size_t j) const {
+  RLB_REQUIRE(q >= 0, "level must be non-negative");
+  RLB_REQUIRE(j < level0_.size(), "level index out of range");
+  State m = level0_[j];
+  for (int& v : m) v += q;
+  return m;
+}
+
+LevelSpace::Location LevelSpace::locate(const State& m) const {
+  RLB_REQUIRE(contains(m), "state not in S(T): " + to_string(m));
+  Location loc;
+  const int tot = total_jobs(m);
+  if (tot <= boundary_total_max_) {
+    loc.boundary = true;
+    const auto it = boundary_index_.find(m);
+    RLB_ASSERT(it != boundary_index_.end(), "boundary state not indexed");
+    loc.index = it->second;
+    return loc;
+  }
+  loc.boundary = false;
+  loc.level = (tot - boundary_total_max_ - 1) / n_;
+  State base = m;
+  for (int& v : base) v -= loc.level;
+  const auto it = level0_index_.find(base);
+  RLB_ASSERT(it != level0_index_.end(), "level state not indexed");
+  loc.index = it->second;
+  return loc;
+}
+
+bool LevelSpace::contains(const State& m) const {
+  return static_cast<int>(m.size()) == n_ && is_valid_state(m) &&
+         gap(m) <= t_;
+}
+
+}  // namespace rlb::statespace

@@ -1,0 +1,95 @@
+#include "statespace/state.h"
+
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rlb::statespace {
+
+int total_jobs(const State& m) {
+  int t = 0;
+  for (int v : m) t += v;
+  return t;
+}
+
+int gap(const State& m) {
+  RLB_REQUIRE(!m.empty(), "gap of empty state");
+  return m.front() - m.back();
+}
+
+bool is_valid_state(const State& m) {
+  if (m.empty()) return false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] < 0) return false;
+    if (i > 0 && m[i] > m[i - 1]) return false;
+  }
+  return true;
+}
+
+int waiting_jobs(const State& m) {
+  int w = 0;
+  for (int v : m)
+    if (v > 1) w += v - 1;
+  return w;
+}
+
+int busy_servers(const State& m) {
+  int b = 0;
+  for (int v : m)
+    if (v > 0) ++b;
+  return b;
+}
+
+std::vector<TieGroup> tie_groups(const State& m) {
+  RLB_REQUIRE(is_valid_state(m), "tie_groups: invalid state");
+  std::vector<TieGroup> groups;
+  int head = 0;
+  const int n = static_cast<int>(m.size());
+  for (int i = 1; i <= n; ++i) {
+    if (i == n || m[i] != m[head]) {
+      groups.push_back({head, i - 1, m[head]});
+      head = i;
+    }
+  }
+  return groups;
+}
+
+State after_arrival_at_head(const State& m, int head) {
+  RLB_REQUIRE(head >= 0 && head < static_cast<int>(m.size()),
+              "arrival head out of range");
+  RLB_REQUIRE(head == 0 || m[head - 1] > m[head],
+              "arrival must target a tie-group head");
+  State out = m;
+  out[head] += 1;
+  RLB_ASSERT(is_valid_state(out), "arrival broke sortedness");
+  return out;
+}
+
+State after_departure_at_tail(const State& m, int tail) {
+  RLB_REQUIRE(tail >= 0 && tail < static_cast<int>(m.size()),
+              "departure tail out of range");
+  RLB_REQUIRE(m[tail] > 0, "departure from empty queue");
+  RLB_REQUIRE(tail + 1 == static_cast<int>(m.size()) || m[tail + 1] < m[tail],
+              "departure must target a tie-group tail");
+  State out = m;
+  out[tail] -= 1;
+  RLB_ASSERT(is_valid_state(out), "departure broke sortedness");
+  return out;
+}
+
+State plus_one_everywhere(const State& m) {
+  State out = m;
+  for (int& v : out) v += 1;
+  return out;
+}
+
+std::string to_string(const State& m) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < m.size(); ++i)
+    os << m[i] << (i + 1 == m.size() ? "" : ",");
+  os << ')';
+  return os.str();
+}
+
+}  // namespace rlb::statespace

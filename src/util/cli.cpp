@@ -1,0 +1,62 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace rlb::util {
+
+Cli::Cli(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    RLB_REQUIRE(a.rfind("--", 0) == 0, "flags must start with --: " + a);
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      values_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[a.substr(2)] = args[i + 1];
+      ++i;
+    } else {
+      values_[a.substr(2)] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const std::string s = get(name, "");
+  return s.empty() ? def : std::stod(s);
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const std::string s = get(name, "");
+  return s.empty() ? def : std::stoll(s);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const std::string s = get(name, "");
+  if (s.empty()) return def;
+  return s == "true" || s == "1" || s == "yes";
+}
+
+void Cli::finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!queried_.count(name))
+      throw std::invalid_argument("unknown flag: --" + name);
+  }
+}
+
+}  // namespace rlb::util

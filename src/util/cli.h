@@ -1,0 +1,35 @@
+// Tiny command-line flag parser shared by the bench/example binaries.
+//
+// Supports --name=value, --name value, and boolean --name forms. Unknown
+// flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlb::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Names seen on the command line that were never queried; used by
+  /// finish() to reject typos.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace rlb::util

@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// RLB_REQUIRE is used for API preconditions and data invariants that depend
+// on caller input; violations throw std::invalid_argument so callers (and
+// tests) can observe them. RLB_ASSERT is for internal invariants that are
+// bugs if they ever fail; violations throw std::logic_error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rlb {
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << cond << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace rlb
+
+#define RLB_REQUIRE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::rlb::detail::require_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define RLB_ASSERT(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::rlb::detail::assert_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

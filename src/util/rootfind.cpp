@@ -1,0 +1,65 @@
+#include "util/rootfind.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::util {
+
+RootResult find_root(const std::function<double(double)>& f, double lo,
+                     double hi, double tol, int max_iter) {
+  RLB_REQUIRE(lo <= hi, "find_root: lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  RootResult out;
+  if (std::abs(flo) <= tol) {
+    out = {lo, std::abs(flo), 0, true};
+    return out;
+  }
+  if (std::abs(fhi) <= tol) {
+    out = {hi, std::abs(fhi), 0, true};
+    return out;
+  }
+  RLB_REQUIRE(flo * fhi < 0.0, "find_root: f must bracket a root");
+
+  double a = lo, b = hi, fa = flo, fb = fhi;
+  bool force_bisect = false;
+  for (int it = 1; it <= max_iter; ++it) {
+    const double width = b - a;
+    // Secant candidate, alternated with bisection so the bracket provably
+    // shrinks (a secant step that lands too close to an endpoint would
+    // otherwise stall the interval).
+    double m;
+    if (force_bisect) {
+      m = a + 0.5 * width;
+    } else {
+      m = b - fb * (b - a) / (fb - fa);
+      if (!(m > a + 0.01 * width && m < b - 0.01 * width))
+        m = a + 0.5 * width;
+    }
+    const double fm = f(m);
+    out.iterations = it;
+    if (std::abs(fm) <= tol || width <= tol * (1.0 + std::abs(m))) {
+      out.x = m;
+      out.residual = std::abs(fm);
+      out.converged = true;
+      return out;
+    }
+    double old_width = width;
+    if (fa * fm < 0.0) {
+      b = m;
+      fb = fm;
+    } else {
+      a = m;
+      fa = fm;
+    }
+    // If the interval did not shrink by at least a third, bisect next time.
+    force_bisect = (b - a) > 0.67 * old_width;
+  }
+  out.x = 0.5 * (a + b);
+  out.residual = std::abs(f(out.x));
+  out.converged = out.residual <= 1e3 * tol;
+  return out;
+}
+
+}  // namespace rlb::util

@@ -1,0 +1,21 @@
+// Scalar root finding used by the sigma fixed-point equation of Theorem 2.
+#pragma once
+
+#include <functional>
+
+namespace rlb::util {
+
+struct RootResult {
+  double x = 0.0;        ///< located root
+  double residual = 0.0; ///< |f(x)| at the returned point
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Find a root of f in [lo, hi] by bisection refined with secant steps
+/// (a robust Brent-lite). Requires f(lo) and f(hi) to have opposite signs
+/// (or one of them to be ~0).
+RootResult find_root(const std::function<double(double)>& f, double lo,
+                     double hi, double tol = 1e-13, int max_iter = 200);
+
+}  // namespace rlb::util

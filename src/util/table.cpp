@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rlb::util {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RLB_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  RLB_REQUIRE(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  RLB_REQUIRE(out.good(), "cannot open csv path: " + path);
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace rlb::util

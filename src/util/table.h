@@ -1,0 +1,41 @@
+// Minimal aligned-table and CSV emitters for the bench harnesses.
+//
+// Every bench binary prints the same rows/series as the corresponding paper
+// figure; Table keeps the console output readable and write_csv makes the
+// series easy to plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlb::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision, passing through
+  /// strings unchanged.
+  void add_row_numeric(const std::vector<double>& row, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with space-padded, right-aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (header + rows).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared by benches).
+std::string fmt(double v, int precision = 4);
+
+}  // namespace rlb::util

@@ -1,0 +1,116 @@
+#include "sim/arrival_process.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "sim/stats.h"
+#include "sqd/mm_queues.h"
+
+namespace {
+
+using namespace rlb::sim;
+
+TEST(RenewalArrivals, MatchesDistribution) {
+  const auto d = make_exponential(2.0);
+  RenewalArrivals a(*d);
+  EXPECT_NEAR(a.mean_rate(), 2.0, 1e-12);
+  Rng rng(1);
+  StreamingMoments s;
+  for (int i = 0; i < 200000; ++i) s.add(a.next(rng));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(MmppArrivals, MeanRateMatchesTheory) {
+  // Phases at rates 3 and 1, switching 0.5 / 1.5: p1 = 1.5/2 = 0.75.
+  MmppArrivals a(3.0, 1.0, 0.5, 1.5);
+  EXPECT_NEAR(a.mean_rate(), 0.75 * 3.0 + 0.25 * 1.0, 1e-12);
+  Rng rng(3);
+  double total_time = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) total_time += a.next(rng);
+  EXPECT_NEAR(n / total_time, a.mean_rate(), 0.02 * a.mean_rate());
+}
+
+TEST(MmppArrivals, BurstyFactoryHitsMeanRate) {
+  for (double factor : {1.5, 3.0, 5.0}) {
+    MmppArrivals a = MmppArrivals::bursty(2.0, factor, 10.0);
+    EXPECT_NEAR(a.mean_rate(), 2.0, 1e-9) << factor;
+    Rng rng(7);
+    double total_time = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) total_time += a.next(rng);
+    EXPECT_NEAR(n / total_time, 2.0, 0.05) << factor;
+  }
+}
+
+TEST(MmppArrivals, InterarrivalsPositivelyCorrelated) {
+  // Burstiness means gap lengths cluster by phase: lag-1 autocorrelation
+  // > 0, unlike any renewal process. Use a moderate burst factor so BOTH
+  // phases generate arrivals (an on/off process with a silent phase has
+  // isolated long gaps and hence negative lag-1 correlation).
+  MmppArrivals a = MmppArrivals::bursty(1.0, 1.8, 50.0);
+  Rng rng(11);
+  const int n = 300000;
+  std::vector<double> gaps(n);
+  for (auto& g : gaps) g = a.next(rng);
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= n;
+  double cov = 0.0, var = 0.0;
+  for (int i = 0; i + 1 < n; ++i) {
+    cov += (gaps[i] - mean) * (gaps[i + 1] - mean);
+    var += (gaps[i] - mean) * (gaps[i] - mean);
+  }
+  EXPECT_GT(cov / var, 0.05);
+}
+
+TEST(MmppArrivals, DegenerateSymmetricIsPoissonLike) {
+  // Equal phase rates make the modulation invisible.
+  MmppArrivals a(2.0, 2.0, 1.0, 1.0);
+  Rng rng(13);
+  StreamingMoments s;
+  for (int i = 0; i < 200000; ++i) s.add(a.next(rng));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.stddev() / s.mean(), 1.0, 0.02);  // CV of exponential
+}
+
+TEST(MmppArrivals, ClusterDelayExceedsPoissonAtEqualRate) {
+  // The paper's future-work motivation: MAP burstiness inflates delay
+  // beyond what any Poisson model predicts.
+  const int n = 4;
+  const double rho = 0.8;
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = 400'000;
+  cfg.warmup = 40'000;
+  cfg.seed = 17;
+  const auto svc = make_exponential(1.0);
+
+  SqdPolicy policy(n, 2);
+  const auto arr_poisson = make_exponential(rho * n);
+  const auto base = simulate_cluster(cfg, policy, *arr_poisson, *svc);
+
+  MmppArrivals bursty = MmppArrivals::bursty(rho * n, 4.0, 25.0);
+  const auto modulated = simulate_cluster(cfg, policy, bursty, *svc);
+
+  EXPECT_GT(modulated.mean_sojourn, 1.3 * base.mean_sojourn);
+}
+
+TEST(MmppArrivals, ValidatesParameters) {
+  EXPECT_THROW(MmppArrivals(0.0, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmppArrivals(1.0, 1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MmppArrivals::bursty(1.0, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(MmppArrivals, ResetReturnsToInitialPhase) {
+  MmppArrivals a = MmppArrivals::bursty(1.0, 5.0, 100.0);
+  Rng rng1(23), rng2(23);
+  std::vector<double> first;
+  for (int i = 0; i < 50; ++i) first.push_back(a.next(rng1));
+  a.reset();
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.next(rng2), first[i]);
+}
+
+}  // namespace

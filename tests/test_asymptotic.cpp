@@ -1,0 +1,101 @@
+#include "sqd/asymptotic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using rlb::sqd::asymptotic_delay;
+using rlb::sqd::asymptotic_queue_tail;
+
+TEST(Asymptotic, DegeneratesToMm1ForDOne) {
+  for (double lambda : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_NEAR(asymptotic_delay(lambda, 1), 1.0 / (1.0 - lambda), 1e-12);
+}
+
+TEST(Asymptotic, ZeroLoadIsPureService) {
+  EXPECT_DOUBLE_EQ(asymptotic_delay(0.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(asymptotic_delay(0.0, 10), 1.0);
+}
+
+TEST(Asymptotic, ManualSeriesForDTwo) {
+  // d = 2: exponents (2^i - 2)/1 = 0, 2, 6, 14, 30, ...
+  const double lambda = 0.9;
+  double expected = 0.0;
+  for (int i = 1; i <= 30; ++i)
+    expected += std::pow(lambda, std::pow(2.0, i) - 2.0);
+  EXPECT_NEAR(asymptotic_delay(lambda, 2), expected, 1e-12);
+}
+
+TEST(Asymptotic, PowerOfTwoExponentialImprovement) {
+  // At high load, d = 2 is dramatically better than d = 1, and the marginal
+  // gain from d = 2 -> 3 is much smaller — Mitzenmacher's headline.
+  const double lambda = 0.99;
+  const double d1 = asymptotic_delay(lambda, 1);
+  const double d2 = asymptotic_delay(lambda, 2);
+  const double d3 = asymptotic_delay(lambda, 3);
+  EXPECT_GT(d1 / d2, 15.0);
+  EXPECT_LT(d2 / d3, 3.0);
+}
+
+TEST(Asymptotic, MonotoneDecreasingInD) {
+  const double lambda = 0.95;
+  double prev = asymptotic_delay(lambda, 1);
+  for (int d = 2; d <= 50; d *= 2) {
+    const double cur = asymptotic_delay(lambda, d);
+    EXPECT_LT(cur, prev) << d;
+    prev = cur;
+  }
+}
+
+TEST(Asymptotic, MonotoneIncreasingInLambda) {
+  double prev = asymptotic_delay(0.05, 2);
+  for (double lambda = 0.1; lambda < 1.0; lambda += 0.05) {
+    const double cur = asymptotic_delay(lambda, 2);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Asymptotic, DelayAtLeastOne) {
+  for (int d : {1, 2, 5, 25})
+    for (double lambda : {0.0, 0.3, 0.97})
+      EXPECT_GE(asymptotic_delay(lambda, d), 1.0);
+}
+
+TEST(Asymptotic, LargeDApproachesOnePlusLambdaPowD) {
+  // For large d the second term lambda^d dominates the tail.
+  const double lambda = 0.9;
+  const int d = 50;
+  EXPECT_NEAR(asymptotic_delay(lambda, d), 1.0 + std::pow(lambda, d), 1e-6);
+}
+
+TEST(Asymptotic, DomainChecks) {
+  EXPECT_THROW(asymptotic_delay(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(asymptotic_delay(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(asymptotic_delay(0.5, 0), std::invalid_argument);
+}
+
+TEST(AsymptoticTail, KnownValues) {
+  // s_i = lambda^{(d^i - 1)/(d-1)}.
+  const double lambda = 0.8;
+  EXPECT_DOUBLE_EQ(asymptotic_queue_tail(lambda, 2, 0), 1.0);
+  EXPECT_NEAR(asymptotic_queue_tail(lambda, 2, 1), lambda, 1e-12);
+  EXPECT_NEAR(asymptotic_queue_tail(lambda, 2, 2), std::pow(lambda, 3.0),
+              1e-12);
+  EXPECT_NEAR(asymptotic_queue_tail(lambda, 2, 3), std::pow(lambda, 7.0),
+              1e-12);
+}
+
+TEST(AsymptoticTail, DelayEqualsTailSum) {
+  // E[Delay] = sum_{i>=1} s_i / lambda (tagged-job argument): check the two
+  // public functions are consistent.
+  const double lambda = 0.85;
+  const int d = 3;
+  double sum = 0.0;
+  for (int i = 1; i <= 40; ++i) sum += asymptotic_queue_tail(lambda, d, i);
+  EXPECT_NEAR(asymptotic_delay(lambda, d), sum / lambda, 1e-10);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// End-to-end validation: simulate the bound-model CTMCs directly and check
+// the matrix-geometric solutions against them.
+#include <gtest/gtest.h>
+
+#include "sim/bound_sim.h"
+#include "sqd/bound_solver.h"
+
+namespace {
+
+using rlb::sim::simulate_bound_model;
+using rlb::sqd::BoundKind;
+using rlb::sqd::BoundModel;
+using rlb::sqd::Params;
+
+TEST(BoundSim, GapNeverExceedsThreshold) {
+  for (BoundKind kind : {BoundKind::Lower, BoundKind::Upper}) {
+    const BoundModel model(Params{3, 2, 0.8, 1.0}, 2, kind);
+    const auto r = simulate_bound_model(model, 200'000, 10'000, 31337);
+    EXPECT_LE(r.max_gap_seen, 2.0);
+  }
+}
+
+TEST(BoundSim, LowerModelMatchesSolver) {
+  const BoundModel model(Params{3, 2, 0.7, 1.0}, 2, BoundKind::Lower);
+  const auto solved = rlb::sqd::solve_bound(model);
+  const auto sim = simulate_bound_model(model, 4'000'000, 400'000, 7);
+  EXPECT_NEAR(sim.mean_waiting_jobs, solved.mean_waiting_jobs,
+              0.03 * (1.0 + solved.mean_waiting_jobs));
+  EXPECT_NEAR(sim.mean_jobs, solved.mean_jobs,
+              0.03 * (1.0 + solved.mean_jobs));
+}
+
+TEST(BoundSim, UpperModelMatchesSolver) {
+  const BoundModel model(Params{3, 2, 0.55, 1.0}, 2, BoundKind::Upper);
+  const auto solved = rlb::sqd::solve_bound(model);
+  const auto sim = simulate_bound_model(model, 4'000'000, 400'000, 11);
+  EXPECT_NEAR(sim.mean_waiting_jobs, solved.mean_waiting_jobs,
+              0.05 * (1.0 + solved.mean_waiting_jobs));
+}
+
+TEST(BoundSim, ImprovedSolverMatchesSimulationToo) {
+  const BoundModel model(Params{2, 2, 0.8, 1.0}, 2, BoundKind::Lower);
+  const auto improved = rlb::sqd::solve_lower_improved(model);
+  const auto sim = simulate_bound_model(model, 4'000'000, 400'000, 13);
+  EXPECT_NEAR(sim.mean_waiting_jobs, improved.mean_waiting_jobs,
+              0.03 * (1.0 + improved.mean_waiting_jobs));
+}
+
+TEST(BoundSim, LowerBelowUpperInSimulation) {
+  const Params p{3, 2, 0.6, 1.0};
+  const auto low = simulate_bound_model(
+      BoundModel(p, 2, BoundKind::Lower), 2'000'000, 200'000, 17);
+  const auto up = simulate_bound_model(
+      BoundModel(p, 2, BoundKind::Upper), 2'000'000, 200'000, 17);
+  EXPECT_LT(low.mean_waiting_jobs, up.mean_waiting_jobs + 0.02);
+}
+
+TEST(BoundSim, RejectsBadWarmup) {
+  const BoundModel model(Params{2, 2, 0.5, 1.0}, 1, BoundKind::Lower);
+  EXPECT_THROW(simulate_bound_model(model, 100, 100, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

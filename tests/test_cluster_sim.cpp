@@ -1,0 +1,194 @@
+#include "sim/cluster_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sqd/mm_queues.h"
+
+namespace {
+
+using namespace rlb::sim;
+
+ClusterConfig quick_config(int servers, std::uint64_t jobs = 400'000) {
+  ClusterConfig cfg;
+  cfg.servers = servers;
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = 12345;
+  return cfg;
+}
+
+TEST(ClusterSim, Mm1SojournMatchesClosedForm) {
+  const double lambda = 0.7;
+  const rlb::sqd::Mm1 ref{lambda, 1.0};
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(lambda);
+  const auto svc = make_exponential(1.0);
+  const auto r = simulate_cluster(quick_config(1), policy, *arr, *svc);
+  EXPECT_NEAR(r.mean_sojourn, ref.mean_sojourn(), 4.0 * r.ci95_sojourn + 0.05);
+  EXPECT_NEAR(r.mean_wait, ref.mean_wait(), 4.0 * r.ci95_sojourn + 0.05);
+  EXPECT_NEAR(r.utilization, lambda, 0.02);
+}
+
+TEST(ClusterSim, LittleLawHolds) {
+  const double lambda = 0.6;
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(lambda);
+  const auto svc = make_exponential(1.0);
+  const auto r = simulate_cluster(quick_config(1), policy, *arr, *svc);
+  // L = lambda * T over the measured window.
+  EXPECT_NEAR(r.mean_jobs_in_system, lambda * r.mean_sojourn, 0.1);
+}
+
+TEST(ClusterSim, MdOneKingmanShape) {
+  // M/D/1: E[W] = rho/(2(1-rho)) * E[S]; half the M/M/1 wait.
+  const double lambda = 0.8;
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(lambda);
+  const auto svc = make_deterministic(1.0);
+  const auto r = simulate_cluster(quick_config(1, 600'000), policy, *arr, *svc);
+  const double expected_wait = lambda / (2.0 * (1.0 - lambda));
+  EXPECT_NEAR(r.mean_wait, expected_wait, 0.1);
+}
+
+TEST(ClusterSim, JsqEquivalentToSqN) {
+  // SQ(N) must produce statistically identical results to the JSQ scan.
+  const int n = 4;
+  ClusterConfig cfg = quick_config(n);
+  const double lambda = 0.8;
+  const auto arr = make_exponential(lambda * n);
+  const auto svc = make_exponential(1.0);
+  SqdPolicy sqn(n, n);
+  JsqPolicy jsq;
+  const auto a = simulate_cluster(cfg, sqn, *arr, *svc);
+  const auto b = simulate_cluster(cfg, jsq, *arr, *svc);
+  EXPECT_NEAR(a.mean_sojourn, b.mean_sojourn,
+              3.0 * (a.ci95_sojourn + b.ci95_sojourn) + 0.02);
+}
+
+TEST(ClusterSim, PowerOfTwoOrdering) {
+  // sojourn(SQ(1)) > sojourn(SQ(2)) > sojourn(JSQ) at high load.
+  const int n = 8;
+  const double lambda = 0.9;
+  ClusterConfig cfg = quick_config(n);
+  const auto arr = make_exponential(lambda * n);
+  const auto svc = make_exponential(1.0);
+  SqdPolicy sq1(n, 1), sq2(n, 2);
+  JsqPolicy jsq;
+  const double d1 = simulate_cluster(cfg, sq1, *arr, *svc).mean_sojourn;
+  const double d2 = simulate_cluster(cfg, sq2, *arr, *svc).mean_sojourn;
+  const double dn = simulate_cluster(cfg, jsq, *arr, *svc).mean_sojourn;
+  EXPECT_GT(d1, 2.0 * d2);  // the power of two
+  EXPECT_GT(d2, dn);
+}
+
+TEST(ClusterSim, RoundRobinBeatsRandomForDeterministicService) {
+  const int n = 4;
+  const double lambda = 0.85;
+  ClusterConfig cfg = quick_config(n);
+  const auto arr = make_exponential(lambda * n);
+  const auto svc = make_deterministic(1.0);
+  SqdPolicy random_policy(n, 1);
+  RoundRobinPolicy rr;
+  const double rand_delay =
+      simulate_cluster(cfg, random_policy, *arr, *svc).mean_sojourn;
+  const double rr_delay = simulate_cluster(cfg, rr, *arr, *svc).mean_sojourn;
+  EXPECT_LT(rr_delay, rand_delay);
+}
+
+TEST(ClusterSim, DeterministicSeedsReproduce) {
+  SqdPolicy policy(2, 2);
+  const auto arr = make_exponential(1.2);
+  const auto svc = make_exponential(1.0);
+  const auto cfg = quick_config(2, 50'000);
+  const auto a = simulate_cluster(cfg, policy, *arr, *svc);
+  const auto b = simulate_cluster(cfg, policy, *arr, *svc);
+  EXPECT_DOUBLE_EQ(a.mean_sojourn, b.mean_sojourn);
+  EXPECT_EQ(a.jobs_measured, b.jobs_measured);
+}
+
+TEST(ClusterSim, CountsMeasuredJobs) {
+  const auto cfg = quick_config(2, 100'000);
+  SqdPolicy policy(2, 2);
+  const auto arr = make_exponential(1.0);
+  const auto svc = make_exponential(1.0);
+  const auto r = simulate_cluster(cfg, policy, *arr, *svc);
+  EXPECT_EQ(r.jobs_measured, cfg.jobs - cfg.warmup);
+  EXPECT_GT(r.sim_time, 0.0);
+}
+
+TEST(ClusterSim, RejectsBadWarmup) {
+  ClusterConfig cfg = quick_config(1, 100);
+  cfg.warmup = 100;
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(0.5);
+  const auto svc = make_exponential(1.0);
+  EXPECT_THROW(simulate_cluster(cfg, policy, *arr, *svc),
+               std::invalid_argument);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(ClusterSim, QuantilesMatchMm1ClosedForm) {
+  // M/M/1 sojourn is Exp(mu - lambda): quantiles -ln(1-q)/(mu-lambda).
+  const double lambda = 0.6;
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(lambda);
+  const auto svc = make_exponential(1.0);
+  const auto r = simulate_cluster(quick_config(1, 600'000), policy, *arr, *svc);
+  const double rate = 1.0 - lambda;
+  EXPECT_NEAR(r.p50_sojourn, std::log(2.0) / rate, 0.1);
+  EXPECT_NEAR(r.p95_sojourn, -std::log(0.05) / rate, 0.4);
+  EXPECT_NEAR(r.p99_sojourn, -std::log(0.01) / rate, 1.0);
+  EXPECT_LT(r.p50_sojourn, r.p95_sojourn);
+  EXPECT_LT(r.p95_sojourn, r.p99_sojourn);
+}
+
+TEST(ClusterSim, HeterogeneousSpeedsScaleService) {
+  // A single server at speed 2 behaves like an M/M/1 with mu = 2.
+  ClusterConfig cfg = quick_config(1, 400'000);
+  cfg.server_speeds = {2.0};
+  SqdPolicy policy(1, 1);
+  const auto arr = make_exponential(1.0);  // rho = 0.5 against mu = 2
+  const auto svc = make_exponential(1.0);
+  const auto r = simulate_cluster(cfg, policy, *arr, *svc);
+  const rlb::sqd::Mm1 ref{1.0, 2.0};
+  EXPECT_NEAR(r.mean_sojourn, ref.mean_sojourn(), 0.05);
+}
+
+TEST(ClusterSim, HeterogeneityHurtsSpeedObliviousPolicies) {
+  // Same total capacity, skewed speeds: SQ(2), which only sees queue
+  // LENGTHS, does worse than on the homogeneous fleet.
+  const int n = 8;
+  const double rho = 0.85;
+  ClusterConfig cfg = quick_config(n, 400'000);
+  SqdPolicy policy(n, 2);
+  const auto arr = make_exponential(rho * n);
+  const auto svc = make_exponential(1.0);
+  const auto homo = simulate_cluster(cfg, policy, *arr, *svc);
+  cfg.server_speeds.assign(n, 1.0);
+  for (int s = 0; s < n / 2; ++s) {
+    cfg.server_speeds[s] = 1.6;
+    cfg.server_speeds[n / 2 + s] = 0.4;
+  }
+  const auto hetero = simulate_cluster(cfg, policy, *arr, *svc);
+  EXPECT_GT(hetero.mean_sojourn, 1.1 * homo.mean_sojourn);
+}
+
+TEST(ClusterSim, SpeedVectorValidated) {
+  ClusterConfig cfg = quick_config(2, 1000);
+  cfg.server_speeds = {1.0};  // wrong arity
+  SqdPolicy policy(2, 1);
+  const auto arr = make_exponential(1.0);
+  const auto svc = make_exponential(1.0);
+  EXPECT_THROW(simulate_cluster(cfg, policy, *arr, *svc),
+               std::invalid_argument);
+  cfg.server_speeds = {1.0, -1.0};
+  EXPECT_THROW(simulate_cluster(cfg, policy, *arr, *svc),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "util/combinatorics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using rlb::util::binomial;
+using rlb::util::binomial_ratio;
+using rlb::util::binomial_u64;
+using rlb::util::log_binomial;
+
+TEST(Binomial, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial(52, 5), 2598960.0);
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(-2, 1), 0.0);
+}
+
+TEST(Binomial, SymmetryHolds) {
+  for (int n = 0; n <= 30; ++n)
+    for (int k = 0; k <= n; ++k)
+      EXPECT_DOUBLE_EQ(binomial(n, k), binomial(n, n - k)) << n << ' ' << k;
+}
+
+TEST(Binomial, PascalRecurrence) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_NEAR(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k),
+                  1e-9 * binomial(n, k))
+          << n << ' ' << k;
+    }
+  }
+}
+
+TEST(BinomialU64, MatchesDoubleVersion) {
+  for (int n = 0; n <= 60; ++n)
+    for (int k = 0; k <= n; ++k)
+      EXPECT_DOUBLE_EQ(static_cast<double>(binomial_u64(n, k)),
+                       binomial(n, k))
+          << n << ' ' << k;
+}
+
+TEST(BinomialU64, ThrowsOnOverflow) {
+  EXPECT_THROW(binomial_u64(200, 100), std::overflow_error);
+}
+
+TEST(LogBinomial, AgreesWithDirect) {
+  for (int n = 1; n <= 100; n += 7)
+    for (int k = 0; k <= n; k += 3)
+      EXPECT_NEAR(std::exp(log_binomial(n, k)), binomial(n, k),
+                  1e-9 * binomial(n, k));
+}
+
+TEST(LogBinomial, LargeArgumentsFinite) {
+  EXPECT_TRUE(std::isfinite(log_binomial(250, 50)));
+  EXPECT_GT(log_binomial(250, 50), 0.0);
+}
+
+TEST(BinomialRatio, MatchesDirectRatio) {
+  for (int n = 2; n <= 50; n += 4) {
+    for (int d = 1; d <= n; d += 3) {
+      for (int a = 0; a <= n; ++a) {
+        const double expected = binomial(a, d) / binomial(n, d);
+        EXPECT_NEAR(binomial_ratio(a, n, d), expected, 1e-12)
+            << a << ' ' << n << ' ' << d;
+      }
+    }
+  }
+}
+
+// The identity behind the SQ(d) arrival rates: sum_{i=d}^{N} C(i-1, d-1)
+// = C(N, d), i.e. group probabilities telescope to 1.
+TEST(BinomialRatio, HockeyStickIdentity) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int d = 1; d <= n; ++d) {
+      double total = 0.0;
+      for (int i = d; i <= n; ++i) total += binomial(i - 1, d - 1);
+      EXPECT_NEAR(total, binomial(n, d), 1e-9 * binomial(n, d));
+    }
+  }
+}
+
+// Paper Section II: the two numerator forms for tie groups agree:
+// sum_{k=i}^{i+j} C(k-1, d-1) = C(i+j, d) - C(i-1, d).
+TEST(BinomialRatio, TieGroupNumeratorForms) {
+  const int n = 20;
+  for (int d = 1; d <= n; ++d) {
+    for (int i = 1; i <= n; ++i) {
+      for (int j = 0; i + j <= n; ++j) {
+        double lhs = 0.0;
+        for (int k = i; k <= i + j; ++k) lhs += binomial(k - 1, d - 1);
+        const double rhs = binomial(i + j, d) - binomial(i - 1, d);
+        EXPECT_NEAR(lhs, rhs, 1e-8 * std::max(1.0, rhs)) << d << ' ' << i;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+#include "sim/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace {
+
+using namespace rlb::sim;
+
+void check_mean_and_cv(const Distribution& dist, double expected_mean,
+                       double expected_cv, double tol) {
+  Rng rng(97);
+  StreamingMoments s;
+  for (int i = 0; i < 400000; ++i) s.add(dist.sample(rng));
+  EXPECT_NEAR(s.mean(), expected_mean, tol * expected_mean) << dist.name();
+  const double cv = s.stddev() / s.mean();
+  EXPECT_NEAR(cv, expected_cv, 0.03 + tol) << dist.name();
+}
+
+TEST(Distributions, ExponentialMoments) {
+  check_mean_and_cv(*make_exponential(2.0), 0.5, 1.0, 0.01);
+}
+
+TEST(Distributions, DeterministicIsConstant) {
+  const auto d = make_deterministic(1.5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d->sample(rng), 1.5);
+  EXPECT_DOUBLE_EQ(d->mean(), 1.5);
+}
+
+TEST(Distributions, ErlangMoments) {
+  // Erlang(4, 8): mean 0.5, CV = 1/2.
+  check_mean_and_cv(*make_erlang(4, 8.0), 0.5, 0.5, 0.01);
+}
+
+TEST(Distributions, HyperExpMoments) {
+  const auto h = make_hyperexp(0.5, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(h->mean(), 0.5 / 2.0 + 0.5 / 0.5);
+  Rng rng(3);
+  StreamingMoments s;
+  for (int i = 0; i < 300000; ++i) s.add(h->sample(rng));
+  EXPECT_NEAR(s.mean(), h->mean(), 0.02);
+  EXPECT_GT(s.stddev() / s.mean(), 1.0);  // CV above exponential
+}
+
+TEST(Distributions, HyperExpFittedMatchesTargets) {
+  const double mean = 2.0, scv = 4.0;
+  const auto h = make_hyperexp_fitted(mean, scv);
+  EXPECT_NEAR(h->mean(), mean, 1e-12);
+  Rng rng(5);
+  StreamingMoments s;
+  for (int i = 0; i < 500000; ++i) s.add(h->sample(rng));
+  EXPECT_NEAR(s.mean(), mean, 0.05);
+  const double measured_scv = s.variance() / (s.mean() * s.mean());
+  EXPECT_NEAR(measured_scv, scv, 0.3);
+}
+
+TEST(Distributions, LognormalMoments) {
+  check_mean_and_cv(*make_lognormal(1.0, 0.8), 1.0, 0.8, 0.02);
+}
+
+TEST(Distributions, UniformMoments) {
+  check_mean_and_cv(*make_uniform(1.0, 3.0),
+                    2.0, (2.0 / std::sqrt(12.0)) / 2.0, 0.01);
+}
+
+TEST(Distributions, SamplesNonNegative) {
+  Rng rng(7);
+  for (const auto& d :
+       {make_exponential(1.0), make_erlang(2, 2.0),
+        make_hyperexp(0.3, 1.0, 3.0), make_lognormal(1.0, 1.0),
+        make_uniform(0.0, 1.0), make_deterministic(0.0)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_GE(d->sample(rng), 0.0);
+  }
+}
+
+TEST(Distributions, InvalidParametersThrow) {
+  EXPECT_THROW(make_exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(make_erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_hyperexp(1.5, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_lognormal(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_hyperexp_fitted(1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace

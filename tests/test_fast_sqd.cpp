@@ -1,0 +1,98 @@
+#include "sim/fast_sqd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "sqd/asymptotic.h"
+#include "sqd/exact_reference.h"
+#include "sqd/mm_queues.h"
+
+namespace {
+
+using namespace rlb::sim;
+using rlb::sqd::Params;
+
+FastSqdConfig quick(Params p, std::uint64_t jobs = 600'000) {
+  FastSqdConfig cfg;
+  cfg.params = p;
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = 20240612;
+  return cfg;
+}
+
+TEST(FastSqd, Mm1Case) {
+  const double lambda = 0.75;
+  const auto r = simulate_sqd_fast(quick(Params{1, 1, lambda, 1.0}));
+  const rlb::sqd::Mm1 ref{lambda, 1.0};
+  EXPECT_NEAR(r.mean_delay, ref.mean_sojourn(), 4.0 * r.ci95_delay + 0.05);
+}
+
+TEST(FastSqd, MatchesExactSmallSystem) {
+  const Params p{3, 2, 0.7, 1.0};
+  const auto exact = rlb::sqd::solve_exact_truncated(p, 33);
+  const auto r = simulate_sqd_fast(quick(p, 2'000'000));
+  EXPECT_NEAR(r.mean_delay, exact.mean_delay, 4.0 * r.ci95_delay + 0.02);
+}
+
+TEST(FastSqd, MatchesEventDrivenSimulator) {
+  // The jump-chain estimator and the full DES must agree — they simulate
+  // the same system by very different mechanisms.
+  const int n = 5;
+  const double lambda = 0.85;
+  const auto fast = simulate_sqd_fast(quick(Params{n, 2, lambda, 1.0},
+                                            1'500'000));
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = 1'500'000;
+  cfg.warmup = 150'000;
+  cfg.seed = 999;
+  SqdPolicy policy(n, 2);
+  const auto arr = make_exponential(lambda * n);
+  const auto svc = make_exponential(1.0);
+  const auto slow = simulate_cluster(cfg, policy, *arr, *svc);
+  EXPECT_NEAR(fast.mean_delay, slow.mean_sojourn,
+              4.0 * (fast.ci95_delay + slow.ci95_sojourn) + 0.03);
+}
+
+TEST(FastSqd, ApproachesAsymptoticForLargeN) {
+  // Mitzenmacher's formula is exact as N -> infinity; N = 300 at moderate
+  // load should be within a fraction of a percent.
+  const double lambda = 0.75;
+  const auto r = simulate_sqd_fast(quick(Params{300, 2, lambda, 1.0},
+                                         2'000'000));
+  const double asym = rlb::sqd::asymptotic_delay(lambda, 2);
+  EXPECT_NEAR(r.mean_delay, asym, 0.01 * asym + 4.0 * r.ci95_delay);
+}
+
+TEST(FastSqd, FiniteNDelayExceedsAsymptotic) {
+  // Figure 9/10 direction: small N delays are HIGHER than the asymptotic
+  // prediction, especially at high utilization.
+  const double lambda = 0.95;
+  const auto r = simulate_sqd_fast(quick(Params{3, 2, lambda, 1.0},
+                                         3'000'000));
+  EXPECT_GT(r.mean_delay, rlb::sqd::asymptotic_delay(lambda, 2));
+}
+
+TEST(FastSqd, WaitIsDelayMinusService) {
+  const auto r = simulate_sqd_fast(quick(Params{4, 2, 0.6, 1.0}));
+  EXPECT_NEAR(r.mean_wait, r.mean_delay - 1.0, 1e-12);
+  EXPECT_NEAR(r.mean_queue_seen + 1.0, r.mean_delay, 1e-12);
+}
+
+TEST(FastSqd, Reproducible) {
+  const auto cfg = quick(Params{4, 2, 0.8, 1.0}, 100'000);
+  const auto a = simulate_sqd_fast(cfg);
+  const auto b = simulate_sqd_fast(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+}
+
+TEST(FastSqd, MeasuresRequestedJobs) {
+  const auto cfg = quick(Params{2, 1, 0.5, 1.0}, 100'000);
+  const auto r = simulate_sqd_fast(cfg);
+  EXPECT_EQ(r.jobs_measured, cfg.jobs - cfg.warmup);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "markov/first_passage.h"
+
+#include <gtest/gtest.h>
+
+#include "markov/ctmc.h"
+#include "sqd/bound_model.h"
+#include "sqd/transitions.h"
+#include "statespace/state.h"
+
+namespace {
+
+namespace mk = rlb::markov;
+using rlb::linalg::Matrix;
+using rlb::linalg::Vector;
+using rlb::statespace::State;
+
+TEST(FirstPassage, TwoStateClosedForm) {
+  // 0 -> 1 at rate a: hitting time of {1} from 0 is 1/a.
+  Matrix q(2, 2, 0.0);
+  q(0, 0) = -3.0;
+  q(0, 1) = 3.0;
+  q(1, 0) = 1.0;
+  q(1, 1) = -1.0;
+  const Vector h = mk::expected_hitting_times(q, {false, true});
+  EXPECT_NEAR(h[0], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(FirstPassage, Mm1BusyPeriod) {
+  // M/M/1 (truncated high): expected busy period from state 1 to empty is
+  // 1/(mu - lambda).
+  const double lambda = 0.6, mu = 1.0;
+  const int cap = 120;  // truncation error is exponentially small
+  const auto chain = mk::build_ctmc(State{0}, [&](const State& s) {
+    std::vector<mk::Rated> out;
+    if (s[0] < cap) out.push_back({State{s[0] + 1}, lambda});
+    if (s[0] > 0) out.push_back({State{s[0] - 1}, mu});
+    return out;
+  });
+  std::vector<bool> target(chain.size(), false);
+  target[chain.index.at(State{0})] = true;
+  const Vector h = mk::expected_hitting_times(chain.generator, target);
+  EXPECT_NEAR(h[chain.index.at(State{1})], 1.0 / (mu - lambda), 1e-6);
+  // From two jobs it takes twice as long (each job drains independently).
+  EXPECT_NEAR(h[chain.index.at(State{2})], 2.0 / (mu - lambda), 1e-6);
+}
+
+TEST(FirstPassage, RandomWalkHittingTimesMonotone) {
+  // Birth-death chain: farther states take longer to reach the origin.
+  const auto chain = mk::build_ctmc(State{0}, [&](const State& s) {
+    std::vector<mk::Rated> out;
+    if (s[0] < 30) out.push_back({State{s[0] + 1}, 0.8});
+    if (s[0] > 0) out.push_back({State{s[0] - 1}, 1.0});
+    return out;
+  });
+  std::vector<bool> target(chain.size(), false);
+  target[chain.index.at(State{0})] = true;
+  const Vector h = mk::expected_hitting_times(chain.generator, target);
+  for (int k = 1; k < 30; ++k)
+    EXPECT_GT(h[chain.index.at(State{k + 1})], h[chain.index.at(State{k})]);
+}
+
+TEST(FirstPassage, ClusterDrainTimeOrdering) {
+  // Drain time (to the all-empty state) of the truncated SQ(2) chain grows
+  // with the initial backlog and exceeds the work/(capacity) lower bound.
+  const rlb::sqd::Params p{2, 2, 0.5, 1.0};
+  const int cap = 24;
+  const auto chain = mk::build_ctmc(
+      State{0, 0}, [&](const State& m) {
+        std::vector<mk::Rated> out;
+        if (rlb::statespace::total_jobs(m) < cap)
+          for (auto& t : rlb::sqd::arrival_transitions(m, p))
+            out.push_back({std::move(t.to), t.rate});
+        for (auto& t : rlb::sqd::departure_transitions(m, p))
+          out.push_back({std::move(t.to), t.rate});
+        return out;
+      });
+  std::vector<bool> target(chain.size(), false);
+  target[chain.index.at(State{0, 0})] = true;
+  const Vector h = mk::expected_hitting_times(chain.generator, target);
+  const double from_2_2 = h[chain.index.at(State{2, 2})];
+  const double from_1_1 = h[chain.index.at(State{1, 1})];
+  EXPECT_GT(from_2_2, from_1_1);
+  EXPECT_GT(from_1_1, 1.0);  // at least the two services, with interference
+}
+
+TEST(FirstPassage, DomainChecks) {
+  Matrix q(2, 2, 0.0);
+  q(0, 0) = -1.0;
+  q(0, 1) = 1.0;
+  q(1, 0) = 1.0;
+  q(1, 1) = -1.0;
+  EXPECT_THROW(mk::expected_hitting_times(q, {false, false}),
+               std::invalid_argument);
+  EXPECT_THROW(mk::expected_hitting_times(q, {true}),
+               std::invalid_argument);
+}
+
+}  // namespace

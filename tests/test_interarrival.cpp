@@ -1,0 +1,135 @@
+#include "sqd/interarrival.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlb::sqd;
+
+// beta_k should always match the LST through the generating identity
+// sum_k x^k beta_k = LST(mu(1-x)).
+void check_beta_lst_consistency(const Interarrival& a, double mu) {
+  for (double x : {0.0, 0.3, 0.7, 0.95}) {
+    double series = 0.0;
+    double xk = 1.0;
+    for (int k = 0; k < 400; ++k) {
+      series += xk * a.beta(k, mu);
+      xk *= x;
+    }
+    EXPECT_NEAR(series, a.lst(mu * (1.0 - x)), 1e-10)
+        << a.name() << " x=" << x;
+  }
+}
+
+TEST(Interarrival, ExponentialBetaMatchesPaperEq21) {
+  // Eq. (21): beta_k = (lambda/mu) * mu^{k+1} / (lambda+mu)^{k+1}.
+  const double lambda = 0.8, mu = 1.0;
+  const ExponentialInterarrival a(lambda);
+  for (int k = 0; k <= 10; ++k) {
+    const double expected =
+        lambda / mu * std::pow(mu / (lambda + mu), k + 1);
+    EXPECT_NEAR(a.beta(k, mu), expected, 1e-14);
+  }
+}
+
+TEST(Interarrival, BetasFormDistribution) {
+  // beta_k is the probability of k potential services in an interarrival
+  // interval; they must sum to 1.
+  const double mu = 1.0;
+  const std::vector<const Interarrival*> dists = [] {
+    static ExponentialInterarrival e(0.7);
+    static ErlangInterarrival g(3, 2.1);
+    static HyperExpInterarrival h(0.4, 2.0, 0.5);
+    static DeterministicInterarrival d(1.25);
+    return std::vector<const Interarrival*>{&e, &g, &h, &d};
+  }();
+  for (const auto* a : dists) {
+    double total = 0.0;
+    for (int k = 0; k < 500; ++k) total += a->beta(k, mu);
+    EXPECT_NEAR(total, 1.0, 1e-9) << a->name();
+  }
+}
+
+TEST(Interarrival, BetaLstConsistency) {
+  const double mu = 1.3;
+  check_beta_lst_consistency(ExponentialInterarrival(0.9), mu);
+  check_beta_lst_consistency(ErlangInterarrival(4, 3.0), mu);
+  check_beta_lst_consistency(HyperExpInterarrival(0.3, 3.0, 0.6), mu);
+  check_beta_lst_consistency(DeterministicInterarrival(0.8), mu);
+}
+
+TEST(Interarrival, LstAtZeroIsOne) {
+  EXPECT_NEAR(ExponentialInterarrival(2.0).lst(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(ErlangInterarrival(2, 1.0).lst(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(HyperExpInterarrival(0.5, 1.0, 2.0).lst(0.0), 1.0, 1e-14);
+  EXPECT_NEAR(DeterministicInterarrival(1.0).lst(0.0), 1.0, 1e-14);
+}
+
+TEST(Interarrival, Means) {
+  EXPECT_DOUBLE_EQ(ExponentialInterarrival(2.0).mean(), 0.5);
+  EXPECT_DOUBLE_EQ(ErlangInterarrival(3, 6.0).mean(), 0.5);
+  EXPECT_DOUBLE_EQ(DeterministicInterarrival(0.5).mean(), 0.5);
+  EXPECT_DOUBLE_EQ(HyperExpInterarrival(0.5, 1.0, 1.0).mean(), 1.0);
+}
+
+TEST(Sigma, PoissonGivesRho) {
+  // Theorem 3: sigma = rho for Poisson arrivals.
+  for (double lambda : {0.1, 0.5, 0.75, 0.9, 0.99}) {
+    const ExponentialInterarrival a(lambda);
+    const SigmaResult r = solve_sigma(a, 1.0);
+    EXPECT_NEAR(r.sigma, lambda, 1e-10) << lambda;
+  }
+}
+
+TEST(Sigma, ErlangBelowPoisson) {
+  // Smoother arrivals (CV < 1) queue less: sigma < rho.
+  const double rho = 0.8;
+  const ErlangInterarrival a(4, 4.0 * rho);  // mean 1/rho -> utilization rho
+  const SigmaResult r = solve_sigma(a, 1.0);
+  EXPECT_LT(r.sigma, rho);
+  EXPECT_GT(r.sigma, 0.0);
+}
+
+TEST(Sigma, HyperExpAbovePoisson) {
+  // Burstier arrivals (CV > 1) queue more: sigma > rho.
+  const double rho = 0.8;
+  // Balanced-means hyperexponential with mean 1/rho.
+  const double mean = 1.0 / rho;
+  const double p1 = 0.9;
+  const HyperExpInterarrival a(p1, 2.0 * p1 / mean,
+                               2.0 * (1.0 - p1) / mean);
+  const SigmaResult r = solve_sigma(a, 1.0);
+  EXPECT_GT(r.sigma, rho);
+  EXPECT_LT(r.sigma, 1.0);
+}
+
+TEST(Sigma, DeterministicSolvesFixedPoint) {
+  const double rho = 0.9;
+  const DeterministicInterarrival a(1.0 / rho);
+  const SigmaResult r = solve_sigma(a, 1.0);
+  // sigma = exp(-mu(1-sigma)/rho): verify the fixed point directly.
+  EXPECT_NEAR(r.sigma, std::exp(-(1.0 - r.sigma) / rho), 1e-10);
+  EXPECT_LT(r.sigma, rho);  // deterministic is the smoothest renewal input
+}
+
+TEST(Sigma, UnstableThrows) {
+  const ExponentialInterarrival a(1.5);  // utilization 1.5
+  EXPECT_THROW(solve_sigma(a, 1.0), std::runtime_error);
+}
+
+TEST(Sigma, SolvesTheorem2Equation) {
+  // The returned sigma satisfies x = sum_k x^k beta_k.
+  const ErlangInterarrival a(2, 1.6);
+  const double mu = 1.0;
+  const SigmaResult r = solve_sigma(a, mu);
+  double series = 0.0, xk = 1.0;
+  for (int k = 0; k < 300; ++k) {
+    series += xk * a.beta(k, mu);
+    xk *= r.sigma;
+  }
+  EXPECT_NEAR(series, r.sigma, 1e-10);
+}
+
+}  // namespace

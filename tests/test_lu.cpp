@@ -1,0 +1,108 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace {
+
+using rlb::linalg::Lu;
+using rlb::linalg::Matrix;
+using rlb::linalg::Vector;
+
+TEST(Lu, Solves2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const Vector x = rlb::linalg::solve(a, rlb::linalg::Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const Vector x = rlb::linalg::solve(a, rlb::linalg::Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(Lu lu(a), std::runtime_error);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  rlb::sim::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 20 + trial * 7;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() - 0.5;
+      a(i, i) += n;  // diagonally dominant -> well conditioned
+    }
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.next_double() * 2.0 - 1.0;
+    const Vector b = rlb::linalg::mat_vec(a, x_true);
+    const Vector x = rlb::linalg::solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Lu, InverseTimesSelfIsIdentity) {
+  rlb::sim::Rng rng(7);
+  const std::size_t n = 30;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() - 0.5;
+    a(i, i) += 5.0;
+  }
+  const Matrix inv = rlb::linalg::inverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Lu, MatrixRhsSolve) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 0;
+  a(1, 0) = 0;
+  a(1, 1) = 2;
+  Matrix b(2, 2);
+  b(0, 0) = 6;
+  b(0, 1) = 3;
+  b(1, 0) = 4;
+  b(1, 1) = 2;
+  const Matrix x = rlb::linalg::solve(a, b);
+  EXPECT_NEAR(x(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 1.0, 1e-12);
+}
+
+TEST(Lu, SolveTransposed) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 0;
+  a(1, 1) = 1;
+  // x^T A = b^T with b = (1, 4) -> x solves A^T x = b: x = (1, 2).
+  const Vector x = rlb::linalg::solve_transposed(a, {1.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "sqd/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "sqd/asymptotic.h"
+
+namespace {
+
+using rlb::sqd::optimal_d_asymptotic;
+using rlb::sqd::OverheadModel;
+using rlb::sqd::Params;
+
+TEST(Overhead, MessageAccounting) {
+  EXPECT_DOUBLE_EQ(OverheadModel::messages_per_job(1), 2.0);
+  EXPECT_DOUBLE_EQ(OverheadModel::messages_per_job(5), 10.0);
+  const Params p{10, 3, 0.8, 1.0};
+  EXPECT_DOUBLE_EQ(OverheadModel::message_rate(p), 6.0 * 8.0);
+}
+
+TEST(Overhead, CombinedCost) {
+  const OverheadModel m{0.1};
+  EXPECT_DOUBLE_EQ(m.combined_cost(2, 1.5), 1.5 + 0.1 * 4.0);
+}
+
+TEST(Overhead, FreeMessagesFavorLargeD) {
+  // With free messages, more choices always help (delay is monotone in d).
+  EXPECT_EQ(optimal_d_asymptotic(0.9, 0.0, 16), 16);
+}
+
+TEST(Overhead, ExpensiveMessagesFavorRandomRouting) {
+  EXPECT_EQ(optimal_d_asymptotic(0.5, 100.0, 16), 1);
+}
+
+TEST(Overhead, ModeratePriceLandsOnSmallD) {
+  // The power-of-two sweet spot: at high load and moderate message price,
+  // the optimum is a small d >= 2 (most of the delay win, little cost),
+  // far below the free-message optimum of d_max.
+  const int d = optimal_d_asymptotic(0.95, 0.05, 16);
+  EXPECT_GE(d, 2);
+  EXPECT_LE(d, 8);
+  EXPECT_EQ(optimal_d_asymptotic(0.95, 0.15, 16), 4);
+}
+
+TEST(Overhead, OptimumMonotoneInPrice) {
+  // Raising the message price can only reduce the chosen d.
+  int prev = 16;
+  for (double c : {0.0, 0.01, 0.05, 0.2, 1.0, 10.0}) {
+    const int d = optimal_d_asymptotic(0.9, c, 16);
+    EXPECT_LE(d, prev) << c;
+    prev = d;
+  }
+}
+
+TEST(Overhead, DomainChecks) {
+  EXPECT_THROW(optimal_d_asymptotic(0.5, -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(optimal_d_asymptotic(0.5, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include "sim/policy.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace rlb::sim;
+
+/// Test double exposing fixed queue lengths / workloads.
+class FakeCluster final : public ClusterState {
+ public:
+  FakeCluster(std::vector<int> lens, std::vector<double> work = {})
+      : lens_(std::move(lens)), work_(std::move(work)) {
+    if (work_.empty()) work_.assign(lens_.size(), 0.0);
+  }
+  int servers() const override { return static_cast<int>(lens_.size()); }
+  int queue_length(int s) const override { return lens_[s]; }
+  double remaining_work(int s) const override { return work_[s]; }
+
+ private:
+  std::vector<int> lens_;
+  std::vector<double> work_;
+};
+
+TEST(SqdPolicy, AlwaysPicksShortestOfPolledWithFullPoll) {
+  // d = N degenerates to JSQ.
+  FakeCluster cluster({5, 2, 7, 1});
+  SqdPolicy policy(4, 4);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, rng), 3);
+}
+
+TEST(SqdPolicy, SingleChoiceIsUniform) {
+  FakeCluster cluster({5, 2, 7, 1});
+  SqdPolicy policy(4, 1);
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 4.0, 500);
+}
+
+TEST(SqdPolicy, NeverPicksLongerOfTwoPolled) {
+  // With d = 2 over 2 servers, the longer queue must never win.
+  FakeCluster cluster({3, 0});
+  SqdPolicy policy(2, 2);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, rng), 1);
+}
+
+TEST(SqdPolicy, TieBreakingUniform) {
+  FakeCluster cluster({2, 2, 2});
+  SqdPolicy policy(3, 3);
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 3.0, 600);
+}
+
+TEST(JsqPolicy, PicksGlobalMinimum) {
+  FakeCluster cluster({4, 1, 3, 1, 5});
+  JsqPolicy policy;
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[policy.select(cluster, rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[4], 0);
+  EXPECT_NEAR(counts[1], 10000, 400);  // uniform over the two minima
+  EXPECT_NEAR(counts[3], 10000, 400);
+}
+
+TEST(RoundRobinPolicy, CyclesAndResets) {
+  FakeCluster cluster({0, 0, 0});
+  RoundRobinPolicy policy;
+  Rng rng(11);
+  EXPECT_EQ(policy.select(cluster, rng), 0);
+  EXPECT_EQ(policy.select(cluster, rng), 1);
+  EXPECT_EQ(policy.select(cluster, rng), 2);
+  EXPECT_EQ(policy.select(cluster, rng), 0);
+  policy.reset();
+  EXPECT_EQ(policy.select(cluster, rng), 0);
+}
+
+TEST(LeastWorkLeftPolicy, PicksSmallestWorkload) {
+  FakeCluster cluster({9, 9, 9}, {4.0, 0.5, 2.0});
+  LeastWorkLeftPolicy policy;
+  Rng rng(13);
+  EXPECT_EQ(policy.select(cluster, rng), 1);
+}
+
+TEST(PolicyNames, Informative) {
+  EXPECT_EQ(SqdPolicy(4, 2).name(), "sq(2)");
+  EXPECT_EQ(JsqPolicy().name(), "jsq");
+  EXPECT_EQ(RoundRobinPolicy().name(), "round-robin");
+  EXPECT_EQ(LeastWorkLeftPolicy().name(), "least-work");
+}
+
+TEST(SqdPolicy, RejectsBadD) {
+  EXPECT_THROW(SqdPolicy(3, 0), std::invalid_argument);
+  EXPECT_THROW(SqdPolicy(3, 4), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#include "util/rootfind.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using rlb::util::find_root;
+
+TEST(FindRoot, LinearFunction) {
+  const auto r = find_root([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.5, 1e-12);
+}
+
+TEST(FindRoot, Quadratic) {
+  const auto r = find_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(FindRoot, Transcendental) {
+  // x = e^{-x} -> x ~ 0.567143 (omega constant).
+  const auto r =
+      find_root([](double x) { return std::exp(-x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.5671432904097838, 1e-10);
+}
+
+TEST(FindRoot, EndpointRoot) {
+  const auto r = find_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+}
+
+TEST(FindRoot, RequiresBracket) {
+  EXPECT_THROW(find_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FindRoot, SteepFunction) {
+  const auto r = find_root(
+      [](double x) { return std::pow(x, 20) - 0.5; }, 0.0, 1.0, 1e-13, 500);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::pow(r.x, 20), 0.5, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+#include "statespace/state.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace ss = rlb::statespace;
+using ss::State;
+
+TEST(State, TotalsAndGap) {
+  const State m{3, 2, 2, 0};
+  EXPECT_EQ(ss::total_jobs(m), 7);
+  EXPECT_EQ(ss::gap(m), 3);
+  EXPECT_EQ(ss::waiting_jobs(m), 4);  // 2 + 1 + 1 + 0
+  EXPECT_EQ(ss::busy_servers(m), 3);
+}
+
+TEST(State, Validity) {
+  EXPECT_TRUE(ss::is_valid_state({5, 5, 1}));
+  EXPECT_FALSE(ss::is_valid_state({1, 2}));   // increasing
+  EXPECT_FALSE(ss::is_valid_state({2, -1}));  // negative
+  EXPECT_FALSE(ss::is_valid_state({}));
+}
+
+TEST(State, TieGroups) {
+  const auto groups = ss::tie_groups({4, 2, 2, 2, 1, 0, 0});
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].head, 0);
+  EXPECT_EQ(groups[0].tail, 0);
+  EXPECT_EQ(groups[0].value, 4);
+  EXPECT_EQ(groups[1].head, 1);
+  EXPECT_EQ(groups[1].tail, 3);
+  EXPECT_EQ(groups[1].size(), 3);
+  EXPECT_EQ(groups[3].value, 0);
+  EXPECT_EQ(groups[3].size(), 2);
+}
+
+TEST(State, SingleGroupWhenAllEqual) {
+  const auto groups = ss::tie_groups({2, 2, 2});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3);
+}
+
+TEST(State, ArrivalAtHeadKeepsSorted) {
+  const State m{3, 1, 1, 0};
+  const State a = ss::after_arrival_at_head(m, 1);
+  EXPECT_EQ(a, (State{3, 2, 1, 0}));
+  EXPECT_TRUE(ss::is_valid_state(a));
+}
+
+TEST(State, ArrivalAtNonHeadRejected) {
+  const State m{3, 1, 1, 0};
+  EXPECT_THROW(ss::after_arrival_at_head(m, 2), std::invalid_argument);
+}
+
+TEST(State, DepartureAtTailKeepsSorted) {
+  const State m{3, 1, 1, 1};
+  const State d = ss::after_departure_at_tail(m, 3);
+  EXPECT_EQ(d, (State{3, 1, 1, 0}));
+}
+
+TEST(State, DepartureFromEmptyRejected) {
+  const State m{1, 0};
+  EXPECT_THROW(ss::after_departure_at_tail(m, 1), std::invalid_argument);
+}
+
+TEST(State, DepartureAtNonTailRejected) {
+  const State m{2, 2, 1};
+  EXPECT_THROW(ss::after_departure_at_tail(m, 0), std::invalid_argument);
+}
+
+TEST(State, PlusOneEverywhere) {
+  EXPECT_EQ(ss::plus_one_everywhere({2, 1, 0}), (State{3, 2, 1}));
+}
+
+TEST(State, ToString) {
+  EXPECT_EQ(ss::to_string({2, 1}), "(2,1)");
+}
+
+}  // namespace

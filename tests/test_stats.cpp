@@ -1,0 +1,139 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace {
+
+using rlb::sim::BatchMeans;
+using rlb::sim::StreamingMoments;
+using rlb::sim::t_quantile_95;
+
+TEST(StreamingMoments, SmallSeries) {
+  StreamingMoments s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingMoments, SingleValue) {
+  StreamingMoments s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingMoments, NumericallyStableForShiftedData) {
+  StreamingMoments s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2));
+  EXPECT_NEAR(s.mean(), offset + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 0.01);
+}
+
+TEST(BatchMeans, MeanOverBatches) {
+  BatchMeans bm(2);
+  for (double x : {1.0, 3.0, 5.0, 7.0}) bm.add(x);
+  EXPECT_EQ(bm.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.0);  // batch means 2 and 6
+}
+
+TEST(BatchMeans, IncompleteBatchIgnored) {
+  BatchMeans bm(3);
+  bm.add(1.0);
+  bm.add(2.0);
+  EXPECT_EQ(bm.completed_batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), 0.0);
+}
+
+TEST(BatchMeans, CoverageOnIidNormal) {
+  // The 95% CI should contain the true mean ~95% of the time.
+  rlb::sim::Rng rng(61);
+  int covered = 0;
+  const int replications = 300;
+  for (int r = 0; r < replications; ++r) {
+    BatchMeans bm(50);
+    for (int i = 0; i < 1000; ++i) bm.add(rng.normal() + 10.0);
+    if (std::abs(bm.mean() - 10.0) <= bm.ci95_halfwidth()) ++covered;
+  }
+  EXPECT_GT(covered, replications * 0.9);
+  EXPECT_LE(covered, replications);
+}
+
+TEST(BatchMeans, HalfwidthShrinksWithData) {
+  rlb::sim::Rng rng(67);
+  BatchMeans small(100), large(100);
+  for (int i = 0; i < 1000; ++i) small.add(rng.normal());
+  for (int i = 0; i < 100000; ++i) large.add(rng.normal());
+  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+}
+
+TEST(TQuantile, KnownValues) {
+  EXPECT_NEAR(t_quantile_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_quantile_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_quantile_95(1000), 1.96, 1e-3);
+}
+
+TEST(TQuantile, MonotoneDecreasing) {
+  for (std::uint64_t df = 1; df < 40; ++df)
+    EXPECT_GE(t_quantile_95(df), t_quantile_95(df + 1));
+}
+
+}  // namespace
+
+namespace {
+
+using rlb::sim::ReservoirQuantiles;
+
+TEST(ReservoirQuantiles, ExactForSmallStreams) {
+  ReservoirQuantiles rq(1000);
+  for (int i = 1; i <= 101; ++i) rq.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rq.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(1.0), 101.0);
+  EXPECT_EQ(rq.count(), 101u);
+}
+
+TEST(ReservoirQuantiles, ApproximatesLargeUniformStream) {
+  ReservoirQuantiles rq(50'000, 7);
+  rlb::sim::Rng rng(123);
+  for (int i = 0; i < 1'000'000; ++i) rq.add(rng.next_double());
+  EXPECT_NEAR(rq.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(rq.quantile(0.95), 0.95, 0.01);
+  EXPECT_NEAR(rq.quantile(0.99), 0.99, 0.01);
+}
+
+TEST(ReservoirQuantiles, ExponentialTailQuantiles) {
+  ReservoirQuantiles rq(50'000, 11);
+  rlb::sim::Rng rng(321);
+  for (int i = 0; i < 500'000; ++i) rq.add(rng.exponential(1.0));
+  // Quantiles of Exp(1): -ln(1-q).
+  EXPECT_NEAR(rq.quantile(0.5), std::log(2.0), 0.02);
+  EXPECT_NEAR(rq.quantile(0.95), -std::log(0.05), 0.1);
+}
+
+TEST(ReservoirQuantiles, DomainChecks) {
+  ReservoirQuantiles rq(10);
+  EXPECT_THROW(rq.quantile(0.5), std::invalid_argument);  // empty
+  rq.add(1.0);
+  EXPECT_THROW(rq.quantile(1.5), std::invalid_argument);
+  EXPECT_THROW(ReservoirQuantiles(0), std::invalid_argument);
+}
+
+TEST(ReservoirQuantiles, InterleavedAddAndQuery) {
+  ReservoirQuantiles rq(100, 3);
+  for (int i = 0; i < 50; ++i) rq.add(i);
+  const double q1 = rq.quantile(0.5);
+  for (int i = 50; i < 100; ++i) rq.add(i);
+  const double q2 = rq.quantile(0.5);
+  EXPECT_LT(q1, q2);  // median moved right as larger values arrived
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using rlb::util::Cli;
+using rlb::util::Table;
+
+TEST(Table, AlignsColumns) {
+  Table t({"rho", "delay"});
+  t.add_row({"0.5", "1.25"});
+  t.add_row({"0.95", "10.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("rho"), std::string::npos);
+  EXPECT_NE(s.find("10.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumericRowsFormatted) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"n", "value"});
+  t.add_row({"1", "2.5"});
+  const std::string path = ::testing::TempDir() + "/rlb_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "n,value");
+  EXPECT_EQ(row, "1,2.5");
+  std::remove(path.c_str());
+}
+
+Cli make_cli(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const Cli cli = make_cli({"--rho=0.9", "--jobs=1000"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.0), 0.9);
+  EXPECT_EQ(cli.get_int("jobs", 0), 1000);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const Cli cli = make_cli({"--name", "panel-a"});
+  EXPECT_EQ(cli.get("name", ""), "panel-a");
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make_cli({"--full"});
+  EXPECT_TRUE(cli.get_bool("full"));
+  EXPECT_FALSE(cli.get_bool("absent"));
+}
+
+TEST(Cli, DefaultsApply) {
+  const Cli cli = make_cli({});
+  EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.75), 0.75);
+}
+
+TEST(Cli, FinishRejectsUnknownFlags) {
+  const Cli cli = make_cli({"--typo=1"});
+  EXPECT_THROW(cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, FinishAcceptsQueriedFlags) {
+  const Cli cli = make_cli({"--rho=0.5"});
+  (void)cli.get_double("rho", 0.0);
+  EXPECT_NO_THROW(cli.finish());
+}
+
+}  // namespace

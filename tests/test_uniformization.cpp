@@ -1,0 +1,59 @@
+#include "markov/uniformization.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "markov/gth.h"
+
+namespace {
+
+namespace mk = rlb::markov;
+using rlb::linalg::Matrix;
+using rlb::linalg::Vector;
+
+Matrix two_state(double a, double b) {
+  Matrix q(2, 2);
+  q(0, 0) = -a;
+  q(0, 1) = a;
+  q(1, 0) = b;
+  q(1, 1) = -b;
+  return q;
+}
+
+TEST(Uniformization, MatchesClosedFormTwoState) {
+  // For a two-state chain, P(X_t = 1 | X_0 = 0) has a known closed form.
+  const double a = 1.5, b = 0.5;
+  const Matrix q = two_state(a, b);
+  for (double t : {0.1, 0.5, 2.0}) {
+    const Vector p = mk::transient_distribution(q, {1.0, 0.0}, t);
+    const double expected =
+        a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(p[1], expected, 1e-10) << t;
+  }
+}
+
+TEST(Uniformization, TimeZeroIsInitial) {
+  const Matrix q = two_state(1.0, 1.0);
+  const Vector p = mk::transient_distribution(q, {0.3, 0.7}, 0.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.3);
+  EXPECT_DOUBLE_EQ(p[1], 0.7);
+}
+
+TEST(Uniformization, ConvergesToStationary) {
+  const Matrix q = two_state(2.0, 1.0);
+  const Vector p = mk::transient_distribution(q, {1.0, 0.0}, 50.0);
+  const Vector pi = mk::stationary_gth(q);
+  EXPECT_NEAR(p[0], pi[0], 1e-9);
+  EXPECT_NEAR(p[1], pi[1], 1e-9);
+}
+
+TEST(Uniformization, ProbabilityMassConserved) {
+  const Matrix q = two_state(0.7, 0.3);
+  const Vector p = mk::transient_distribution(q, {0.5, 0.5}, 3.0);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GE(p[0], 0.0);
+  EXPECT_GE(p[1], 0.0);
+}
+
+}  // namespace
