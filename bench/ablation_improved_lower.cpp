@@ -1,76 +1,110 @@
-// Experiment E9 — Theorems 2-3 ablation: the improved lower bound (scalar
-// rate sigma^N = rho^N) against the generic matrix-geometric solve.
-// Verifies the agreement numerically, reports the speedup from skipping the
-// G/R iteration, and checks sp(R) = rho^N.
+// Scenario "ablation_improved_lower" — Experiment E9, Theorems 2-3
+// ablation: the improved lower bound (scalar rate sigma^N = rho^N) against
+// the generic matrix-geometric solve. Verifies the agreement numerically,
+// reports the speedup from skipping the G/R iteration, and checks
+// sp(R) = rho^N. Each configuration is one sweep cell; the timing columns
+// are measured wall-clock and therefore vary run to run.
 #include <chrono>
 #include <cmath>
-#include <iostream>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "linalg/eigen.h"
 #include "qbd/logred.h"
 #include "sqd/blocks_builder.h"
 #include "sqd/bound_solver.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
+namespace {
 
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using rlb::sqd::BoundKind;
+using rlb::sqd::BoundModel;
+using rlb::sqd::Params;
+
+struct Config {
+  int n, t;
+  double rho;
+};
+
+struct CellResult {
+  int block_size = 0;
+  double generic = 0.0;
+  double improved = 0.0;
+  double sp = 0.0;
+  double t_generic = 0.0;
+  double t_improved = 0.0;
+};
+
+ScenarioOutput run(ScenarioContext& ctx) {
   using clock = std::chrono::steady_clock;
-  using rlb::sqd::BoundKind;
-  using rlb::sqd::BoundModel;
-  using rlb::sqd::Params;
-
-  std::cout << "E9: improved lower bound (Theorem 3) vs generic solve "
-               "(Theorem 1).\n";
-  rlb::util::Table table({"N", "T", "rho", "block", "generic", "improved",
-                          "agree_rel", "sp(R)", "rho^N", "t_generic(s)",
-                          "t_improved(s)", "speedup"});
-
-  struct Config {
-    int n, t;
-    double rho;
-  };
   const std::vector<Config> configs{
-      {3, 2, 0.70}, {3, 3, 0.90}, {6, 3, 0.70}, {6, 3, 0.90},
+      {3, 2, 0.70}, {3, 3, 0.90},  {6, 3, 0.70}, {6, 3, 0.90},
       {12, 3, 0.70}, {12, 3, 0.90}, {6, 4, 0.95},
   };
 
-  for (const auto& c : configs) {
-    const BoundModel model(Params{c.n, 2, c.rho, 1.0}, c.t, BoundKind::Lower);
-    const auto q = rlb::sqd::build_bound_qbd(model);
+  const auto cells = ctx.map<CellResult>(
+      configs.size(), [&](std::size_t i) {
+        const Config& c = configs[i];
+        const BoundModel model(Params{c.n, 2, c.rho, 1.0}, c.t,
+                               BoundKind::Lower);
+        const auto q = rlb::sqd::build_bound_qbd(model);
 
-    auto start = clock::now();
-    const auto generic = rlb::sqd::solve_bound(model, q);
-    const double t_generic =
-        std::chrono::duration<double>(clock::now() - start).count();
+        CellResult cell;
+        auto start = clock::now();
+        const auto generic = rlb::sqd::solve_bound(model, q);
+        cell.t_generic =
+            std::chrono::duration<double>(clock::now() - start).count();
+        cell.generic = generic.mean_delay;
+        cell.block_size = generic.block_size;
 
-    start = clock::now();
-    const auto improved = rlb::sqd::solve_lower_improved(model, q, c.rho);
-    const double t_improved =
-        std::chrono::duration<double>(clock::now() - start).count();
+        start = clock::now();
+        cell.improved =
+            rlb::sqd::solve_lower_improved(model, q, c.rho).mean_delay;
+        cell.t_improved =
+            std::chrono::duration<double>(clock::now() - start).count();
 
-    const auto g = rlb::qbd::logarithmic_reduction(q.blocks.A0, q.blocks.A1,
-                                                   q.blocks.A2);
-    const auto r =
-        rlb::qbd::rate_matrix_from_g(q.blocks.A0, q.blocks.A1, g.G);
-    const double sp = rlb::linalg::power_iteration(r).value;
+        const auto g = rlb::qbd::logarithmic_reduction(
+            q.blocks.A0, q.blocks.A1, q.blocks.A2);
+        const auto r =
+            rlb::qbd::rate_matrix_from_g(q.blocks.A0, q.blocks.A1, g.G);
+        cell.sp = rlb::linalg::power_iteration(r).value;
+        return cell;
+      });
 
+  ScenarioOutput out;
+  out.preamble =
+      "E9: improved lower bound (Theorem 3) vs generic solve (Theorem 1).";
+  auto& table = out.add_table(
+      "main", {"N", "T", "rho", "block", "generic", "improved", "agree_rel",
+               "sp(R)", "rho^N", "t_generic(s)", "t_improved(s)", "speedup"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
+    const CellResult& cell = cells[i];
     table.add_row(
         {std::to_string(c.n), std::to_string(c.t), rlb::util::fmt(c.rho, 2),
-         std::to_string(generic.block_size),
-         rlb::util::fmt(generic.mean_delay, 6),
-         rlb::util::fmt(improved.mean_delay, 6),
-         rlb::util::fmt(std::abs(generic.mean_delay - improved.mean_delay) /
-                            generic.mean_delay,
+         std::to_string(cell.block_size), rlb::util::fmt(cell.generic, 6),
+         rlb::util::fmt(cell.improved, 6),
+         rlb::util::fmt(std::abs(cell.generic - cell.improved) /
+                            cell.generic,
                         12),
-         rlb::util::fmt(sp, 6), rlb::util::fmt(std::pow(c.rho, c.n), 6),
-         rlb::util::fmt(t_generic, 4), rlb::util::fmt(t_improved, 4),
-         rlb::util::fmt(t_generic / std::max(t_improved, 1e-9), 1)});
+         rlb::util::fmt(cell.sp, 6),
+         rlb::util::fmt(std::pow(c.rho, c.n), 6),
+         rlb::util::fmt(cell.t_generic, 4),
+         rlb::util::fmt(cell.t_improved, 4),
+         rlb::util::fmt(cell.t_generic / std::max(cell.t_improved, 1e-9),
+                        1)});
   }
-  table.print(std::cout);
-  if (!csv.empty()) table.write_csv(csv);
-  return 0;
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "ablation_improved_lower",
+    "E9: improved lower bound (Thm 3) vs generic matrix-geometric solve — "
+    "agreement, sp(R) = rho^N, speedup",
+    {},
+    run}};
+
+}  // namespace

@@ -1,22 +1,27 @@
-// Ablation — the upper model's arrival-redirect rule (see DESIGN.md).
+// Scenario "ablation_redirect_rules" — the upper model's arrival-redirect
+// rule (see DESIGN.md).
 //
 // The source text of the paper lacks the figures that specify the exact
 // redirection; two precedence-valid reconstructions exist:
 //   PhantomBottom  m + e_1 + e_{bottom group} (minimal; implemented default)
 //   AllServers     m + 1 (one job everywhere; naive)
-// This bench quantifies how much tighter the minimal rule is, and where
+// This scenario quantifies how much tighter the minimal rule is, and where
 // each variant's stability region ends — the evidence for choosing
 // PhantomBottom (the AllServers upper bound is useless for N = 12 exactly
-// where Figure 10(d) shows a usable curve).
-#include <iostream>
+// where Figure 10(d) shows a usable curve). Each configuration row is one
+// sweep cell.
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sqd/bound_solver.h"
-#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
 using rlb::sqd::BoundKind;
 using rlb::sqd::BoundModel;
 using rlb::sqd::Params;
@@ -33,40 +38,63 @@ std::string upper_delay(const Params& p, int t, UpperArrivalRule rule) {
   }
 }
 
-}  // namespace
+struct Config {
+  int n, t;
+  double rho;
+};
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
+struct CellResult {
+  double lower = 0.0;
+  std::string phantom;
+  std::string all_servers;
+};
 
-  std::cout << "Ablation: upper-bound arrival redirect rule "
-               "(minimal phantom vs all-servers).\n";
-  rlb::util::Table table({"N", "T", "rho", "lower", "upper(phantom)",
-                          "upper(m+1)"});
-  struct Config {
-    int n, t;
-    double rho;
-  };
+ScenarioOutput run(ScenarioContext& ctx) {
   const std::vector<Config> configs{
       {3, 2, 0.5},  {3, 2, 0.7},  {3, 3, 0.7},  {3, 3, 0.9},
       {6, 3, 0.5},  {6, 3, 0.7},  {6, 3, 0.8},  {12, 3, 0.5},
       {12, 3, 0.65}, {12, 3, 0.75},
   };
-  for (const auto& c : configs) {
-    const Params p{c.n, 2, c.rho, 1.0};
-    const double lower =
-        rlb::sqd::solve_lower_improved(BoundModel(p, c.t, BoundKind::Lower))
-            .mean_delay;
+
+  const auto cells = ctx.map<CellResult>(
+      configs.size(), [&](std::size_t i) {
+        const Config& c = configs[i];
+        const Params p{c.n, 2, c.rho, 1.0};
+        CellResult cell;
+        cell.lower =
+            rlb::sqd::solve_lower_improved(
+                BoundModel(p, c.t, BoundKind::Lower))
+                .mean_delay;
+        cell.phantom = upper_delay(p, c.t, UpperArrivalRule::PhantomBottom);
+        cell.all_servers = upper_delay(p, c.t, UpperArrivalRule::AllServers);
+        return cell;
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "Ablation: upper-bound arrival redirect rule (minimal phantom vs "
+      "all-servers).";
+  auto& table = out.add_table(
+      "main", {"N", "T", "rho", "lower", "upper(phantom)", "upper(m+1)"});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& c = configs[i];
     table.add_row({std::to_string(c.n), std::to_string(c.t),
-                   rlb::util::fmt(c.rho, 2), rlb::util::fmt(lower, 4),
-                   upper_delay(p, c.t, UpperArrivalRule::PhantomBottom),
-                   upper_delay(p, c.t, UpperArrivalRule::AllServers)});
+                   rlb::util::fmt(c.rho, 2),
+                   rlb::util::fmt(cells[i].lower, 4), cells[i].phantom,
+                   cells[i].all_servers});
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: the phantom rule is always at least as "
-               "tight and stays stable\nat loads where m+1 already "
-               "diverged; the gap widens with N.\n";
-  if (!csv.empty()) table.write_csv(csv);
-  return 0;
+  out.postamble =
+      "Expected shape: the phantom rule is always at least as tight and "
+      "stays stable\nat loads where m+1 already diverged; the gap widens "
+      "with N.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "ablation_redirect_rules",
+    "Upper-bound arrival-redirect ablation: minimal phantom rule vs naive "
+    "all-servers rule",
+    {},
+    run}};
+
+}  // namespace

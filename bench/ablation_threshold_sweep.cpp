@@ -1,80 +1,114 @@
-// Experiment E8 — the accuracy/complexity tradeoff in T (§V, first
-// observation): upper bounds tighten as T grows, but block sizes — and
-// hence the matrix-geometric cost — grow as C(N+T-1, T).
+// Scenario "ablation_threshold_sweep" — Experiment E8, the
+// accuracy/complexity tradeoff in T (§V, first observation): upper bounds
+// tighten as T grows, but block sizes — and hence the matrix-geometric
+// cost — grow as C(N+T-1, T).
 //
 // Prints, per T: both bounds, the sandwich width, the exact value (small N
-// reference), block/boundary sizes, and wall-clock solve times.
+// reference), block/boundary sizes, and wall-clock solve times (which vary
+// run to run). Each T is one sweep cell.
 #include <chrono>
-#include <iostream>
+#include <cmath>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sqd/bound_solver.h"
 #include "sqd/exact_reference.h"
-#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
-double seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using rlb::sqd::BoundKind;
+using rlb::sqd::BoundModel;
+using rlb::sqd::Params;
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
 }
 
-}  // namespace
+struct CellResult {
+  int block_size = 0;
+  int boundary_size = 0;
+  double lower = 0.0;
+  std::string upper = "unstable";
+  std::string width = "-";
+  double t_lower = 0.0;
+  double t_upper = 0.0;
+};
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 3));
-  const int d = static_cast<int>(cli.get_int("d", 2));
-  const double rho = cli.get_double("rho", 0.7);
-  const int t_max = static_cast<int>(cli.get_int("tmax", 6));
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
-
-  using rlb::sqd::BoundKind;
-  using rlb::sqd::BoundModel;
-  using rlb::sqd::Params;
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 3));
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const double rho = ctx.cli().get_double("rho", 0.7);
+  const int t_max = static_cast<int>(ctx.cli().get_int("tmax", 6));
   const Params p{n, d, rho, 1.0};
 
-  std::cout << "E8: threshold sweep, N = " << n << ", d = " << d
-            << ", rho = " << rho << "\n";
   const double exact =
       n <= 3 ? rlb::sqd::solve_exact_truncated(p, 60).mean_delay : -1.0;
-  if (exact > 0) std::cout << "exact (truncated CTMC): " << exact << "\n";
 
-  rlb::util::Table table({"T", "block", "boundary", "lower", "upper",
-                          "width", "lower_err%", "t_lower(s)", "t_upper(s)"});
-  for (int t = 1; t <= t_max; ++t) {
-    auto start = std::chrono::steady_clock::now();
-    const auto lower =
-        rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Lower));
-    const double t_lower = seconds_since(start);
+  const auto cells = ctx.map<CellResult>(
+      static_cast<std::size_t>(t_max), [&](std::size_t i) {
+        const int t = static_cast<int>(i) + 1;
+        CellResult cell;
+        auto start = std::chrono::steady_clock::now();
+        const auto lower =
+            rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Lower));
+        cell.t_lower = seconds_since(start);
+        cell.lower = lower.mean_delay;
+        cell.block_size = lower.block_size;
+        cell.boundary_size = lower.boundary_size;
+        try {
+          start = std::chrono::steady_clock::now();
+          const auto upper =
+              rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Upper));
+          cell.t_upper = seconds_since(start);
+          cell.upper = rlb::util::fmt(upper.mean_delay, 5);
+          cell.width =
+              rlb::util::fmt(upper.mean_delay - lower.mean_delay, 5);
+        } catch (const rlb::qbd::UnstableError&) {
+        }
+        return cell;
+      });
 
-    std::string upper_s = "unstable";
-    std::string width_s = "-";
-    double t_upper = 0.0;
-    try {
-      start = std::chrono::steady_clock::now();
-      const auto upper =
-          rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Upper));
-      t_upper = seconds_since(start);
-      upper_s = rlb::util::fmt(upper.mean_delay, 5);
-      width_s = rlb::util::fmt(upper.mean_delay - lower.mean_delay, 5);
-    } catch (const rlb::qbd::UnstableError&) {
-    }
+  ScenarioOutput out;
+  out.preamble = "E8: threshold sweep, N = " + std::to_string(n) +
+                 ", d = " + std::to_string(d) +
+                 ", rho = " + rlb::util::fmt(rho, 2);
+  if (exact > 0)
+    out.preamble +=
+        "\nexact (truncated CTMC): " + rlb::util::fmt(exact, 6);
 
+  auto& table = out.add_table(
+      "main", {"T", "block", "boundary", "lower", "upper", "width",
+               "lower_err%", "t_lower(s)", "t_upper(s)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
     const std::string err =
-        exact > 0 ? rlb::util::fmt(
-                        100.0 * std::abs(exact - lower.mean_delay) / exact, 3)
-                  : "-";
-    table.add_row({std::to_string(t), std::to_string(lower.block_size),
-                   std::to_string(lower.boundary_size),
-                   rlb::util::fmt(lower.mean_delay, 5), upper_s, width_s, err,
-                   rlb::util::fmt(t_lower, 3), rlb::util::fmt(t_upper, 3)});
+        exact > 0
+            ? rlb::util::fmt(100.0 * std::abs(exact - cell.lower) / exact, 3)
+            : "-";
+    table.add_row({std::to_string(i + 1), std::to_string(cell.block_size),
+                   std::to_string(cell.boundary_size),
+                   rlb::util::fmt(cell.lower, 5), cell.upper, cell.width,
+                   err, rlb::util::fmt(cell.t_lower, 3),
+                   rlb::util::fmt(cell.t_upper, 3)});
   }
-  table.print(std::cout);
-  if (!csv.empty()) table.write_csv(csv);
-  return 0;
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "ablation_threshold_sweep",
+    "E8: accuracy/complexity tradeoff in the threshold T — bound width vs "
+    "block size and solve time",
+    {{"n", "number of servers", "3"},
+     {"d", "polled servers per arrival", "2"},
+     {"rho", "utilization", "0.7"},
+     {"tmax", "largest threshold T to solve", "6"}},
+    run}};
+
+}  // namespace

@@ -1,67 +1,106 @@
-// Experiment E10 — the motivating "power of d" comparison (§I): delay of
-// SQ(1), SQ(2), SQ(5), JSQ and the classic comparators, by discrete-event
-// simulation, plus the paper's bounds for SQ(2).
-#include <iostream>
+// Scenario "power_of_d" — Experiment E10, the motivating "power of d"
+// comparison (§I): delay of SQ(1), SQ(2), SQ(5), JSQ and the classic
+// comparators, by discrete-event simulation, plus the paper's bounds for
+// SQ(2). Each (rho, policy) simulation is one sweep cell, so the table
+// fills across worker threads.
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sim/cluster_sim.h"
 #include "sqd/asymptotic.h"
 #include "sqd/bound_solver.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 10));
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 1'000'000));
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
+namespace {
 
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+
+constexpr std::size_t kTasks = 7;  // 6 simulated policies + 1 bound solve
+
+std::unique_ptr<rlb::sim::Policy> make_policy(int n, std::size_t task) {
   using namespace rlb::sim;
+  switch (task) {
+    case 0:
+      return std::make_unique<SqdPolicy>(n, 1);
+    case 1:
+      return std::make_unique<SqdPolicy>(n, 2);
+    case 2:
+      return std::make_unique<SqdPolicy>(n, 5);
+    case 3:
+      return std::make_unique<JsqPolicy>();
+    case 4:
+      return std::make_unique<RoundRobinPolicy>();
+    default:
+      return std::make_unique<LeastWorkLeftPolicy>();
+  }
+}
 
-  std::cout << "E10: the power of d choices, N = " << n
-            << " servers, M/M service, DES with " << jobs << " jobs.\n";
-  rlb::util::Table table({"rho", "sq(1)", "sq(2)", "sq(5)", "jsq",
-                          "round-robin", "least-work", "asym d=2",
-                          "lower bound sq(2)"});
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 10));
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 1'000'000));
+  const auto seed = static_cast<std::uint64_t>(ctx.cli().get_int("seed", 777));
 
-  for (double rho : {0.5, 0.7, 0.9, 0.95, 0.99}) {
-    ClusterConfig cfg;
-    cfg.servers = n;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.seed = 777;
-    const auto arr = make_exponential(rho * n);
-    const auto svc = make_exponential(1.0);
+  const std::vector<double> rhos{0.5, 0.7, 0.9, 0.95, 0.99};
+  const auto cells =
+      ctx.map<double>(rhos.size() * kTasks, [&](std::size_t i) {
+        const double rho = rhos[i / kTasks];
+        const std::size_t task = i % kTasks;
+        if (task == kTasks - 1) {
+          // Lower bound for SQ(2) at this N (improved solver, T = 2).
+          const rlb::sqd::BoundModel lower(rlb::sqd::Params{n, 2, rho, 1.0},
+                                           2, rlb::sqd::BoundKind::Lower);
+          return rlb::sqd::solve_lower_improved(lower).mean_delay;
+        }
+        using namespace rlb::sim;
+        ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        // One seed per rho row (not per cell): all policy columns see the
+        // same random streams, so column differences isolate the policy
+        // effect (common random numbers, as the original bench did).
+        cfg.seed = rlb::engine::cell_seed(seed, i / kTasks);
+        const auto arr = make_exponential(rho * n);
+        const auto svc = make_exponential(1.0);
+        const auto policy = make_policy(n, task);
+        return simulate_cluster(cfg, *policy, *arr, *svc).mean_sojourn;
+      });
 
-    std::vector<std::unique_ptr<Policy>> policies;
-    policies.push_back(std::make_unique<SqdPolicy>(n, 1));
-    policies.push_back(std::make_unique<SqdPolicy>(n, 2));
-    policies.push_back(std::make_unique<SqdPolicy>(n, 5));
-    policies.push_back(std::make_unique<JsqPolicy>());
-    policies.push_back(std::make_unique<RoundRobinPolicy>());
-    policies.push_back(std::make_unique<LeastWorkLeftPolicy>());
-
-    std::vector<std::string> row{rlb::util::fmt(rho, 2)};
-    for (auto& policy : policies) {
-      const auto r = simulate_cluster(cfg, *policy, *arr, *svc);
-      row.push_back(rlb::util::fmt(r.mean_sojourn, 3));
-    }
-    row.push_back(rlb::util::fmt(rlb::sqd::asymptotic_delay(rho, 2), 3));
-
-    // Lower bound for SQ(2) at this N (improved solver, T = 2).
-    const rlb::sqd::BoundModel lower(rlb::sqd::Params{n, 2, rho, 1.0}, 2,
-                                     rlb::sqd::BoundKind::Lower);
-    row.push_back(
-        rlb::util::fmt(rlb::sqd::solve_lower_improved(lower).mean_delay, 3));
+  ScenarioOutput out;
+  out.preamble = "E10: the power of d choices, N = " + std::to_string(n) +
+                 " servers, M/M service, DES with " + std::to_string(jobs) +
+                 " jobs.";
+  auto& table = out.add_table(
+      "main", {"rho", "sq(1)", "sq(2)", "sq(5)", "jsq", "round-robin",
+               "least-work", "asym d=2", "lower bound sq(2)"});
+  for (std::size_t r = 0; r < rhos.size(); ++r) {
+    std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
+    for (std::size_t task = 0; task + 1 < kTasks; ++task)
+      row.push_back(rlb::util::fmt(cells[r * kTasks + task], 3));
+    row.push_back(rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[r], 2), 3));
+    row.push_back(rlb::util::fmt(cells[r * kTasks + kTasks - 1], 3));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\nExpected shape: sq(1) explodes at high rho; sq(2) removes "
-               "most of that pain\n(exponential improvement); extra choices "
-               "give diminishing returns.\n";
-  if (!csv.empty()) table.write_csv(csv);
-  return 0;
+  out.postamble =
+      "Expected shape: sq(1) explodes at high rho; sq(2) removes most of "
+      "that pain\n(exponential improvement); extra choices give diminishing "
+      "returns.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "power_of_d",
+    "E10: SQ(1/2/5), JSQ, round-robin, least-work delays by DES plus the "
+    "paper's SQ(2) bounds",
+    {{"n", "number of servers", "10"},
+     {"jobs", "simulated jobs per cell", "1000000"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "777"}},
+    run}};
+
+}  // namespace

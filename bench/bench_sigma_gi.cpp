@@ -1,132 +1,175 @@
-// Experiment E11 — Theorem 2 extension: the geometric decay parameter
-// sigma for general renewal arrivals (the paper proves pi_{q+1} =
-// sigma^N pi_q for the lower bound model; Theorem 3 specializes sigma = rho
-// for Poisson). This bench computes sigma across interarrival families and
-// utilizations and cross-checks the GI/M/1-style ordering by simulating
-// GI/M SQ(2) clusters with the DES.
+// Scenario "sigma_gi" — Experiment E11, Theorem 2 extension: the geometric
+// decay parameter sigma for general renewal arrivals (the paper proves
+// pi_{q+1} = sigma^N pi_q for the lower bound model; Theorem 3 specializes
+// sigma = rho for Poisson). Computes sigma across interarrival families
+// and utilizations, cross-checks the GI/M/1-style ordering by simulating
+// GI/M SQ(2) clusters with the DES, and verifies the geometric tail on the
+// lower bound model itself. The seven simulations are sweep cells; the
+// sigma rootfinds are cheap and run inline.
 #include <cmath>
-#include <iostream>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "sim/cluster_sim.h"
 #include "sim/gi_bound_sim.h"
 #include "sqd/bound_model.h"
 #include "sqd/interarrival.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 400'000));
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
+namespace {
 
-  using namespace rlb::sqd;
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using namespace rlb::sqd;
 
-  std::cout << "E11 (Theorem 2): sigma = root of x = sum_k x^k beta_k for "
-               "renewal arrivals.\nsigma orders by burstiness: "
-               "deterministic < erlang < poisson < hyperexp.\n";
-  rlb::util::Table table({"rho", "deterministic", "erlang(4)", "poisson",
-                          "hyperexp(scv=4)"});
+// scv = 4 hyperexponential fit used throughout.
+const double kP1 = 0.5 * (1.0 + std::sqrt(3.0 / 5.0));
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 400'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 4242));
+
+  ScenarioOutput out;
+  out.preamble =
+      "E11 (Theorem 2): sigma = root of x = sum_k x^k beta_k for renewal "
+      "arrivals.\nsigma orders by burstiness: deterministic < erlang < "
+      "poisson < hyperexp.";
+
+  auto& sigma_table = out.add_table(
+      "sigma", {"rho", "deterministic", "erlang(4)", "poisson",
+                "hyperexp(scv=4)"});
   for (double rho : {0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
     // All with mean interarrival 1/rho (per-server utilization rho, mu=1).
     const DeterministicInterarrival det(1.0 / rho);
     const ErlangInterarrival erl(4, 4.0 * rho);
     const ExponentialInterarrival poi(rho);
-    const double p1 = 0.5 * (1.0 + std::sqrt(3.0 / 5.0));  // scv = 4
-    const HyperExpInterarrival hyp(p1, 2.0 * p1 * rho,
-                                   2.0 * (1.0 - p1) * rho);
-    table.add_row_numeric({rho, solve_sigma(det, 1.0).sigma,
-                           solve_sigma(erl, 1.0).sigma,
-                           solve_sigma(poi, 1.0).sigma,
-                           solve_sigma(hyp, 1.0).sigma},
-                          6);
+    const HyperExpInterarrival hyp(kP1, 2.0 * kP1 * rho,
+                                   2.0 * (1.0 - kP1) * rho);
+    sigma_table.add_row_numeric(
+        {rho, solve_sigma(det, 1.0).sigma, solve_sigma(erl, 1.0).sigma,
+         solve_sigma(poi, 1.0).sigma, solve_sigma(hyp, 1.0).sigma},
+        6);
   }
-  table.print(std::cout);
-  if (!csv.empty()) table.write_csv(csv);
 
   // Simulation cross-check: delay of GI/M SQ(2) clusters orders the same
-  // way as sigma.
-  std::cout << "\nDES cross-check: GI/M SQ(2), N = 6, rho = 0.9, " << jobs
-            << " jobs\n";
-  using namespace rlb::sim;
+  // way as sigma. Cells 0-3 are the DES runs; cells 4-6 simulate the lower
+  // bound model itself for the Theorem 2 tail check.
   const int n = 6;
   const double rho = 0.9;
-  ClusterConfig cfg;
-  cfg.servers = n;
-  cfg.jobs = jobs;
-  cfg.warmup = jobs / 10;
-  cfg.seed = 4242;
-  const auto svc = make_exponential(1.0);
-  rlb::util::Table sim_table({"arrivals", "sigma", "sim mean delay"});
-  struct Entry {
-    std::string name;
-    std::unique_ptr<Distribution> dist;
-    double sigma;
-  };
   const double mean_ia = 1.0 / (rho * n);  // cluster-level stream
-  std::vector<Entry> entries;
-  entries.push_back({"deterministic", make_deterministic(mean_ia),
-                     solve_sigma(DeterministicInterarrival(1.0 / rho), 1.0)
-                         .sigma});
-  entries.push_back({"erlang(4)", make_erlang(4, 4.0 / mean_ia),
-                     solve_sigma(ErlangInterarrival(4, 4.0 * rho), 1.0)
-                         .sigma});
-  entries.push_back({"poisson", make_exponential(1.0 / mean_ia),
-                     solve_sigma(ExponentialInterarrival(rho), 1.0).sigma});
-  entries.push_back(
-      {"hyperexp(scv=4)", make_hyperexp_fitted(mean_ia, 4.0),
-       [&] {
-         const double p1 = 0.5 * (1.0 + std::sqrt(3.0 / 5.0));
-         return solve_sigma(HyperExpInterarrival(p1, 2.0 * p1 * rho,
-                                                 2.0 * (1.0 - p1) * rho),
-                            1.0)
-             .sigma;
-       }()});
-  for (auto& e : entries) {
-    SqdPolicy policy(n, 2);
-    const auto r = simulate_cluster(cfg, policy, *e.dist, *svc);
-    sim_table.add_row({e.name, rlb::util::fmt(e.sigma, 5),
-                       rlb::util::fmt(r.mean_sojourn, 4)});
-  }
-  sim_table.print(std::cout);
+
+  const int n2 = 2;
+  const double rho2 = 0.85;
+  const double cluster2 = rho2 * n2;
+
+  const auto des_sampler =
+      [&](std::size_t task) -> std::unique_ptr<rlb::sim::Distribution> {
+    switch (task) {
+      case 0:
+        return rlb::sim::make_deterministic(mean_ia);
+      case 1:
+        return rlb::sim::make_erlang(4, 4.0 / mean_ia);
+      case 2:
+        return rlb::sim::make_exponential(1.0 / mean_ia);
+      default:
+        return rlb::sim::make_hyperexp_fitted(mean_ia, 4.0);
+    }
+  };
+  const auto tail_sampler =
+      [&](std::size_t task) -> std::unique_ptr<rlb::sim::Distribution> {
+    switch (task) {
+      case 0:
+        return rlb::sim::make_erlang(3, 3.0 * cluster2);
+      case 1:
+        return rlb::sim::make_exponential(cluster2);
+      default:
+        return rlb::sim::make_deterministic(1.0 / cluster2);
+    }
+  };
+
+  // All DES cells share one seed and all tail cells share another, so the
+  // arrival families are compared under common random numbers (as the
+  // original bench did with its fixed seeds).
+  const auto cells = ctx.map<double>(7, [&](std::size_t i) {
+    if (i < 4) {
+      rlb::sim::ClusterConfig cfg;
+      cfg.servers = n;
+      cfg.jobs = jobs;
+      cfg.warmup = jobs / 10;
+      cfg.seed = rlb::engine::cell_seed(seed, 0);
+      rlb::sim::SqdPolicy policy(n, 2);
+      const auto arr = des_sampler(i);
+      const auto svc = rlb::sim::make_exponential(1.0);
+      return rlb::sim::simulate_cluster(cfg, policy, *arr, *svc)
+          .mean_sojourn;
+    }
+    const rlb::sqd::BoundModel lower(rlb::sqd::Params{n2, 2, rho2, 1.0}, 2,
+                                     rlb::sqd::BoundKind::Lower);
+    const auto sampler = tail_sampler(i - 4);
+    return rlb::sim::simulate_gi_lower_bound(
+               lower, *sampler, 4 * jobs, jobs / 2,
+               rlb::engine::cell_seed(seed, 1))
+        .level_tail_ratio;
+  });
+
+  auto& sim_table =
+      out.add_table("des_crosscheck", {"arrivals", "sigma",
+                                       "sim mean delay"});
+  const std::vector<std::pair<std::string, double>> des_entries{
+      {"deterministic",
+       solve_sigma(DeterministicInterarrival(1.0 / rho), 1.0).sigma},
+      {"erlang(4)", solve_sigma(ErlangInterarrival(4, 4.0 * rho), 1.0).sigma},
+      {"poisson", solve_sigma(ExponentialInterarrival(rho), 1.0).sigma},
+      {"hyperexp(scv=4)",
+       solve_sigma(HyperExpInterarrival(kP1, 2.0 * kP1 * rho,
+                                        2.0 * (1.0 - kP1) * rho),
+                   1.0)
+           .sigma}};
+  for (std::size_t i = 0; i < des_entries.size(); ++i)
+    sim_table.add_row({des_entries[i].first,
+                       rlb::util::fmt(des_entries[i].second, 5),
+                       rlb::util::fmt(cells[i], 4)});
+  out.note("DES cross-check: GI/M SQ(2), N = " + std::to_string(n) +
+           ", rho = " + rlb::util::fmt(rho, 2) + ", " +
+           std::to_string(jobs) + " jobs");
 
   // Direct verification of Theorem 2's geometric tail: simulate the LOWER
   // BOUND MODEL itself under each arrival family and compare the measured
   // level-mass ratio with sigma^N.
-  std::cout << "\nTheorem 2 tail check: lower bound model, N = 2, T = 2, "
-               "rho = 0.85\n";
-  const int n2 = 2;
-  const double rho2 = 0.85;
-  const rlb::sqd::BoundModel lower(rlb::sqd::Params{n2, 2, rho2, 1.0}, 2,
-                                   rlb::sqd::BoundKind::Lower);
-  rlb::util::Table tail_table(
-      {"arrivals", "sigma^N (Thm 2)", "measured level ratio"});
-  struct TailEntry {
-    std::string name;
-    std::unique_ptr<Distribution> sampler;
-    double sigma;
-  };
-  std::vector<TailEntry> tail_entries;
-  tail_entries.push_back(
-      {"erlang(3)", make_erlang(3, 3.0 * rho2 * n2),
-       solve_sigma(ErlangInterarrival(3, 3.0 * rho2 * n2), n2).sigma});
-  tail_entries.push_back(
-      {"poisson", make_exponential(rho2 * n2),
-       solve_sigma(ExponentialInterarrival(rho2 * n2), n2).sigma});
-  tail_entries.push_back(
-      {"deterministic", make_deterministic(1.0 / (rho2 * n2)),
-       solve_sigma(DeterministicInterarrival(1.0 / (rho2 * n2)), n2).sigma});
-  for (auto& e : tail_entries) {
-    const auto r = rlb::sim::simulate_gi_lower_bound(
-        lower, *e.sampler, 4 * jobs, jobs / 2, 13579);
-    tail_table.add_row({e.name, rlb::util::fmt(std::pow(e.sigma, n2), 5),
-                        rlb::util::fmt(r.level_tail_ratio, 5)});
-  }
-  tail_table.print(std::cout);
-  std::cout << "\nNote: sigma solves x = LST(N mu (1-x)) for the cluster "
-               "stream (per-job decay);\nlevels span N jobs, so the "
-               "predicted level-mass ratio is sigma^N.\n";
-  return 0;
+  auto& tail_table = out.add_table(
+      "thm2_tail", {"arrivals", "sigma^N (Thm 2)", "measured level ratio"});
+  const std::vector<std::pair<std::string, double>> tail_entries{
+      {"erlang(3)",
+       solve_sigma(ErlangInterarrival(3, 3.0 * cluster2), n2).sigma},
+      {"poisson", solve_sigma(ExponentialInterarrival(cluster2), n2).sigma},
+      {"deterministic",
+       solve_sigma(DeterministicInterarrival(1.0 / cluster2), n2).sigma}};
+  for (std::size_t i = 0; i < tail_entries.size(); ++i)
+    tail_table.add_row(
+        {tail_entries[i].first,
+         rlb::util::fmt(std::pow(tail_entries[i].second, n2), 5),
+         rlb::util::fmt(cells[4 + i], 5)});
+  out.note("Theorem 2 tail check: lower bound model, N = 2, T = 2, rho = "
+           "0.85");
+
+  out.postamble =
+      "Note: sigma solves x = LST(N mu (1-x)) for the cluster stream "
+      "(per-job decay);\nlevels span N jobs, so the predicted level-mass "
+      "ratio is sigma^N.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "sigma_gi",
+    "E11 (Thm 2): geometric decay sigma for renewal arrivals, with DES and "
+    "lower-bound-model cross-checks",
+    {{"jobs", "simulated jobs per DES cell", "400000"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "4242"}},
+    run}};
+
+}  // namespace

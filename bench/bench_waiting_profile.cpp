@@ -1,67 +1,109 @@
-// Extension bench — waiting-time percentiles from the analytic profile
-// (Erlang mixture over the lower bound model's stationary law) against the
-// DES's reservoir-sampled quantiles. Mean-delay bounds are the paper's
-// product; operators usually care about p95/p99, and the same
-// matrix-geometric solution delivers them in milliseconds.
-#include <iostream>
+// Scenario "waiting_profile" — waiting-time percentiles from the analytic
+// profile (Erlang mixture over the lower bound model's stationary law)
+// against the DES's reservoir-sampled quantiles. Mean-delay bounds are the
+// paper's product; operators usually care about p95/p99, and the same
+// matrix-geometric solution delivers them in milliseconds. Each rho is one
+// sweep cell (analytic profile + DES run).
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "sim/cluster_sim.h"
 #include "sqd/waiting_distribution.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 6));
-  const int d = static_cast<int>(cli.get_int("d", 2));
-  const int t = static_cast<int>(cli.get_int("T", 3));
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 800'000));
-  const std::string csv = cli.get("csv", "");
-  cli.finish();
+namespace {
 
-  using rlb::sqd::BoundKind;
-  using rlb::sqd::BoundModel;
-  using rlb::sqd::Params;
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using rlb::sqd::BoundKind;
+using rlb::sqd::BoundModel;
+using rlb::sqd::Params;
 
-  std::cout << "Waiting-time percentiles: analytic profile (lower bound "
-               "model) vs DES,\nSQ("
-            << d << "), N = " << n << ", T = " << t << "\n";
-  rlb::util::Table table({"rho", "P(W>0) model", "p50 model", "p50 sim",
-                          "p95 model", "p95 sim", "p99 model", "p99 sim"});
+struct CellResult {
+  double p_wait = 0.0;
+  double model_p50 = 0.0, model_p95 = 0.0, model_p99 = 0.0;
+  double sim_p50 = 0.0, sim_p95 = 0.0, sim_p99 = 0.0;
+};
 
-  for (double rho : {0.5, 0.7, 0.8, 0.9}) {
-    const Params p{n, d, rho, 1.0};
-    const rlb::sqd::WaitingProfile profile(
-        BoundModel(p, t, BoundKind::Lower));
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 6));
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const int t = static_cast<int>(ctx.cli().get_int("T", 3));
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 800'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 1618));
 
-    rlb::sim::ClusterConfig cfg;
-    cfg.servers = n;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.seed = 1618;
-    rlb::sim::SqdPolicy policy(n, d);
-    const auto arr = rlb::sim::make_exponential(rho * n);
-    const auto svc = rlb::sim::make_exponential(1.0);
-    const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc);
+  const std::vector<double> rhos{0.5, 0.7, 0.8, 0.9};
+  const auto cells = ctx.map<CellResult>(
+      rhos.size(), [&](std::size_t i) {
+        const Params p{n, d, rhos[i], 1.0};
+        const rlb::sqd::WaitingProfile profile(
+            BoundModel(p, t, BoundKind::Lower));
 
-    // The DES reports sojourn quantiles; subtracting the unit mean service
-    // gives a rough waiting comparison — report sojourn-minus-1 for sims.
-    table.add_row({rlb::util::fmt(rho, 2),
-                   rlb::util::fmt(profile.ccdf(0.0), 4),
-                   rlb::util::fmt(profile.quantile(0.50), 3),
-                   rlb::util::fmt(std::max(0.0, sim.p50_sojourn - 1.0), 3),
-                   rlb::util::fmt(profile.quantile(0.95), 3),
-                   rlb::util::fmt(std::max(0.0, sim.p95_sojourn - 1.0), 3),
-                   rlb::util::fmt(profile.quantile(0.99), 3),
-                   rlb::util::fmt(std::max(0.0, sim.p99_sojourn - 1.0), 3)});
+        rlb::sim::ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        cfg.seed = rlb::engine::cell_seed(seed, i);
+        rlb::sim::SqdPolicy policy(n, d);
+        const auto arr = rlb::sim::make_exponential(rhos[i] * n);
+        const auto svc = rlb::sim::make_exponential(1.0);
+        const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc);
+
+        CellResult cell;
+        cell.p_wait = profile.ccdf(0.0);
+        cell.model_p50 = profile.quantile(0.50);
+        cell.model_p95 = profile.quantile(0.95);
+        cell.model_p99 = profile.quantile(0.99);
+        // The DES reports sojourn quantiles; subtracting the unit mean
+        // service gives a rough waiting comparison.
+        cell.sim_p50 = std::max(0.0, sim.p50_sojourn - 1.0);
+        cell.sim_p95 = std::max(0.0, sim.p95_sojourn - 1.0);
+        cell.sim_p99 = std::max(0.0, sim.p99_sojourn - 1.0);
+        return cell;
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "Waiting-time percentiles: analytic profile (lower bound model) vs "
+      "DES,\nSQ(" +
+      std::to_string(d) + "), N = " + std::to_string(n) +
+      ", T = " + std::to_string(t);
+  auto& table = out.add_table(
+      "main", {"rho", "P(W>0) model", "p50 model", "p50 sim", "p95 model",
+               "p95 sim", "p99 model", "p99 sim"});
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    const CellResult& c = cells[i];
+    table.add_row({rlb::util::fmt(rhos[i], 2), rlb::util::fmt(c.p_wait, 4),
+                   rlb::util::fmt(c.model_p50, 3),
+                   rlb::util::fmt(c.sim_p50, 3),
+                   rlb::util::fmt(c.model_p95, 3),
+                   rlb::util::fmt(c.sim_p95, 3),
+                   rlb::util::fmt(c.model_p99, 3),
+                   rlb::util::fmt(c.sim_p99, 3)});
   }
-  table.print(std::cout);
-  std::cout << "\nNote: sim columns are sojourn quantiles minus the unit "
-               "mean service time; the\nwait and sojourn distributions "
-               "differ by an independent Exp(1), so treat the\ncomparison "
-               "as directional. The model columns are exact percentiles of "
-               "the\nsnapshot mixture (see src/sqd/waiting_distribution.h).\n";
-  if (!csv.empty()) table.write_csv(csv);
-  return 0;
+  out.postamble =
+      "Note: sim columns are sojourn quantiles minus the unit mean service "
+      "time; the\nwait and sojourn distributions differ by an independent "
+      "Exp(1), so treat the\ncomparison as directional. The model columns "
+      "are exact percentiles of the\nsnapshot mixture (see "
+      "src/sqd/waiting_distribution.h).";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "waiting_profile",
+    "Waiting-time percentiles: analytic Erlang-mixture profile vs DES "
+    "quantiles across rho",
+    {{"n", "number of servers", "6"},
+     {"d", "polled servers per arrival", "2"},
+     {"T", "bound model threshold", "3"},
+     {"jobs", "simulated jobs per cell", "800000"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "1618"}},
+    run}};
+
+}  // namespace

@@ -1,101 +1,135 @@
-// Experiment E1/E2 — Figure 9(a,b): relative error (%) of the asymptotic
-// delay formula (Eq. 16) against simulation, as a function of the number of
-// servers N, for d in {2, 5, 10, 25, 50} and rho in {0.75, 0.95}.
+// Scenario "fig09_relative_error" — Experiments E1/E2, Figure 9(a,b):
+// relative error (%) of the asymptotic delay formula (Eq. 16) against
+// simulation, as a function of the number of servers N, for d in
+// {2, 5, 10, 25, 50} and rho in {0.75, 0.95}, plus the small-N detail
+// panel from the §V text. Every (rho, N, d) simulation is one sweep cell.
 //
 // The paper simulates 1e8 jobs with 1e7 warmup; defaults here are scaled
-// down so the whole bench suite runs in minutes. Pass --full for paper
-// scale, or --jobs / --rho / --csv to customize.
-#include <iostream>
+// down so the whole suite runs in minutes. Pass --full for paper scale.
+#include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "engine/scenario.h"
 #include "sim/fast_sqd.h"
 #include "sqd/asymptotic.h"
-#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
-void run_panel(double rho, std::uint64_t jobs, const std::string& csv) {
-  const std::vector<int> choices{2, 5, 10, 25, 50};
-  const std::vector<int> servers{5, 10, 25, 50, 75, 100, 150, 200, 250};
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
 
-  std::cout << "\nFigure 9 (" << (rho == 0.75 ? "a" : "b")
-            << "): relative error (%) of asymptotic vs simulation, rho = "
-            << rho << ", jobs = " << jobs << "\n";
-  std::vector<std::string> header{"N"};
-  for (int d : choices) header.push_back("d=" + std::to_string(d));
-  rlb::util::Table table(header);
+struct Cell {
+  double rho = 0.0;
+  int n = 0;
+  int d = 0;
+};
 
-  for (int n : servers) {
-    std::vector<std::string> row{std::to_string(n)};
-    for (int d : choices) {
-      if (d > n) {
-        row.push_back("-");
-        continue;
-      }
-      rlb::sim::FastSqdConfig cfg;
-      cfg.params = {n, d, rho, 1.0};
-      cfg.jobs = jobs;
-      cfg.warmup = jobs / 10;
-      cfg.seed = 42 + n * 100 + d;
-      const auto sim = rlb::sim::simulate_sqd_fast(cfg);
-      const double asym = rlb::sqd::asymptotic_delay(rho, d);
-      const double rel_err =
-          100.0 * std::abs(asym - sim.mean_delay) / sim.mean_delay;
-      row.push_back(rlb::util::fmt(rel_err, 2));
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  if (!csv.empty())
-    table.write_csv(csv + ".rho" + rlb::util::fmt(rho, 2) + ".csv");
+// Seed from the cell's (rho, N, d) coordinates — not its position in the
+// (possibly --rho-filtered) cell list — so a filtered run reproduces the
+// same numbers as the full sweep.
+std::uint64_t seed_for(std::uint64_t base, const Cell& c) {
+  const auto rho_key =
+      static_cast<std::uint64_t>(std::llround(c.rho * 10000));
+  return rlb::engine::cell_seed(
+      rlb::engine::cell_seed(base, rho_key),
+      (static_cast<std::uint64_t>(c.n) << 8) |
+          static_cast<std::uint64_t>(c.d));
 }
 
-}  // namespace
+double simulate_cell(const Cell& c, std::uint64_t jobs, std::uint64_t seed) {
+  rlb::sim::FastSqdConfig cfg;
+  cfg.params = {c.n, c.d, c.rho, 1.0};
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = seed;
+  return rlb::sim::simulate_sqd_fast(cfg).mean_delay;
+}
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const bool full = cli.get_bool("full");
-  const std::uint64_t jobs = static_cast<std::uint64_t>(
-      cli.get_int("jobs", full ? 100'000'000 : 4'000'000));
-  const std::string csv = cli.get("csv", "");
-  const double only_rho = cli.get_double("rho", 0.0);
-  cli.finish();
+ScenarioOutput run(ScenarioContext& ctx) {
+  const bool full = ctx.cli().get_bool("full");
+  const auto jobs = static_cast<std::uint64_t>(
+      ctx.cli().get_int("jobs", full ? 100'000'000 : 4'000'000));
+  const auto seed = static_cast<std::uint64_t>(ctx.cli().get_int("seed", 42));
+  const double only_rho = ctx.cli().get_double("rho", 0.0);
 
-  std::cout << "E1/E2 (Figure 9): accuracy of the N->infinity approximation "
-               "in finite regimes.\n"
-            << "Expected shape: errors grow as N shrinks, far larger at "
-               "rho=0.95 than rho=0.75,\nand not monotone in d at moderate "
-               "load.\n";
-  if (only_rho > 0.0) {
-    run_panel(only_rho, jobs, csv);
-  } else {
-    run_panel(0.75, jobs, csv);
-    run_panel(0.95, jobs, csv);
+  const std::vector<int> choices{2, 5, 10, 25, 50};
+  const std::vector<int> servers{5, 10, 25, 50, 75, 100, 150, 200, 250};
+  std::vector<double> rhos{0.75, 0.95};
+  if (only_rho > 0.0) rhos = {only_rho};
+
+  // Flatten the panels plus the small-N detail into one deterministic cell
+  // list, then fan the simulations across the worker threads.
+  std::vector<Cell> cells;
+  for (double rho : rhos)
+    for (int n : servers)
+      for (int d : choices)
+        if (d <= n) cells.push_back({rho, n, d});
+  const std::size_t detail_start = cells.size();
+  for (double rho : {0.75, 0.95})
+    for (int n : {3, 6, 12, 25, 50}) cells.push_back({rho, n, 2});
+
+  const auto delays = ctx.map<double>(cells.size(), [&](std::size_t i) {
+    return simulate_cell(cells[i], jobs, seed_for(seed, cells[i]));
+  });
+
+  ScenarioOutput out;
+  out.preamble =
+      "E1/E2 (Figure 9): accuracy of the N->infinity approximation in "
+      "finite regimes.\nExpected shape: errors grow as N shrinks, far "
+      "larger at rho=0.95 than rho=0.75,\nand not monotone in d at "
+      "moderate load.";
+
+  std::size_t next = 0;
+  for (double rho : rhos) {
+    std::vector<std::string> header{"N"};
+    for (int d : choices) header.push_back("d=" + std::to_string(d));
+    auto& table = out.add_table("rho" + rlb::util::fmt(rho, 2), header);
+    for (int n : servers) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (int d : choices) {
+        if (d > n) {
+          row.push_back("-");
+          continue;
+        }
+        const double sim = delays[next++];
+        const double asym = rlb::sqd::asymptotic_delay(rho, d);
+        row.push_back(rlb::util::fmt(100.0 * std::abs(asym - sim) / sim, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    out.note("relative error (%) of asymptotic vs simulation, rho = " +
+             rlb::util::fmt(rho, 2) + ", jobs = " + std::to_string(jobs));
   }
 
   // The headline motivation: small-N panel where the approximation is
   // misleading (text of Section V).
-  std::cout << "\nSmall-N detail (d = 2): asymptotic vs simulated delay\n";
-  rlb::util::Table detail({"rho", "N", "simulated", "asymptotic",
-                           "rel.err(%)"});
+  auto& detail = out.add_table(
+      "small_n", {"rho", "N", "simulated", "asymptotic", "rel.err(%)"});
+  next = detail_start;
   for (double rho : {0.75, 0.95}) {
     for (int n : {3, 6, 12, 25, 50}) {
-      rlb::sim::FastSqdConfig cfg;
-      cfg.params = {n, 2, rho, 1.0};
-      cfg.jobs = jobs;
-      cfg.warmup = jobs / 10;
-      cfg.seed = 1000 + n;
-      const auto sim = rlb::sim::simulate_sqd_fast(cfg);
+      const double sim = delays[next++];
       const double asym = rlb::sqd::asymptotic_delay(rho, 2);
       detail.add_row({rlb::util::fmt(rho, 2), std::to_string(n),
-                      rlb::util::fmt(sim.mean_delay, 4),
-                      rlb::util::fmt(asym, 4),
-                      rlb::util::fmt(100.0 * std::abs(asym - sim.mean_delay) /
-                                         sim.mean_delay,
-                                     2)});
+                      rlb::util::fmt(sim, 4), rlb::util::fmt(asym, 4),
+                      rlb::util::fmt(100.0 * std::abs(asym - sim) / sim, 2)});
     }
   }
-  detail.print(std::cout);
-  return 0;
+  out.note("small-N detail (d = 2): asymptotic vs simulated delay");
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "fig09_relative_error",
+    "E1/E2 (Fig 9): relative error of the asymptotic delay formula vs "
+    "simulation across N and d",
+    {{"jobs", "simulated jobs per cell", "4000000"},
+     {"full", "paper scale (1e8 jobs per cell)", "false"},
+     {"rho", "restrict to a single utilization (0 = both panels)", "0"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "42"}},
+    run}};
+
+}  // namespace

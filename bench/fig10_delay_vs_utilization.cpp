@@ -1,93 +1,130 @@
-// Experiments E3-E6 — Figure 10(a-d): average delay vs utilization for
-// SQ(2) with (N, T) in {(3,2), (3,3), (6,3), (12,3)}. Four series per
-// panel, exactly as in the paper: upper bound, simulation, lower bound,
-// asymptotic result. "unstable" marks utilizations where the upper bound
-// model's drift condition fails (the curve that shoots off in Fig 10(a)).
-#include <iostream>
+// Scenario "fig10_delay_vs_utilization" — Experiments E3-E6, Figure
+// 10(a-d): average delay vs utilization for SQ(2) with (N, T) in
+// {(3,2), (3,3), (6,3), (12,3)}. Four series per panel, exactly as in the
+// paper: upper bound, simulation, lower bound, asymptotic result.
+// "unstable" marks utilizations where the upper bound model's drift
+// condition fails (the curve that shoots off in Fig 10(a)). Every
+// (panel, rho) column triple is a sweep cell.
+#include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sim/fast_sqd.h"
 #include "sqd/asymptotic.h"
 #include "sqd/bound_solver.h"
-#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
 using rlb::sqd::BoundKind;
 using rlb::sqd::BoundModel;
 using rlb::sqd::Params;
 
-void run_panel(char label, int n, int t, std::uint64_t jobs,
-               const std::vector<double>& rhos, const std::string& csv) {
-  std::cout << "\nFigure 10(" << label << "): SQ(2), N = " << n
-            << ", T = " << t << " (block size C(N+T-1,T))\n";
-  rlb::util::Table table(
-      {"rho", "upper", "simulation", "lower", "asymptotic"});
-  for (double rho : rhos) {
-    const Params p{n, 2, rho, 1.0};
+struct PanelDef {
+  char label;
+  int n, t;
+};
 
-    std::string upper = "unstable";
-    try {
-      upper = rlb::util::fmt(
-          rlb::sqd::solve_bound(BoundModel(p, t, BoundKind::Upper))
-              .mean_delay,
-          4);
-    } catch (const rlb::qbd::UnstableError&) {
-    }
+struct CellResult {
+  std::string upper = "unstable";
+  double sim = 0.0;
+  double lower = 0.0;
+};
 
-    rlb::sim::FastSqdConfig cfg;
-    cfg.params = p;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.seed = 5000 + n * 10 + static_cast<int>(rho * 100);
-    const double sim = rlb::sim::simulate_sqd_fast(cfg).mean_delay;
-
-    const double lower =
-        rlb::sqd::solve_lower_improved(BoundModel(p, t, BoundKind::Lower))
-            .mean_delay;
-    const double asym = rlb::sqd::asymptotic_delay(rho, 2);
-
-    table.add_row({rlb::util::fmt(rho, 2), upper, rlb::util::fmt(sim, 4),
-                   rlb::util::fmt(lower, 4), rlb::util::fmt(asym, 4)});
-  }
-  table.print(std::cout);
-  if (!csv.empty())
-    table.write_csv(csv + ".panel_" + std::string(1, label) + ".csv");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const bool full = cli.get_bool("full");
-  const std::uint64_t jobs = static_cast<std::uint64_t>(
-      cli.get_int("jobs", full ? 100'000'000 : 2'000'000));
-  const std::string csv = cli.get("csv", "");
-  const std::string panel = cli.get("panel", "");
-  cli.finish();
-
-  std::cout
-      << "E3-E6 (Figure 10): finite-regime bounds vs simulation vs "
-         "asymptotics for SQ(2).\n"
-      << "Expected shape: lower bound hugs the simulation everywhere; the "
-         "T=2 upper bound\nis loose and goes unstable early; T=3 is much "
-         "tighter; the asymptotic curve\nunderestimates at high rho, worst "
-         "for small N.\n";
+ScenarioOutput run(ScenarioContext& ctx) {
+  const bool full = ctx.cli().get_bool("full");
+  const auto jobs = static_cast<std::uint64_t>(
+      ctx.cli().get_int("jobs", full ? 100'000'000 : 2'000'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 5000));
+  const std::string only_panel = ctx.cli().get("panel", "");
 
   std::vector<double> rhos;
   for (double r = 0.05; r < 0.96; r += 0.05) rhos.push_back(r);
 
-  struct PanelDef {
-    char label;
-    int n, t;
-  };
-  const std::vector<PanelDef> panels{
+  const std::vector<PanelDef> all_panels{
       {'a', 3, 2}, {'b', 3, 3}, {'c', 6, 3}, {'d', 12, 3}};
-  for (const auto& def : panels) {
-    if (!panel.empty() && panel[0] != def.label) continue;
-    run_panel(def.label, def.n, def.t, jobs, rhos, csv);
+  std::vector<PanelDef> panels;
+  for (const auto& def : all_panels)
+    if (only_panel.empty() || only_panel[0] == def.label)
+      panels.push_back(def);
+
+  const std::size_t per_panel = rhos.size();
+  const auto cells = ctx.map<CellResult>(
+      panels.size() * per_panel, [&](std::size_t i) {
+        const PanelDef& def = panels[i / per_panel];
+        const double rho = rhos[i % per_panel];
+        const Params p{def.n, 2, rho, 1.0};
+
+        CellResult cell;
+        try {
+          cell.upper = rlb::util::fmt(
+              rlb::sqd::solve_bound(BoundModel(p, def.t, BoundKind::Upper))
+                  .mean_delay,
+              4);
+        } catch (const rlb::qbd::UnstableError&) {
+        }
+
+        rlb::sim::FastSqdConfig cfg;
+        cfg.params = p;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        // Seed from (N, rho) — not the position in the --panel-filtered
+        // cell list — so a single-panel run reproduces the full sweep's
+        // numbers (and panels sharing N, like a and b, share streams).
+        cfg.seed = rlb::engine::cell_seed(
+            rlb::engine::cell_seed(seed, static_cast<std::uint64_t>(def.n)),
+            static_cast<std::uint64_t>(std::llround(rho * 10000)));
+        cell.sim = rlb::sim::simulate_sqd_fast(cfg).mean_delay;
+
+        cell.lower = rlb::sqd::solve_lower_improved(
+                         BoundModel(p, def.t, BoundKind::Lower))
+                         .mean_delay;
+        return cell;
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "E3-E6 (Figure 10): finite-regime bounds vs simulation vs asymptotics "
+      "for SQ(2).\nExpected shape: lower bound hugs the simulation "
+      "everywhere; the T=2 upper bound\nis loose and goes unstable early; "
+      "T=3 is much tighter; the asymptotic curve\nunderestimates at high "
+      "rho, worst for small N.";
+
+  for (std::size_t pi = 0; pi < panels.size(); ++pi) {
+    const PanelDef& def = panels[pi];
+    auto& table =
+        out.add_table(std::string("panel_") + def.label,
+                      {"rho", "upper", "simulation", "lower", "asymptotic"});
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      const CellResult& cell = cells[pi * per_panel + ri];
+      table.add_row({rlb::util::fmt(rhos[ri], 2), cell.upper,
+                     rlb::util::fmt(cell.sim, 4),
+                     rlb::util::fmt(cell.lower, 4),
+                     rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[ri], 2),
+                                    4)});
+    }
+    out.note("Figure 10(" + std::string(1, def.label) +
+             "): SQ(2), N = " + std::to_string(def.n) +
+             ", T = " + std::to_string(def.t) +
+             " (block size C(N+T-1,T))");
   }
-  return 0;
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "fig10_delay_vs_utilization",
+    "E3-E6 (Fig 10): SQ(2) delay vs utilization — upper/lower bounds, "
+    "simulation, asymptotic, four (N,T) panels",
+    {{"jobs", "simulated jobs per cell", "2000000"},
+     {"full", "paper scale (1e8 jobs per cell)", "false"},
+     {"panel", "restrict to one panel a|b|c|d (empty = all)", ""},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "5000"}},
+    run}};
+
+}  // namespace

@@ -1,26 +1,30 @@
-// Scenario: capacity planning with trustworthy finite-N numbers.
+// Scenario "capacity_planning" — capacity planning with trustworthy
+// finite-N numbers.
 //
 // "How hot can I run my N servers while keeping mean delay under an SLO?"
 // The classical N->infinity formula (Eq. 16) over-promises for small
 // clusters — the paper's finite-regime bounds give safe answers. For each
 // N we find the highest utilization whose delay (certified by the bounds)
 // stays below the SLO, and compare with what the asymptotic formula would
-// have claimed.
-#include <iostream>
+// have claimed. Each N is one sweep cell (three rho scans).
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sqd/asymptotic.h"
 #include "sqd/bound_solver.h"
-#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
 using rlb::sqd::BoundKind;
 using rlb::sqd::BoundModel;
 using rlb::sqd::Params;
 
-// Largest rho (on a grid) such that predicate(rho) stays below the SLO.
+// Largest rho (on a grid) such that delay_at(rho) stays below the SLO.
 template <typename F>
 double max_utilization(F&& delay_at, double slo) {
   double best = 0.0;
@@ -30,53 +34,77 @@ double max_utilization(F&& delay_at, double slo) {
   return best;
 }
 
-}  // namespace
+struct CellResult {
+  double asym_max = 0.0;
+  double lower_max = 0.0;
+  double certified_max = 0.0;
+};
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const double slo = cli.get_double("slo", 1.5);  // mean delay budget
-  const int d = static_cast<int>(cli.get_int("d", 2));
-  const int t = static_cast<int>(cli.get_int("T", 3));
-  cli.finish();
+ScenarioOutput run(ScenarioContext& ctx) {
+  const double slo = ctx.cli().get_double("slo", 1.5);  // mean delay budget
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const int t = static_cast<int>(ctx.cli().get_int("T", 3));
 
-  std::cout << "Max sustainable utilization for mean delay <= " << slo
-            << " (service time 1.0), SQ(" << d << ")\n\n";
+  const std::vector<int> fleet{2, 3, 6, 12};
+  const auto cells = ctx.map<CellResult>(
+      fleet.size(), [&](std::size_t i) {
+        const int n = fleet[i];
+        CellResult cell;
+        cell.asym_max = max_utilization(
+            [&](double rho) { return rlb::sqd::asymptotic_delay(rho, d); },
+            slo);
+        cell.lower_max = max_utilization(
+            [&](double rho) {
+              const BoundModel m(Params{n, d, rho, 1.0}, t,
+                                 BoundKind::Lower);
+              return rlb::sqd::solve_lower_improved(m).mean_delay;
+            },
+            slo);
+        // Certified: the delay is provably under the SLO when even the
+        // upper bound is (skip utilizations where the upper model is
+        // unstable).
+        cell.certified_max = max_utilization(
+            [&](double rho) {
+              try {
+                const BoundModel m(Params{n, d, rho, 1.0}, t,
+                                   BoundKind::Upper);
+                return rlb::sqd::solve_bound(m).mean_delay;
+              } catch (const rlb::qbd::UnstableError&) {
+                return slo + 1.0;  // not certifiable here
+              }
+            },
+            slo);
+        return cell;
+      });
 
-  rlb::util::Table table({"N", "asymptotic says", "lower bound says",
-                          "certified (upper bound)", "asym overshoot"});
-  for (int n : {2, 3, 6, 12}) {
-    const double asym_max = max_utilization(
-        [&](double rho) { return rlb::sqd::asymptotic_delay(rho, d); }, slo);
-
-    const double lower_max = max_utilization(
-        [&](double rho) {
-          const BoundModel m(Params{n, d, rho, 1.0}, t, BoundKind::Lower);
-          return rlb::sqd::solve_lower_improved(m).mean_delay;
-        },
-        slo);
-
-    // Certified: the delay is provably under the SLO when even the upper
-    // bound is (skip utilizations where the upper model is unstable).
-    const double certified_max = max_utilization(
-        [&](double rho) {
-          try {
-            const BoundModel m(Params{n, d, rho, 1.0}, t, BoundKind::Upper);
-            return rlb::sqd::solve_bound(m).mean_delay;
-          } catch (const rlb::qbd::UnstableError&) {
-            return slo + 1.0;  // not certifiable here
-          }
-        },
-        slo);
-
-    table.add_row({std::to_string(n), rlb::util::fmt(asym_max, 2),
-                   rlb::util::fmt(lower_max, 2),
-                   rlb::util::fmt(certified_max, 2),
-                   rlb::util::fmt(asym_max - certified_max, 2)});
+  ScenarioOutput out;
+  out.preamble = "Max sustainable utilization for mean delay <= " +
+                 rlb::util::fmt(slo, 2) + " (service time 1.0), SQ(" +
+                 std::to_string(d) + ")";
+  auto& table = out.add_table(
+      "main", {"N", "asymptotic says", "lower bound says",
+               "certified (upper bound)", "asym overshoot"});
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const CellResult& c = cells[i];
+    table.add_row({std::to_string(fleet[i]), rlb::util::fmt(c.asym_max, 2),
+                   rlb::util::fmt(c.lower_max, 2),
+                   rlb::util::fmt(c.certified_max, 2),
+                   rlb::util::fmt(c.asym_max - c.certified_max, 2)});
   }
-  table.print(std::cout);
-  std::cout
-      << "\nReading: for small N the asymptotic formula suggests running "
-         "hotter than the\nbounds can certify — exactly the regime the paper "
-         "warns about. As N grows the\nthree answers converge.\n";
-  return 0;
+  out.postamble =
+      "Reading: for small N the asymptotic formula suggests running hotter "
+      "than the\nbounds can certify — exactly the regime the paper warns "
+      "about. As N grows the\nthree answers converge.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "capacity_planning",
+    "Highest utilization certified under a mean-delay SLO by the bounds, vs "
+    "the asymptotic formula's claim",
+    {{"slo", "mean delay budget", "1.5"},
+     {"d", "polled servers per arrival", "2"},
+     {"T", "bound model threshold", "3"}},
+    run}};
+
+}  // namespace

@@ -1,76 +1,110 @@
-// Scenario: choosing a dispatch policy for a small service tier.
+// Scenario "datacenter_dispatch" — choosing a dispatch policy for a small
+// service tier.
 //
 // A team runs N = 12 application servers behind one dispatcher. Polling
 // every server on every request (JSQ) is operationally expensive; random
 // routing is free but slow. This example quantifies the middle ground —
 // the paper's SQ(d) — under realistic (bursty, non-exponential) workloads,
-// and shows that d = 2 captures most of JSQ's benefit.
-#include <iostream>
+// and shows that d = 2 captures most of JSQ's benefit. Each
+// (workload, policy) simulation is one sweep cell.
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "sim/cluster_sim.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 12));
-  const double rho = cli.get_double("rho", 0.85);
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 500'000));
-  cli.finish();
+namespace {
+
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+
+constexpr std::size_t kPolicies = 4;  // random, sq(2), sq(3), jsq
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 12));
+  const double rho = ctx.cli().get_double("rho", 0.85);
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 500'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 97531));
 
   using namespace rlb::sim;
-
-  std::cout << "Dispatch policies for N = " << n
-            << " servers at utilization " << rho << "\n"
-            << "Workloads: request sizes exponential / lognormal(cv=2) "
-               "(heavy tail-ish),\narrivals Poisson / bursty "
-               "hyperexponential(scv=4).\n\n";
-
-  struct Workload {
-    std::string name;
-    std::unique_ptr<Distribution> arrivals;
-    std::unique_ptr<Distribution> service;
+  const std::vector<std::string> workload_names{
+      "poisson/exp", "poisson/lognormal", "bursty/exp", "bursty/lognormal"};
+  const auto make_arrivals =
+      [&](std::size_t w) -> std::unique_ptr<Distribution> {
+    return w < 2 ? make_exponential(rho * n)
+                 : make_hyperexp_fitted(1.0 / (rho * n), 4.0);
   };
-  std::vector<Workload> workloads;
-  workloads.push_back({"poisson/exp", make_exponential(rho * n),
-                       make_exponential(1.0)});
-  workloads.push_back({"poisson/lognormal", make_exponential(rho * n),
-                       make_lognormal(1.0, 2.0)});
-  workloads.push_back({"bursty/exp",
-                       make_hyperexp_fitted(1.0 / (rho * n), 4.0),
-                       make_exponential(1.0)});
-  workloads.push_back({"bursty/lognormal",
-                       make_hyperexp_fitted(1.0 / (rho * n), 4.0),
-                       make_lognormal(1.0, 2.0)});
-
-  rlb::util::Table table({"workload", "random", "sq(2)", "sq(3)", "jsq",
-                          "polls/req jsq", "polls/req sq(2)"});
-  for (const auto& w : workloads) {
-    ClusterConfig cfg;
-    cfg.servers = n;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.seed = 97531;
-
-    std::vector<std::string> row{w.name};
-    std::vector<std::unique_ptr<Policy>> policies;
-    policies.push_back(std::make_unique<SqdPolicy>(n, 1));
-    policies.push_back(std::make_unique<SqdPolicy>(n, 2));
-    policies.push_back(std::make_unique<SqdPolicy>(n, 3));
-    policies.push_back(std::make_unique<JsqPolicy>());
-    for (auto& policy : policies) {
-      const auto r = simulate_cluster(cfg, *policy, *w.arrivals, *w.service);
-      row.push_back(rlb::util::fmt(r.mean_sojourn, 3));
+  const auto make_service =
+      [&](std::size_t w) -> std::unique_ptr<Distribution> {
+    return w % 2 == 0 ? make_exponential(1.0) : make_lognormal(1.0, 2.0);
+  };
+  const auto make_policy = [&](std::size_t task) -> std::unique_ptr<Policy> {
+    switch (task) {
+      case 0:
+        return std::make_unique<SqdPolicy>(n, 1);
+      case 1:
+        return std::make_unique<SqdPolicy>(n, 2);
+      case 2:
+        return std::make_unique<SqdPolicy>(n, 3);
+      default:
+        return std::make_unique<JsqPolicy>();
     }
+  };
+
+  const auto cells = ctx.map<double>(
+      workload_names.size() * kPolicies, [&](std::size_t i) {
+        const std::size_t w = i / kPolicies;
+        ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        // One seed per workload row: policy columns share random streams
+        // (common random numbers), isolating the policy effect.
+        cfg.seed = rlb::engine::cell_seed(seed, w);
+        const auto arrivals = make_arrivals(w);
+        const auto service = make_service(w);
+        const auto policy = make_policy(i % kPolicies);
+        return simulate_cluster(cfg, *policy, *arrivals, *service)
+            .mean_sojourn;
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "Dispatch policies for N = " + std::to_string(n) +
+      " servers at utilization " + rlb::util::fmt(rho, 2) +
+      "\nWorkloads: request sizes exponential / lognormal(cv=2) (heavy "
+      "tail-ish),\narrivals Poisson / bursty hyperexponential(scv=4).";
+  auto& table = out.add_table(
+      "main", {"workload", "random", "sq(2)", "sq(3)", "jsq",
+               "polls/req jsq", "polls/req sq(2)"});
+  for (std::size_t w = 0; w < workload_names.size(); ++w) {
+    std::vector<std::string> row{workload_names[w]};
+    for (std::size_t t = 0; t < kPolicies; ++t)
+      row.push_back(rlb::util::fmt(cells[w * kPolicies + t], 3));
     row.push_back(std::to_string(n));
     row.push_back("2");
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\nReading: sq(2) gets most of JSQ's delay win at 1/" << n / 2
-            << " of the feedback cost,\nand the advantage persists for "
-               "bursty arrivals and heavy-tailed service.\n";
-  return 0;
+  out.postamble = "Reading: sq(2) gets most of JSQ's delay win at 1/" +
+                  std::to_string(n / 2) +
+                  " of the feedback cost,\nand the advantage persists for "
+                  "bursty arrivals and heavy-tailed service.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "datacenter_dispatch",
+    "Dispatch-policy shootout (random/SQ(2)/SQ(3)/JSQ) across Poisson and "
+    "bursty, exp and lognormal workloads",
+    {{"n", "number of servers", "12"},
+     {"rho", "utilization", "0.85"},
+     {"jobs", "simulated jobs per cell", "500000"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "97531"}},
+    run}};
+
+}  // namespace

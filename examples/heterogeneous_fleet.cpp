@@ -1,70 +1,113 @@
-// Scenario: mixed-generation server fleet.
+// Scenario "heterogeneous_fleet" — mixed-generation server fleet.
 //
 // Real clusters are rarely homogeneous — half the machines are last year's
 // hardware. The paper's model (and most SQ(d) theory) assumes identical
-// servers; this example quantifies what queue-length-based SQ(d) loses on a
-// skewed fleet of equal TOTAL capacity, and how much of it a
+// servers; this example quantifies what queue-length-based SQ(d) loses on
+// a skewed fleet of equal TOTAL capacity, and how much of it a
 // workload-aware policy (least-work-left, which sees speeds through
 // remaining work) recovers. Heterogeneous SQ(d) is the related-work
-// setting of Mukhopadhyay et al. and Izagirre & Makowski.
-#include <iostream>
+// setting of Mukhopadhyay et al. and Izagirre & Makowski. Each
+// (skew, policy) simulation is one sweep cell.
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "sim/cluster_sim.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 8));
-  const double rho = cli.get_double("rho", 0.85);
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 400'000));
-  cli.finish();
+namespace {
+
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+
+constexpr std::size_t kPolicies = 4;  // random, sq(2), jsq, least-work
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 8));
+  const double rho = ctx.cli().get_double("rho", 0.85);
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 400'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 86420));
 
   using namespace rlb::sim;
-
-  std::cout << "Mixed fleet, N = " << n << " servers, total capacity " << n
-            << ", utilization " << rho
-            << "\nSkew: half the fleet fast, half slow; total capacity held "
-               "constant.\n\n";
-
-  rlb::util::Table table({"skew (fast:slow)", "random", "sq(2)", "jsq",
-                          "least-work", "sq(2) p99"});
-  for (double fast : {1.0, 1.25, 1.5, 1.75}) {
-    const double slow = 2.0 - fast;
-    ClusterConfig cfg;
-    cfg.servers = n;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.seed = 86420;
-    cfg.server_speeds.assign(n, 1.0);
-    for (int s = 0; s < n / 2; ++s) {
-      cfg.server_speeds[s] = fast;
-      cfg.server_speeds[n / 2 + s] = slow;
+  const std::vector<double> skews{1.0, 1.25, 1.5, 1.75};
+  const auto make_policy = [&](std::size_t task) -> std::unique_ptr<Policy> {
+    switch (task) {
+      case 0:
+        return std::make_unique<SqdPolicy>(n, 1);
+      case 1:
+        return std::make_unique<SqdPolicy>(n, 2);
+      case 2:
+        return std::make_unique<JsqPolicy>();
+      default:
+        return std::make_unique<LeastWorkLeftPolicy>();
     }
-    const auto arr = make_exponential(rho * n);
-    const auto svc = make_exponential(1.0);
+  };
 
+  struct CellResult {
+    double mean = 0.0;
+    double p99 = 0.0;
+  };
+  const auto cells = ctx.map<CellResult>(
+      skews.size() * kPolicies, [&](std::size_t i) {
+        const double fast = skews[i / kPolicies];
+        const double slow = 2.0 - fast;
+        ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        // One seed per skew row: policy columns share random streams
+        // (common random numbers), isolating the policy effect.
+        cfg.seed = rlb::engine::cell_seed(seed, i / kPolicies);
+        cfg.server_speeds.assign(n, 1.0);
+        for (int s = 0; s < n / 2; ++s) {
+          cfg.server_speeds[s] = fast;
+          cfg.server_speeds[n / 2 + s] = slow;
+        }
+        const auto arr = make_exponential(rho * n);
+        const auto svc = make_exponential(1.0);
+        const auto policy = make_policy(i % kPolicies);
+        const auto r = simulate_cluster(cfg, *policy, *arr, *svc);
+        return CellResult{r.mean_sojourn, r.p99_sojourn};
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "Mixed fleet, N = " + std::to_string(n) + " servers, total capacity " +
+      std::to_string(n) + ", utilization " + rlb::util::fmt(rho, 2) +
+      "\nSkew: half the fleet fast, half slow; total capacity held "
+      "constant.";
+  auto& table = out.add_table(
+      "main", {"skew (fast:slow)", "random", "sq(2)", "jsq", "least-work",
+               "sq(2) p99"});
+  for (std::size_t si = 0; si < skews.size(); ++si) {
+    const double fast = skews[si];
     std::vector<std::string> row{rlb::util::fmt(fast, 2) + ":" +
-                                 rlb::util::fmt(slow, 2)};
-    SqdPolicy random_policy(n, 1), sq2(n, 2);
-    JsqPolicy jsq;
-    LeastWorkLeftPolicy lwl;
-    double sq2_p99 = 0.0;
-    for (Policy* policy :
-         std::vector<Policy*>{&random_policy, &sq2, &jsq, &lwl}) {
-      const auto r = simulate_cluster(cfg, *policy, *arr, *svc);
-      row.push_back(rlb::util::fmt(r.mean_sojourn, 3));
-      if (policy == &sq2) sq2_p99 = r.p99_sojourn;
-    }
-    row.push_back(rlb::util::fmt(sq2_p99, 2));
+                                 rlb::util::fmt(2.0 - fast, 2)};
+    for (std::size_t t = 0; t < kPolicies; ++t)
+      row.push_back(rlb::util::fmt(cells[si * kPolicies + t].mean, 3));
+    row.push_back(rlb::util::fmt(cells[si * kPolicies + 1].p99, 2));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\nReading: queue-length signals degrade as speeds diverge — "
-               "a short queue on a\nslow machine is a trap. Workload-aware "
-               "least-work-left degrades far less. For\nmildly skewed fleets "
-               "sq(2) remains a good cost/performance compromise.\n";
-  return 0;
+  out.postamble =
+      "Reading: queue-length signals degrade as speeds diverge — a short "
+      "queue on a\nslow machine is a trap. Workload-aware least-work-left "
+      "degrades far less. For\nmildly skewed fleets sq(2) remains a good "
+      "cost/performance compromise.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "heterogeneous_fleet",
+    "Mixed-speed fleet at equal total capacity: what SQ(d)'s queue-length "
+    "signal loses and least-work recovers",
+    {{"n", "number of servers", "8"},
+     {"rho", "utilization", "0.85"},
+     {"jobs", "simulated jobs per cell", "400000"},
+     {"seed", "base RNG seed; per-cell seeds are derived from it", "86420"}},
+    run}};
+
+}  // namespace

@@ -1,35 +1,38 @@
-// Quickstart: compute finite-regime delay bounds for an SQ(d) cluster and
-// compare them with simulation and the classical asymptotic formula.
+// Scenario "quickstart" — compute finite-regime delay bounds for an SQ(d)
+// cluster and compare them with simulation and the classical asymptotic
+// formula:
 //
-//   ./quickstart [--n 6] [--d 2] [--rho 0.9] [--T 3] [--jobs 1000000]
-#include <iostream>
+//   rlb_run --scenario=quickstart --n=6 --d=2 --rho=0.9 --T=3
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sim/fast_sqd.h"
 #include "sqd/asymptotic.h"
 #include "sqd/bound_solver.h"
 #include "sqd/waiting_distribution.h"
-#include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
-  const rlb::util::Cli cli(argc, argv);
-  const int n = static_cast<int>(cli.get_int("n", 6));
-  const int d = static_cast<int>(cli.get_int("d", 2));
-  const double rho = cli.get_double("rho", 0.9);
-  const int t = static_cast<int>(cli.get_int("T", 3));
-  const std::uint64_t jobs =
-      static_cast<std::uint64_t>(cli.get_int("jobs", 1'000'000));
-  cli.finish();
+namespace {
 
-  using rlb::sqd::BoundKind;
-  using rlb::sqd::BoundModel;
-  using rlb::sqd::Params;
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using rlb::sqd::BoundKind;
+using rlb::sqd::BoundModel;
+using rlb::sqd::Params;
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 6));
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const double rho = ctx.cli().get_double("rho", 0.9);
+  const int t = static_cast<int>(ctx.cli().get_int("T", 3));
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 1'000'000));
+  const auto seed = static_cast<std::uint64_t>(ctx.cli().get_int("seed", 1));
   const Params p{n, d, rho, 1.0};
   p.validate();
-
-  std::cout << "SQ(" << d << ") with N = " << n << " servers at utilization "
-            << rho << " (threshold T = " << t << ")\n\n";
 
   // 1. Improved lower bound (Theorem 3): cheap and remarkably tight.
   const auto lower =
@@ -49,36 +52,53 @@ int main(int argc, char** argv) {
   cfg.params = p;
   cfg.jobs = jobs;
   cfg.warmup = jobs / 10;
+  cfg.seed = rlb::engine::cell_seed(seed, 0);
   const auto sim = rlb::sim::simulate_sqd_fast(cfg);
 
   // 4. The N -> infinity approximation (Eq. 16).
   const double asym = rlb::sqd::asymptotic_delay(rho, d);
 
-  rlb::util::Table table({"quantity", "mean delay"});
+  ScenarioOutput out;
+  out.preamble = "SQ(" + std::to_string(d) + ") with N = " +
+                 std::to_string(n) + " servers at utilization " +
+                 rlb::util::fmt(rho, 2) + " (threshold T = " +
+                 std::to_string(t) + ")";
+  auto& table = out.add_table("main", {"quantity", "mean delay"});
   table.add_row({"lower bound (Thm 3)", rlb::util::fmt(lower.mean_delay, 4)});
   table.add_row({"simulation (" + std::to_string(jobs) + " jobs)",
                  rlb::util::fmt(sim.mean_delay, 4) + " +/- " +
                      rlb::util::fmt(sim.ci95_delay, 4)});
   table.add_row({"upper bound (Thm 1)", upper});
   table.add_row({"asymptotic (Eq. 16)", rlb::util::fmt(asym, 4)});
-  table.print(std::cout);
 
   // Waiting-time percentiles from the analytic profile (Erlang mixture
   // over the lower model's stationary law).
   const rlb::sqd::WaitingProfile profile(BoundModel(p, t, BoundKind::Lower));
-  std::cout << "\nwaiting-time profile (analytic): P(W>0) = "
-            << rlb::util::fmt(profile.ccdf(0.0), 3)
-            << ", p50 = " << rlb::util::fmt(profile.quantile(0.5), 3)
-            << ", p95 = " << rlb::util::fmt(profile.quantile(0.95), 3)
-            << ", p99 = " << rlb::util::fmt(profile.quantile(0.99), 3)
-            << "\n";
-  std::cout << "block size C(N+T-1,T) = " << lower.block_size
-            << ", boundary states = " << lower.boundary_size
-            << ", P(boundary) = " << rlb::util::fmt(lower.prob_boundary, 4)
-            << "\n";
-  std::cout << "The asymptotic value underestimates the finite-N system by "
-            << rlb::util::fmt(
-                   100.0 * (sim.mean_delay - asym) / sim.mean_delay, 1)
-            << "% here.\n";
-  return 0;
+  out.postamble =
+      "waiting-time profile (analytic): P(W>0) = " +
+      rlb::util::fmt(profile.ccdf(0.0), 3) +
+      ", p50 = " + rlb::util::fmt(profile.quantile(0.5), 3) +
+      ", p95 = " + rlb::util::fmt(profile.quantile(0.95), 3) +
+      ", p99 = " + rlb::util::fmt(profile.quantile(0.99), 3) +
+      "\nblock size C(N+T-1,T) = " + std::to_string(lower.block_size) +
+      ", boundary states = " + std::to_string(lower.boundary_size) +
+      ", P(boundary) = " + rlb::util::fmt(lower.prob_boundary, 4) +
+      "\nThe asymptotic value underestimates the finite-N system by " +
+      rlb::util::fmt(100.0 * (sim.mean_delay - asym) / sim.mean_delay, 1) +
+      "% here.";
+  return out;
 }
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "quickstart",
+    "Finite-regime SQ(d) delay bounds vs simulation vs the asymptotic "
+    "formula for one configuration",
+    {{"n", "number of servers", "6"},
+     {"d", "polled servers per arrival", "2"},
+     {"rho", "utilization", "0.9"},
+     {"T", "bound model threshold", "3"},
+     {"jobs", "simulated jobs", "1000000"},
+     {"seed", "base RNG seed", "1"}},
+    run}};
+
+}  // namespace

@@ -1,0 +1,50 @@
+#include "engine/scenario.h"
+
+namespace rlb::engine {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty())
+    throw std::invalid_argument("scenario name must be non-empty");
+  if (!scenario.run)
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' has no run function");
+  const auto [it, inserted] =
+      by_name_.emplace(scenario.name, std::move(scenario));
+  if (!inserted)
+    throw std::invalid_argument("duplicate scenario registration: '" +
+                                it->first + "'");
+}
+
+const Scenario& ScenarioRegistry::get(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    std::string message = "unknown scenario '" + name + "'; known:";
+    for (const auto& [known, unused] : by_name_) {
+      (void)unused;
+      message += " " + known;
+    }
+    throw UnknownScenarioError(message);
+  }
+  return it->second;
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, scenario] : by_name_) {
+    (void)name;
+    out.push_back(&scenario);
+  }
+  return out;
+}
+
+}  // namespace rlb::engine

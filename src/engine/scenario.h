@@ -1,0 +1,117 @@
+// Scenario registry: every experiment in bench/ and examples/ registers
+// itself here (name, description, parameter schema, run function) and the
+// single rlb_run driver looks it up, parses its parameters, runs it —
+// fanning sweep cells across worker threads — and feeds the result to the
+// text/CSV/JSON sinks.
+//
+// Authoring a scenario is ~30 lines in one translation unit:
+//
+//   namespace {
+//   rlb::engine::ScenarioOutput run(rlb::engine::ScenarioContext& ctx) {
+//     const int n = static_cast<int>(ctx.cli().get_int("n", 10));
+//     rlb::engine::ScenarioOutput out;
+//     auto& table = out.add_table("main", {"rho", "delay"});
+//     const auto rows = ctx.map<std::vector<double>>(
+//         cells.size(), [&](std::size_t i) { /* run cell i */ });
+//     for (const auto& r : rows) table.add_row_numeric(r);
+//     return out;
+//   }
+//   const rlb::engine::ScenarioRegistrar reg{{
+//       "my_scenario",
+//       "one-line description",
+//       {{"n", "number of servers", "10"}},
+//       run}};
+//   }  // namespace
+//
+// Cells must derive all randomness from fixed per-cell seeds (see
+// engine/sweep.h) so the thread count never changes the output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/sink.h"
+#include "engine/sweep.h"
+#include "util/cli.h"
+
+namespace rlb::engine {
+
+/// One declared scenario parameter; purely descriptive (parsing happens
+/// through util::Cli), used by --list/--describe and the docs.
+struct ParamSpec {
+  std::string name;
+  std::string description;
+  std::string default_value;
+};
+
+/// Handed to the scenario's run function: its CLI parameters plus the
+/// deterministic parallel-map primitive.
+class ScenarioContext {
+ public:
+  ScenarioContext(const util::Cli& cli, int threads)
+      : cli_(cli), threads_(threads) {}
+
+  [[nodiscard]] const util::Cli& cli() const { return cli_; }
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// results[i] = fn(i), computed on the context's worker threads; output
+  /// is invariant under the thread count (see engine/sweep.h).
+  template <typename T, typename Fn>
+  std::vector<T> map(std::size_t count, Fn&& fn) const {
+    return parallel_map<T>(count, threads_, std::forward<Fn>(fn));
+  }
+
+ private:
+  const util::Cli& cli_;
+  int threads_;
+};
+
+struct Scenario {
+  std::string name;         ///< registry key, e.g. "power_of_d"
+  std::string description;  ///< one-line summary for --list
+  std::vector<ParamSpec> params;
+  std::function<ScenarioOutput(ScenarioContext&)> run;
+};
+
+class UnknownScenarioError : public std::runtime_error {
+ public:
+  explicit UnknownScenarioError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry that ScenarioRegistrar populates.
+  static ScenarioRegistry& global();
+
+  /// Throws std::invalid_argument on an empty name, missing run function,
+  /// or duplicate registration.
+  void add(Scenario scenario);
+
+  /// Throws UnknownScenarioError (message lists known names) on a miss.
+  [[nodiscard]] const Scenario& get(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+
+  [[nodiscard]] std::size_t size() const { return by_name_.size(); }
+
+ private:
+  std::map<std::string, Scenario> by_name_;
+};
+
+/// Static-object self-registration into the global registry.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(Scenario scenario) {
+    ScenarioRegistry::global().add(std::move(scenario));
+  }
+};
+
+}  // namespace rlb::engine

@@ -1,0 +1,174 @@
+#include "engine/sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rlb::engine {
+
+util::Table& ScenarioOutput::add_table(const std::string& name,
+                                       std::vector<std::string> header) {
+  tables.push_back(NamedTable{name, util::Table(std::move(header)), ""});
+  return tables.back().table;
+}
+
+void ScenarioOutput::note(const std::string& text) {
+  RLB_REQUIRE(!tables.empty(), "note() needs a table to attach to");
+  tables.back().note = text;
+}
+
+void write_text(const ScenarioOutput& out, std::ostream& os) {
+  if (!out.preamble.empty()) os << out.preamble << "\n";
+  for (std::size_t i = 0; i < out.tables.size(); ++i) {
+    if (i > 0 || !out.preamble.empty()) os << "\n";
+    if (out.tables.size() > 1) os << "[" << out.tables[i].name << "]\n";
+    out.tables[i].table.print(os);
+    if (!out.tables[i].note.empty()) os << out.tables[i].note << "\n";
+  }
+  if (!out.postamble.empty()) os << "\n" << out.postamble << "\n";
+}
+
+std::vector<std::string> write_csv(const ScenarioOutput& out,
+                                   const std::string& path) {
+  std::vector<std::string> written;
+  if (out.tables.empty()) return written;
+  if (out.tables.size() == 1) {
+    out.tables.front().table.write_csv(path);
+    written.push_back(path);
+    return written;
+  }
+  std::string stem = path;
+  std::string ext;
+  const auto dot = path.rfind('.');
+  const auto slash = path.find_last_of("/\\");
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    stem = path.substr(0, dot);
+    ext = path.substr(dot);
+  }
+  for (const auto& t : out.tables) {
+    const std::string p = stem + "." + t.name + ext;
+    t.table.write_csv(p);
+    written.push_back(p);
+  }
+  return written;
+}
+
+namespace {
+
+// True when `s` already matches the JSON number grammar
+// (-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?), so it can be emitted
+// verbatim without quoting.
+bool is_json_number(const std::string& s) {
+  std::size_t i = 0;
+  const auto digits = [&] {
+    const std::size_t start = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    return i > start;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i < s.size() && s[i] == '0') {
+    ++i;
+  } else {
+    if (i >= s.size() || s[i] < '1' || s[i] > '9') return false;
+    digits();
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == s.size();
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_cell(std::ostringstream& os, const std::string& cell) {
+  if (is_json_number(cell)) {
+    os << cell;
+  } else {
+    append_json_string(os, cell);
+  }
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioOutput& out,
+                    const std::string& scenario_name) {
+  std::ostringstream os;
+  os << "{\"scenario\":";
+  append_json_string(os, scenario_name);
+  os << ",\"tables\":[";
+  for (std::size_t t = 0; t < out.tables.size(); ++t) {
+    const auto& nt = out.tables[t];
+    if (t > 0) os << ",";
+    os << "{\"name\":";
+    append_json_string(os, nt.name);
+    os << ",\"header\":[";
+    const auto& header = nt.table.header();
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (c > 0) os << ",";
+      append_json_string(os, header[c]);
+    }
+    os << "],\"rows\":[";
+    const auto& rows = nt.table.data();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r > 0) os << ",";
+      os << "[";
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        if (c > 0) os << ",";
+        append_cell(os, rows[r][c]);
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_json(const ScenarioOutput& out, const std::string& scenario_name,
+                const std::string& path) {
+  std::ofstream f(path);
+  RLB_REQUIRE(f.good(), "cannot open json path: " + path);
+  f << to_json(out, scenario_name) << "\n";
+}
+
+}  // namespace rlb::engine

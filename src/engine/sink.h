@@ -1,0 +1,53 @@
+// Unified result sink for the scenario engine.
+//
+// A scenario produces one ScenarioOutput: free-text preamble, a sequence
+// of named tables (each with optional trailing commentary), and a
+// postamble. The sinks render that one structure three ways: the aligned
+// console text the bench binaries used to print, CSV for plotting, and
+// JSON for programmatic consumers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace rlb::engine {
+
+struct NamedTable {
+  std::string name;  ///< slug used in csv file names and json keys
+  util::Table table;
+  std::string note;  ///< commentary printed after the table
+};
+
+struct ScenarioOutput {
+  std::string preamble;
+  std::vector<NamedTable> tables;
+  std::string postamble;
+
+  /// Append a table and return a reference for row filling.
+  util::Table& add_table(const std::string& name,
+                         std::vector<std::string> header);
+
+  /// Attach commentary to the most recently added table.
+  void note(const std::string& text);
+};
+
+/// Console rendering: preamble, each table (with its note), postamble.
+void write_text(const ScenarioOutput& out, std::ostream& os);
+
+/// CSV: a single table goes to `path` verbatim; with multiple tables each
+/// goes to `<stem>.<table-name><ext>`. Returns the paths written.
+std::vector<std::string> write_csv(const ScenarioOutput& out,
+                                   const std::string& path);
+
+/// JSON document {"scenario": ..., "tables": [{name, header, rows}...]}.
+/// Cells that parse as finite numbers are emitted as JSON numbers, all
+/// others as strings.
+std::string to_json(const ScenarioOutput& out,
+                    const std::string& scenario_name);
+void write_json(const ScenarioOutput& out, const std::string& scenario_name,
+                const std::string& path);
+
+}  // namespace rlb::engine

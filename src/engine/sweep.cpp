@@ -1,0 +1,60 @@
+#include "engine/sweep.h"
+
+#include "util/require.h"
+
+namespace rlb::engine {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t base, std::uint64_t index) {
+  // Two rounds decorrelate neighbouring (base, index) pairs; the +1 keeps
+  // cell 0 of base 0 away from the splitmix64 fixed point at zero.
+  return splitmix64(splitmix64(base + 1) ^ splitmix64(index));
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepGrid::SweepGrid(std::vector<double> rhos, std::vector<int> ds,
+                     std::vector<int> ns, std::uint64_t base_seed,
+                     int replicas)
+    : rhos_(std::move(rhos)),
+      ds_(std::move(ds)),
+      ns_(std::move(ns)),
+      base_seed_(base_seed),
+      replicas_(replicas) {
+  RLB_REQUIRE(!rhos_.empty() && !ds_.empty() && !ns_.empty(),
+              "sweep grid axes must be non-empty");
+  RLB_REQUIRE(replicas_ >= 1, "sweep grid needs at least one replica");
+}
+
+std::size_t SweepGrid::size() const {
+  return rhos_.size() * ds_.size() * ns_.size() *
+         static_cast<std::size_t>(replicas_);
+}
+
+SweepPoint SweepGrid::point(std::size_t index) const {
+  RLB_REQUIRE(index < size(), "sweep point index out of range");
+  // Replica is the fastest axis; it only matters through the per-cell seed.
+  std::size_t rest = index / static_cast<std::size_t>(replicas_);
+  const std::size_t ni = rest % ns_.size();
+  rest /= ns_.size();
+  const std::size_t di = rest % ds_.size();
+  rest /= ds_.size();
+  return SweepPoint{index, rhos_[rest], ds_[di], ns_[ni],
+                    cell_seed(base_seed_, index)};
+}
+
+}  // namespace rlb::engine

@@ -1,0 +1,100 @@
+// Deterministic parallel sweep primitives for the scenario engine.
+//
+// The contract that makes `rlb_run --threads=8` reproducible: every grid
+// cell is an independent computation seeded only by (base seed, cell
+// index), results land in a vector slot owned by the cell index, and the
+// caller assembles tables in index order. The thread count therefore
+// changes wall-clock time and nothing else — parallel and serial runs are
+// bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlb::engine {
+
+/// Decorrelated per-cell seed: splitmix64 over (base, index). Deterministic
+/// across platforms and independent of thread scheduling.
+std::uint64_t cell_seed(std::uint64_t base, std::uint64_t index);
+
+/// Number of workers actually used for `count` cells with a requested
+/// thread count (0 means "hardware concurrency").
+int resolve_threads(int requested);
+
+/// results[i] = fn(i) for i in [0, count), computed by up to `threads`
+/// workers pulling cell indices from a shared counter. The result order is
+/// the index order, so the output is invariant under the thread count. The
+/// first exception thrown by any cell is rethrown on the calling thread
+/// after all workers finish.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, int threads, Fn&& fn) {
+  std::vector<T> results(count);
+  const int workers = std::min<std::size_t>(
+      count, static_cast<std::size_t>(std::max(1, resolve_threads(threads))));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+/// One cell of a (rho x d x N x seed-replica) sweep grid.
+struct SweepPoint {
+  std::size_t index = 0;  ///< flat cell index (also the table row order)
+  double rho = 0.0;
+  int d = 0;
+  int n = 0;
+  std::uint64_t seed = 0;  ///< cell_seed(base_seed, index)
+};
+
+/// Cartesian grid over utilizations, choice counts, cluster sizes and seed
+/// replicas. Axes with a single value collapse, so a plain rho sweep is
+/// just SweepGrid{{rhos}, {d}, {n}, base, 1}.
+class SweepGrid {
+ public:
+  SweepGrid(std::vector<double> rhos, std::vector<int> ds,
+            std::vector<int> ns, std::uint64_t base_seed = 1,
+            int replicas = 1);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] SweepPoint point(std::size_t index) const;
+
+  [[nodiscard]] const std::vector<double>& rhos() const { return rhos_; }
+  [[nodiscard]] const std::vector<int>& ds() const { return ds_; }
+  [[nodiscard]] const std::vector<int>& ns() const { return ns_; }
+
+ private:
+  std::vector<double> rhos_;
+  std::vector<int> ds_;
+  std::vector<int> ns_;
+  std::uint64_t base_seed_;
+  int replicas_;
+};
+
+}  // namespace rlb::engine

@@ -24,13 +24,18 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const {
+void Cli::mark_queried(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(queried_mutex_);
   queried_[name] = true;
+}
+
+bool Cli::has(const std::string& name) const {
+  mark_queried(name);
   return values_.count(name) > 0;
 }
 
 std::string Cli::get(const std::string& name, const std::string& def) const {
-  queried_[name] = true;
+  mark_queried(name);
   const auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
@@ -52,6 +57,7 @@ bool Cli::get_bool(const std::string& name, bool def) const {
 }
 
 void Cli::finish() const {
+  const std::lock_guard<std::mutex> lock(queried_mutex_);
   for (const auto& [name, value] : values_) {
     (void)value;
     if (!queried_.count(name))

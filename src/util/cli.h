@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,12 @@ class Cli {
   void finish() const;
 
  private:
+  void mark_queried(const std::string& name) const;
+
   std::map<std::string, std::string> values_;
+  // The queried-flag bookkeeping mutates under const getters; the mutex
+  // keeps reads safe from scenario sweep cells running on worker threads.
+  mutable std::mutex queried_mutex_;
   mutable std::map<std::string, bool> queried_;
 };
 

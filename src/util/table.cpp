@@ -51,9 +51,13 @@ void Table::print(std::ostream& os) const {
 void Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
   RLB_REQUIRE(out.good(), "cannot open csv path: " + path);
+  write_csv(out);
+}
+
+void Table::write_csv(std::ostream& os) const {
   const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c)
-      out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+      os << row[c] << (c + 1 == row.size() ? "\n" : ",");
   };
   emit(header_);
   for (const auto& row : rows_) emit(row);

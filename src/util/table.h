@@ -24,11 +24,19 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
   /// Render with space-padded, right-aligned columns.
   void print(std::ostream& os) const;
 
   /// Write as CSV (header + rows).
   void write_csv(const std::string& path) const;
+  void write_csv(std::ostream& os) const;
 
  private:
   std::vector<std::string> header_;

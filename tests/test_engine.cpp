@@ -1,0 +1,279 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/scenario.h"
+#include "engine/sink.h"
+#include "engine/sweep.h"
+#include "sim/fast_sqd.h"
+#include "sim/rng.h"
+#include "util/cli.h"
+
+namespace {
+
+using rlb::engine::cell_seed;
+using rlb::engine::parallel_map;
+using rlb::engine::Scenario;
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+using rlb::engine::ScenarioRegistry;
+using rlb::engine::SweepGrid;
+using rlb::engine::UnknownScenarioError;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Scenario make_scenario(const std::string& name) {
+  return Scenario{name,
+                  "test scenario " + name,
+                  {{"n", "servers", "4"}},
+                  [](ScenarioContext&) { return ScenarioOutput{}; }};
+}
+
+TEST(ScenarioRegistry, LookupFindsRegisteredScenario) {
+  ScenarioRegistry registry;
+  registry.add(make_scenario("alpha"));
+  registry.add(make_scenario("beta"));
+  EXPECT_TRUE(registry.contains("alpha"));
+  EXPECT_EQ(registry.get("alpha").description, "test scenario alpha");
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0]->name, "alpha");  // sorted by name
+  EXPECT_EQ(list[1]->name, "beta");
+}
+
+TEST(ScenarioRegistry, UnknownScenarioThrowsWithKnownNames) {
+  ScenarioRegistry registry;
+  registry.add(make_scenario("alpha"));
+  EXPECT_FALSE(registry.contains("nope"));
+  try {
+    registry.get("nope");
+    FAIL() << "expected UnknownScenarioError";
+  } catch (const UnknownScenarioError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("nope"), std::string::npos);
+    EXPECT_NE(message.find("alpha"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndInvalidScenarios) {
+  ScenarioRegistry registry;
+  registry.add(make_scenario("alpha"));
+  EXPECT_THROW(registry.add(make_scenario("alpha")), std::invalid_argument);
+  EXPECT_THROW(registry.add(make_scenario("")), std::invalid_argument);
+  Scenario no_run = make_scenario("gamma");
+  no_run.run = nullptr;
+  EXPECT_THROW(registry.add(std::move(no_run)), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&ScenarioRegistry::global(), &ScenarioRegistry::global());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel sweep
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, CellSeedIsDeterministicAndDecorrelated) {
+  EXPECT_EQ(cell_seed(7, 3), cell_seed(7, 3));
+  EXPECT_NE(cell_seed(7, 3), cell_seed(7, 4));
+  EXPECT_NE(cell_seed(7, 3), cell_seed(8, 3));
+  EXPECT_NE(cell_seed(0, 0), 0u);
+}
+
+TEST(Sweep, ParallelMapPreservesIndexOrder) {
+  const auto fn = [](std::size_t i) { return static_cast<int>(i * i); };
+  const auto serial = parallel_map<int>(100, 1, fn);
+  const auto parallel = parallel_map<int>(100, 4, fn);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial[9], 81);
+}
+
+TEST(Sweep, FourThreadSweepEqualsOneThreadCellForCell) {
+  // The acceptance property behind `rlb_run --threads=N`: a grid of real
+  // stochastic simulations, seeded per cell, is bit-identical regardless
+  // of the thread count.
+  const SweepGrid grid({0.5, 0.8, 0.9}, {1, 2}, {2, 4}, /*base_seed=*/99,
+                       /*replicas=*/2);
+  ASSERT_EQ(grid.size(), 24u);
+  const auto run_cell = [&](std::size_t i) {
+    const auto pt = grid.point(i);
+    rlb::sim::FastSqdConfig cfg;
+    cfg.params = {pt.n, pt.d, pt.rho, 1.0};
+    cfg.jobs = 20'000;
+    cfg.warmup = 2'000;
+    cfg.seed = pt.seed;
+    return rlb::sim::simulate_sqd_fast(cfg).mean_delay;
+  };
+  const auto one = parallel_map<double>(grid.size(), 1, run_cell);
+  const auto four = parallel_map<double>(grid.size(), 4, run_cell);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << "cell " << i << " diverged";
+    EXPECT_GT(one[i], 0.0);
+  }
+}
+
+TEST(Sweep, GridEnumeratesAllCellsWithDistinctSeeds) {
+  const SweepGrid grid({0.5, 0.9}, {2}, {4, 8}, 1, 3);
+  ASSERT_EQ(grid.size(), 12u);
+  std::vector<std::uint64_t> seeds;
+  int n4 = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto pt = grid.point(i);
+    EXPECT_EQ(pt.index, i);
+    EXPECT_EQ(pt.d, 2);
+    if (pt.n == 4) ++n4;
+    seeds.push_back(pt.seed);
+  }
+  EXPECT_EQ(n4, 6);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+      << "per-cell seeds must be pairwise distinct";
+  EXPECT_THROW(grid.point(12), std::exception);
+}
+
+TEST(Sweep, ParallelMapPropagatesExceptions) {
+  const auto fn = [](std::size_t i) -> int {
+    if (i == 17) throw std::runtime_error("cell 17 exploded");
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(parallel_map<int>(32, 4, fn), std::runtime_error);
+  EXPECT_THROW(parallel_map<int>(32, 1, fn), std::runtime_error);
+}
+
+TEST(Sweep, ContextMapUsesConfiguredThreads) {
+  char prog[] = "test";
+  char* argv[] = {prog};
+  const rlb::util::Cli cli(1, argv);
+  ScenarioContext ctx(cli, 4);
+  EXPECT_EQ(ctx.threads(), 4);
+  const auto values = ctx.map<std::uint64_t>(10, [](std::size_t i) {
+    rlb::sim::Rng rng(cell_seed(5, i));
+    return rng.next_u64();
+  });
+  ScenarioContext serial(cli, 1);
+  const auto expected = serial.map<std::uint64_t>(10, [](std::size_t i) {
+    rlb::sim::Rng rng(cell_seed(5, i));
+    return rng.next_u64();
+  });
+  EXPECT_EQ(values, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+ScenarioOutput small_grid_output() {
+  ScenarioOutput out;
+  out.preamble = "small grid";
+  auto& table = out.add_table("grid", {"rho", "n", "delay", "status"});
+  table.add_row({"0.50", "2", "1.25", "ok"});
+  table.add_row({"0.90", "4", "3.5", "unstable"});
+  out.note("note under grid");
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+TEST(Sink, CsvRoundTripsASmallGrid) {
+  const ScenarioOutput out = small_grid_output();
+  const std::string path = ::testing::TempDir() + "/rlb_sink_roundtrip.csv";
+  const auto written = rlb::engine::write_csv(out, path);
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0], path);
+
+  const auto rows = parse_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"rho", "n", "delay",
+                                               "status"}));
+  EXPECT_EQ(rows[1],
+            (std::vector<std::string>{"0.50", "2", "1.25", "ok"}));
+  EXPECT_EQ(rows[2],
+            (std::vector<std::string>{"0.90", "4", "3.5", "unstable"}));
+  std::remove(path.c_str());
+}
+
+TEST(Sink, MultiTableCsvSplitsPerTable) {
+  ScenarioOutput out = small_grid_output();
+  auto& second = out.add_table("extra", {"a"});
+  second.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/rlb_multi.csv";
+  const auto written = rlb::engine::write_csv(out, path);
+  ASSERT_EQ(written.size(), 2u);
+  EXPECT_EQ(written[0], ::testing::TempDir() + "/rlb_multi.grid.csv");
+  EXPECT_EQ(written[1], ::testing::TempDir() + "/rlb_multi.extra.csv");
+  for (const auto& p : written) {
+    EXPECT_FALSE(parse_csv(p).empty());
+    std::remove(p.c_str());
+  }
+}
+
+TEST(Sink, JsonRoundTripsASmallGrid) {
+  const ScenarioOutput out = small_grid_output();
+  const std::string json = rlb::engine::to_json(out, "toy");
+  // Numbers stay numbers, non-numeric cells are quoted strings.
+  EXPECT_EQ(json,
+            "{\"scenario\":\"toy\",\"tables\":[{\"name\":\"grid\","
+            "\"header\":[\"rho\",\"n\",\"delay\",\"status\"],"
+            "\"rows\":[[0.50,2,1.25,\"ok\"],[0.90,4,3.5,\"unstable\"]]}]}");
+
+  const std::string path = ::testing::TempDir() + "/rlb_sink.json";
+  rlb::engine::write_json(out, "toy", path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), json + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(Sink, JsonEscapesStringsAndRejectsNonJsonNumbers) {
+  ScenarioOutput out;
+  auto& table = out.add_table("t", {"weird \"col\""});
+  table.add_row({"line\nbreak"});
+  table.add_row({"007"});    // leading zeros: not a JSON number
+  table.add_row({"0x1f"});   // hex: not a JSON number
+  table.add_row({"-1.5e3"});  // valid JSON number
+  const std::string json = rlb::engine::to_json(out, "esc");
+  EXPECT_NE(json.find("\"weird \\\"col\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\\nbreak\""), std::string::npos);
+  EXPECT_NE(json.find("\"007\""), std::string::npos);
+  EXPECT_NE(json.find("\"0x1f\""), std::string::npos);
+  EXPECT_NE(json.find("-1.5e3"), std::string::npos);
+  EXPECT_EQ(json.find("\"-1.5e3\""), std::string::npos);
+}
+
+TEST(Sink, TextRenderingIncludesTablesAndNotes) {
+  const ScenarioOutput out = small_grid_output();
+  std::ostringstream os;
+  rlb::engine::write_text(out, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("small grid"), std::string::npos);
+  EXPECT_NE(s.find("unstable"), std::string::npos);
+  EXPECT_NE(s.find("note under grid"), std::string::npos);
+}
+
+}  // namespace
