@@ -66,10 +66,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
         // same random streams, so column differences isolate the policy
         // effect (common random numbers, as the original bench did).
         cfg.seed = rlb::engine::cell_seed(seed, i / kTasks);
+        cfg.replicas = ctx.replicas();
         const auto arr = make_exponential(rho * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(n, task);
-        return simulate_cluster(cfg, *policy, *arr, *svc).mean_sojourn;
+        return simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget())
+            .mean_sojourn;
       });
 
   ScenarioOutput out;

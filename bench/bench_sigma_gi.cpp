@@ -102,10 +102,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
       cfg.jobs = jobs;
       cfg.warmup = jobs / 10;
       cfg.seed = rlb::engine::cell_seed(seed, 0);
+      cfg.replicas = ctx.replicas();
       rlb::sim::SqdPolicy policy(n, 2);
       const auto arr = des_sampler(i);
       const auto svc = rlb::sim::make_exponential(1.0);
-      return rlb::sim::simulate_cluster(cfg, policy, *arr, *svc)
+      return rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
+                                        ctx.budget())
           .mean_sojourn;
     }
     const rlb::sqd::BoundModel lower(rlb::sqd::Params{n2, 2, rho2, 1.0}, 2,
@@ -113,7 +115,8 @@ ScenarioOutput run(ScenarioContext& ctx) {
     const auto sampler = tail_sampler(i - 4);
     return rlb::sim::simulate_gi_lower_bound(
                lower, *sampler, 4 * jobs, jobs / 2,
-               rlb::engine::cell_seed(seed, 1))
+               rlb::engine::cell_seed(seed, 1), ctx.replicas(),
+               ctx.budget())
         .level_tail_ratio;
   });
 

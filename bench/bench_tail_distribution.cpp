@@ -42,7 +42,9 @@ ScenarioOutput run(ScenarioContext& ctx) {
     cfg.warmup = jobs / 10;
     cfg.tail_kmax = kmax;
     cfg.seed = rlb::engine::cell_seed(seed, i);
-    return rlb::sim::simulate_sqd_fast(cfg).marginal_tail;
+    // A single simulation cell: --replicas is the only parallelism here.
+    cfg.replicas = ctx.replicas();
+    return rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).marginal_tail;
   });
 
   ScenarioOutput out;

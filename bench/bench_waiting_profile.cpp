@@ -49,10 +49,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
         cfg.jobs = jobs;
         cfg.warmup = jobs / 10;
         cfg.seed = rlb::engine::cell_seed(seed, i);
+        cfg.replicas = ctx.replicas();
         rlb::sim::SqdPolicy policy(n, d);
         const auto arr = rlb::sim::make_exponential(rhos[i] * n);
         const auto svc = rlb::sim::make_exponential(1.0);
-        const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc);
+        const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
+                                                    ctx.budget());
 
         CellResult cell;
         cell.p_wait = profile.ccdf(0.0);

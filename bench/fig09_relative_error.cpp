@@ -39,13 +39,19 @@ std::uint64_t seed_for(std::uint64_t base, const Cell& c) {
           static_cast<std::uint64_t>(c.d));
 }
 
-double simulate_cell(const Cell& c, std::uint64_t jobs, std::uint64_t seed) {
+// Each cell's job budget shards into ctx.replicas() parallel chains with
+// merged batch-means (sim/replica.h); replica workers share the sweep's
+// thread budget, so the lone huge-N cell at the tail of the sweep soaks
+// up the slots its finished neighbours released.
+double simulate_cell(const ScenarioContext& ctx, const Cell& c,
+                     std::uint64_t jobs, std::uint64_t seed) {
   rlb::sim::FastSqdConfig cfg;
   cfg.params = {c.n, c.d, c.rho, 1.0};
   cfg.jobs = jobs;
   cfg.warmup = jobs / 10;
   cfg.seed = seed;
-  return rlb::sim::simulate_sqd_fast(cfg).mean_delay;
+  cfg.replicas = ctx.replicas();
+  return rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay;
 }
 
 ScenarioOutput run(ScenarioContext& ctx) {
@@ -72,7 +78,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
     for (int n : {3, 6, 12, 25, 50}) cells.push_back({rho, n, 2});
 
   const auto delays = ctx.map<double>(cells.size(), [&](std::size_t i) {
-    return simulate_cell(cells[i], jobs, seed_for(seed, cells[i]));
+    return simulate_cell(ctx, cells[i], jobs, seed_for(seed, cells[i]));
   });
 
   ScenarioOutput out;

@@ -80,7 +80,9 @@ ScenarioOutput run(ScenarioContext& ctx) {
         cfg.seed = rlb::engine::cell_seed(
             rlb::engine::cell_seed(seed, static_cast<std::uint64_t>(def.n)),
             static_cast<std::uint64_t>(std::llround(rho * 10000)));
-        cell.sim = rlb::sim::simulate_sqd_fast(cfg).mean_delay;
+        cfg.replicas = ctx.replicas();
+        cell.sim =
+            rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay;
 
         cell.lower = rlb::sqd::solve_lower_improved(
                          BoundModel(p, def.t, BoundKind::Lower))

@@ -66,10 +66,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
         // One seed per workload row: policy columns share random streams
         // (common random numbers), isolating the policy effect.
         cfg.seed = rlb::engine::cell_seed(seed, w);
+        cfg.replicas = ctx.replicas();
         const auto arrivals = make_arrivals(w);
         const auto service = make_service(w);
         const auto policy = make_policy(i % kPolicies);
-        return simulate_cluster(cfg, *policy, *arrivals, *service)
+        return simulate_cluster(cfg, *policy, *arrivals, *service,
+                                ctx.budget())
             .mean_sojourn;
       });
 

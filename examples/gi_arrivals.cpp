@@ -82,12 +82,13 @@ ScenarioOutput run(ScenarioContext& ctx) {
         // One shared seed: the traffic shapes are compared under common
         // random numbers (as the original example's fixed seed did).
         cfg.seed = rlb::engine::cell_seed(seed, 0);
+        cfg.replicas = ctx.replicas();
         rlb::sim::SqdPolicy policy(n, 2);
         const auto sampler = make_sampler(i);
         const auto svc = rlb::sim::make_exponential(1.0);
-        cell.sim_delay =
-            rlb::sim::simulate_cluster(cfg, policy, *sampler, *svc)
-                .mean_sojourn;
+        cell.sim_delay = rlb::sim::simulate_cluster(cfg, policy, *sampler,
+                                                    *svc, ctx.budget())
+                             .mean_sojourn;
         return cell;
       });
 

@@ -67,10 +67,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
           cfg.server_speeds[s] = fast;
           cfg.server_speeds[n / 2 + s] = slow;
         }
+        cfg.replicas = ctx.replicas();
         const auto arr = make_exponential(rho * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(i % kPolicies);
-        const auto r = simulate_cluster(cfg, *policy, *arr, *svc);
+        const auto r =
+            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
         return CellResult{r.mean_sojourn, r.p99_sojourn};
       });
 

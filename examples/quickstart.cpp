@@ -47,13 +47,14 @@ ScenarioOutput run(ScenarioContext& ctx) {
   } catch (const rlb::qbd::UnstableError&) {
   }
 
-  // 3. Simulation of the real system.
+  // 3. Simulation of the real system, sharded across --replicas chains.
   rlb::sim::FastSqdConfig cfg;
   cfg.params = p;
   cfg.jobs = jobs;
   cfg.warmup = jobs / 10;
   cfg.seed = rlb::engine::cell_seed(seed, 0);
-  const auto sim = rlb::sim::simulate_sqd_fast(cfg);
+  cfg.replicas = ctx.replicas();
+  const auto sim = rlb::sim::simulate_sqd_fast(cfg, ctx.budget());
 
   // 4. The N -> infinity approximation (Eq. 16).
   const double asym = rlb::sqd::asymptotic_delay(rho, d);

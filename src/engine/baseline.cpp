@@ -1,0 +1,431 @@
+#include "engine/baseline.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace rlb::engine {
+
+namespace {
+
+/// Minimal recursive-descent JSON reader, sufficient for the documents
+/// to_json emits (objects, arrays, strings with escapes, numbers,
+/// true/false/null). Kept private to this translation unit — the engine
+/// is not in the business of general JSON.
+class JsonParser {
+ public:
+  struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;  // String kind
+    std::vector<Value> items;
+    std::vector<std::pair<std::string, Value>> members;
+
+    [[nodiscard]] const Value* find(const std::string& key) const {
+      for (const auto& [k, v] : members)
+        if (k == key) return &v;
+      return nullptr;
+    }
+  };
+
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    RLB_REQUIRE(pos_ == s_.size(), "baseline JSON: trailing content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    RLB_REQUIRE(pos_ < s_.size() && s_[pos_] == c,
+                std::string("baseline JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.text = string();
+        return v;
+      }
+      case 't': {
+        RLB_REQUIRE(consume_literal("true"), "baseline JSON: bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        RLB_REQUIRE(consume_literal("false"), "baseline JSON: bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        RLB_REQUIRE(consume_literal("null"), "baseline JSON: bad literal");
+        return Value{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: bad escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          RLB_REQUIRE(pos_ + 4 <= s_.size(), "baseline JSON: bad \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              RLB_REQUIRE(false, "baseline JSON: bad \\u digit");
+          }
+          // The sink only emits \u00XX for control bytes; decode the
+          // low byte and refuse anything wider rather than implement
+          // full UTF-16 surrogate handling.
+          RLB_REQUIRE(code < 0x100, "baseline JSON: \\u beyond latin-1");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          RLB_REQUIRE(false, "baseline JSON: unknown escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-'))
+      ++pos_;
+    RLB_REQUIRE(pos_ > start, "baseline JSON: expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.text = s_.substr(start, pos_ - start);
+    std::size_t consumed = 0;
+    try {
+      v.number = std::stod(v.text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    // stod must consume the whole token — "1e-" or "1.2.3" parse as a
+    // prefix otherwise and would silently compare against the wrong value.
+    RLB_REQUIRE(consumed == v.text.size(),
+                "baseline JSON: bad number '" + v.text + "'");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// True when `s` parses as a finite double, mirroring the sink's
+/// is_json_number notion of a numeric cell.
+bool cell_as_number(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(s, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == s.size() && std::isfinite(out);
+}
+
+void add_structure_mismatch(BaselineReport& report, const std::string& table,
+                            const std::string& expected,
+                            const std::string& actual) {
+  report.ok = false;
+  report.mismatches.push_back(BaselineMismatch{
+      table, "", std::numeric_limits<std::size_t>::max(), expected, actual});
+}
+
+}  // namespace
+
+double ToleranceSpec::for_column(const std::string& column) const {
+  const auto it = by_column.find(column);
+  return it == by_column.end() ? default_value : it->second;
+}
+
+ToleranceSpec ToleranceSpec::parse(const std::string& spec,
+                                   double fallback) {
+  ToleranceSpec out;
+  out.default_value = fallback;
+  if (spec.empty()) return out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string part =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!part.empty()) {
+      const std::size_t eq = part.find('=');
+      const std::string value_text =
+          eq == std::string::npos ? part : part.substr(eq + 1);
+      double value = 0.0;
+      RLB_REQUIRE(cell_as_number(value_text, value) && value >= 0.0,
+                  "bad tolerance '" + part + "'");
+      if (eq == std::string::npos)
+        out.default_value = value;
+      else
+        out.by_column[part.substr(0, eq)] = value;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string BaselineReport::describe() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "baseline match: " << cells_compared << " cells within tolerance";
+    return os.str();
+  }
+  os << "baseline DRIFT: " << mismatches.size() << " mismatch(es) over "
+     << cells_compared << " compared cells";
+  const std::size_t shown = std::min<std::size_t>(mismatches.size(), 20);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const BaselineMismatch& m = mismatches[i];
+    os << "\n  [" << m.table << "]";
+    if (m.row != std::numeric_limits<std::size_t>::max())
+      os << " row " << m.row << ", column '" << m.column << "'";
+    os << ": baseline " << m.expected << ", got " << m.actual;
+  }
+  if (shown < mismatches.size())
+    os << "\n  ... and " << (mismatches.size() - shown) << " more";
+  return os.str();
+}
+
+BaselineReport compare_to_baseline(const ScenarioOutput& out,
+                                   const std::string& baseline_json,
+                                   const BaselineOptions& opts) {
+  const JsonParser::Value root = JsonParser(baseline_json).parse();
+  RLB_REQUIRE(root.kind == JsonParser::Value::Kind::Object,
+              "baseline JSON: root must be an object");
+  const auto* tables = root.find("tables");
+  RLB_REQUIRE(tables != nullptr &&
+                  tables->kind == JsonParser::Value::Kind::Array,
+              "baseline JSON: missing 'tables' array");
+
+  BaselineReport report;
+  if (tables->items.size() != out.tables.size()) {
+    add_structure_mismatch(report, "<document>",
+                           std::to_string(tables->items.size()) + " tables",
+                           std::to_string(out.tables.size()) + " tables");
+    return report;
+  }
+
+  for (std::size_t t = 0; t < out.tables.size(); ++t) {
+    const NamedTable& actual = out.tables[t];
+    const JsonParser::Value& ref = tables->items[t];
+    RLB_REQUIRE(ref.kind == JsonParser::Value::Kind::Object,
+                "baseline JSON: table entry must be an object");
+    const auto* name = ref.find("name");
+    const auto* header = ref.find("header");
+    const auto* rows = ref.find("rows");
+    RLB_REQUIRE(name && name->kind == JsonParser::Value::Kind::String &&
+                    header &&
+                    header->kind == JsonParser::Value::Kind::Array &&
+                    rows && rows->kind == JsonParser::Value::Kind::Array,
+                "baseline JSON: table needs name/header/rows");
+
+    if (name->text != actual.name) {
+      add_structure_mismatch(report, actual.name, "table '" + name->text + "'",
+                             "table '" + actual.name + "'");
+      continue;
+    }
+    const auto& actual_header = actual.table.header();
+    bool header_matches = header->items.size() == actual_header.size();
+    for (std::size_t c = 0; header_matches && c < actual_header.size(); ++c)
+      header_matches = header->items[c].kind ==
+                           JsonParser::Value::Kind::String &&
+                       header->items[c].text == actual_header[c];
+    if (!header_matches) {
+      add_structure_mismatch(report, actual.name, "a different header",
+                             "header drift");
+      continue;
+    }
+    const auto& actual_rows = actual.table.data();
+    if (rows->items.size() != actual_rows.size()) {
+      add_structure_mismatch(
+          report, actual.name,
+          std::to_string(rows->items.size()) + " rows",
+          std::to_string(actual_rows.size()) + " rows");
+      continue;
+    }
+
+    for (std::size_t r = 0; r < actual_rows.size(); ++r) {
+      const JsonParser::Value& ref_row = rows->items[r];
+      RLB_REQUIRE(ref_row.kind == JsonParser::Value::Kind::Array &&
+                      ref_row.items.size() == actual_rows[r].size(),
+                  "baseline JSON: row arity drift in '" + actual.name + "'");
+      for (std::size_t c = 0; c < actual_rows[r].size(); ++c) {
+        const std::string& column = actual_header[c];
+        if (opts.ignore_columns.count(column)) continue;
+        const JsonParser::Value& ref_cell = ref_row.items[c];
+        const std::string& actual_cell = actual_rows[r][c];
+        ++report.cells_compared;
+
+        double actual_num = 0.0;
+        const bool actual_is_num = cell_as_number(actual_cell, actual_num);
+        if (ref_cell.kind == JsonParser::Value::Kind::Number &&
+            actual_is_num) {
+          const double diff = std::abs(actual_num - ref_cell.number);
+          const double bound = opts.atol.for_column(column) +
+                               opts.rtol.for_column(column) *
+                                   std::abs(ref_cell.number);
+          if (diff <= bound) continue;
+          report.ok = false;
+          report.mismatches.push_back(BaselineMismatch{
+              actual.name, column, r, ref_cell.text, actual_cell});
+        } else {
+          const std::string& ref_text = ref_cell.text;
+          const bool same =
+              ref_cell.kind == JsonParser::Value::Kind::String
+                  ? ref_cell.text == actual_cell
+                  : ref_cell.kind == JsonParser::Value::Kind::Number &&
+                        ref_cell.text == actual_cell;
+          if (same) continue;
+          report.ok = false;
+          report.mismatches.push_back(BaselineMismatch{
+              actual.name, column, r, "'" + ref_text + "'",
+              "'" + actual_cell + "'"});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  RLB_REQUIRE(f.good(), "cannot open file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+}  // namespace rlb::engine

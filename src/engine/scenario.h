@@ -49,26 +49,45 @@ struct ParamSpec {
   std::string default_value;
 };
 
-/// Handed to the scenario's run function: its CLI parameters plus the
-/// deterministic parallel-map primitive.
+/// Handed to the scenario's run function: its CLI parameters, the
+/// requested replica count, and the run's shared thread budget, from
+/// which both the cell-level map() and any within-cell replica
+/// parallelism (sim/replica.h) draw their workers.
 class ScenarioContext {
  public:
-  ScenarioContext(const util::Cli& cli, int threads)
-      : cli_(cli), threads_(threads) {}
+  ScenarioContext(const util::Cli& cli, int threads, int replicas = 1)
+      : cli_(cli),
+        threads_(resolve_threads(threads)),
+        replicas_(replicas),
+        budget_(threads_) {}  // threads_ resolved first (declaration order)
 
   [[nodiscard]] const util::Cli& cli() const { return cli_; }
   [[nodiscard]] int threads() const { return threads_; }
 
-  /// results[i] = fn(i), computed on the context's worker threads; output
+  /// Replicas requested via --replicas; scenarios pass this into their
+  /// simulation configs for the big-N cells. Affects the output (R
+  /// replicas merge R decorrelated streams) but never varies with the
+  /// thread count, preserving the determinism contract.
+  [[nodiscard]] int replicas() const { return replicas_; }
+
+  /// The run-wide worker budget; hand it to the simulators so replica
+  /// parallelism shares the pool with cell parallelism.
+  [[nodiscard]] util::ThreadBudget& budget() const { return budget_; }
+
+  /// results[i] = fn(i), computed on the context's worker budget; output
   /// is invariant under the thread count (see engine/sweep.h).
   template <typename T, typename Fn>
   std::vector<T> map(std::size_t count, Fn&& fn) const {
-    return parallel_map<T>(count, threads_, std::forward<Fn>(fn));
+    return parallel_map<T>(count, budget_, std::forward<Fn>(fn));
   }
 
  private:
   const util::Cli& cli_;
   int threads_;
+  int replicas_;
+  // Worker-slot accounting mutates under const map(); the budget is
+  // internally synchronized.
+  mutable util::ThreadBudget budget_;
 };
 
 struct Scenario {

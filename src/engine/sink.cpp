@@ -107,6 +107,12 @@ void append_json_string(std::ostringstream& os, const std::string& s) {
       case '\r':
         os << "\\r";
         break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];

@@ -1,24 +1,15 @@
 #include "engine/sweep.h"
 
 #include "util/require.h"
+#include "util/splitmix.h"
 
 namespace rlb::engine {
-
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 std::uint64_t cell_seed(std::uint64_t base, std::uint64_t index) {
   // Two rounds decorrelate neighbouring (base, index) pairs; the +1 keeps
   // cell 0 of base 0 away from the splitmix64 fixed point at zero.
-  return splitmix64(splitmix64(base + 1) ^ splitmix64(index));
+  return util::splitmix64(util::splitmix64(base + 1) ^
+                          util::splitmix64(index));
 }
 
 int resolve_threads(int requested) {

@@ -9,12 +9,13 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/parallel_for.h"
+#include "util/thread_budget.h"
 
 namespace rlb::engine {
 
@@ -26,42 +27,30 @@ std::uint64_t cell_seed(std::uint64_t base, std::uint64_t index);
 /// thread count (0 means "hardware concurrency").
 int resolve_threads(int requested);
 
-/// results[i] = fn(i) for i in [0, count), computed by up to `threads`
-/// workers pulling cell indices from a shared counter. The result order is
-/// the index order, so the output is invariant under the thread count. The
-/// first exception thrown by any cell is rethrown on the calling thread
-/// after all workers finish.
+/// results[i] = fn(i) for i in [0, count), computed by the calling thread
+/// plus helpers drawn from `budget`, all pulling cell indices from a
+/// shared counter. The result order is the index order, so the output is
+/// invariant under the budget. Helpers are recruited between cells (not
+/// only up front) and return their slot to the budget as they retire, so
+/// a cell's inner replica loop (sim/replica.h, sharing the same budget)
+/// and the cell loop split one pool without oversubscribing. The first
+/// exception thrown by any cell stops the sweep and is rethrown on the
+/// calling thread after all helpers finish.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, util::ThreadBudget& budget,
+                            Fn&& fn) {
+  std::vector<T> results(count);
+  util::budgeted_for(count, budget,
+                     [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+/// Convenience overload: a private budget of `threads` slots (0 means
+/// hardware concurrency) for this one map call.
 template <typename T, typename Fn>
 std::vector<T> parallel_map(std::size_t count, int threads, Fn&& fn) {
-  std::vector<T> results(count);
-  const int workers = std::min<std::size_t>(
-      count, static_cast<std::size_t>(std::max(1, resolve_threads(threads))));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  const auto work = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) return;
-      try {
-        results[i] = fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(work);
-  for (auto& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
-  return results;
+  util::ThreadBudget budget(std::max(1, resolve_threads(threads)));
+  return parallel_map<T>(count, budget, std::forward<Fn>(fn));
 }
 
 /// One cell of a (rho x d x N x seed-replica) sweep grid.

@@ -29,6 +29,10 @@ class ArrivalProcess {
 
   /// Return to the initial phase (used between simulation runs).
   virtual void reset() {}
+
+  /// An independent copy for parallel simulation replicas (each replica
+  /// must own its mutable process state).
+  [[nodiscard]] virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
 };
 
 /// I.i.d. interarrival times drawn from a Distribution (renewal process).
@@ -38,6 +42,9 @@ class RenewalArrivals final : public ArrivalProcess {
   double next(Rng& rng) override;
   [[nodiscard]] double mean_rate() const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<RenewalArrivals>(*this);
+  }
 
  private:
   const Distribution& interarrival_;
@@ -53,6 +60,9 @@ class MmppArrivals final : public ArrivalProcess {
   [[nodiscard]] double mean_rate() const override;
   [[nodiscard]] std::string name() const override;
   void reset() override { phase_ = 0; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<MmppArrivals>(*this);
+  }
 
   /// Construct a bursty MMPP with the given mean rate: an "on" phase at
   /// `burst_factor` times the mean rate and a slow background phase, with

@@ -1,26 +1,41 @@
 #include "sim/bound_sim.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "sim/replica.h"
 #include "sim/rng.h"
 #include "statespace/state.h"
 #include "util/require.h"
 
 namespace rlb::sim {
 
-BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
-                                    std::uint64_t steps,
-                                    std::uint64_t warmup_steps,
-                                    std::uint64_t seed) {
-  RLB_REQUIRE(warmup_steps < steps, "warmup must be below step count");
-  Rng rng(seed);
-  statespace::State state(static_cast<std::size_t>(model.params().N), 0);
+namespace {
 
-  BoundSimResult out;
+/// Raw per-replica accumulators; time averages are formed only after the
+/// replica-index-order merge.
+struct Accum {
   double weight_total = 0.0;
   double waiting_acc = 0.0;
   double jobs_acc = 0.0;
+  double max_gap_seen = 0.0;
+  std::uint64_t steps = 0;
 
+  void merge(const Accum& other) {
+    weight_total += other.weight_total;
+    waiting_acc += other.waiting_acc;
+    jobs_acc += other.jobs_acc;
+    max_gap_seen = std::max(max_gap_seen, other.max_gap_seen);
+    steps += other.steps;
+  }
+};
+
+Accum run_one_replica(const sqd::BoundModel& model, std::uint64_t steps,
+                      std::uint64_t warmup_steps, std::uint64_t seed) {
+  Rng rng(seed);
+  statespace::State state(static_cast<std::size_t>(model.params().N), 0);
+
+  Accum acc;
   for (std::uint64_t step = 0; step < steps; ++step) {
     const std::vector<sqd::Transition> ts = model.transitions(state);
     double total_rate = 0.0;
@@ -29,11 +44,11 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
 
     if (step >= warmup_steps) {
       const double hold = 1.0 / total_rate;  // expected holding time
-      weight_total += hold;
-      waiting_acc += hold * statespace::waiting_jobs(state);
-      jobs_acc += hold * statespace::total_jobs(state);
-      out.max_gap_seen =
-          std::max(out.max_gap_seen, static_cast<double>(statespace::gap(state)));
+      acc.weight_total += hold;
+      acc.waiting_acc += hold * statespace::waiting_jobs(state);
+      acc.jobs_acc += hold * statespace::total_jobs(state);
+      acc.max_gap_seen = std::max(
+          acc.max_gap_seen, static_cast<double>(statespace::gap(state)));
     }
 
     double u = rng.next_double() * total_rate;
@@ -47,10 +62,41 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
     }
     state = ts[chosen].to;
   }
+  acc.steps = steps;
+  return acc;
+}
 
-  out.mean_waiting_jobs = waiting_acc / weight_total;
-  out.mean_jobs = jobs_acc / weight_total;
-  out.steps = steps;
+}  // namespace
+
+BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
+                                    std::uint64_t steps,
+                                    std::uint64_t warmup_steps,
+                                    std::uint64_t seed) {
+  return simulate_bound_model(model, steps, warmup_steps, seed, 1,
+                              util::ThreadBudget::serial());
+}
+
+BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
+                                    std::uint64_t steps,
+                                    std::uint64_t warmup_steps,
+                                    std::uint64_t seed, int replicas,
+                                    util::ThreadBudget& budget) {
+  const ReplicaPlan plan =
+      ReplicaPlan::split(replicas, steps, warmup_steps, seed);
+
+  const Accum acc = run_replicas<Accum>(
+      plan, budget,
+      [&](int /*replica*/, std::uint64_t replica_seed) {
+        return run_one_replica(model, plan.jobs_per_replica, plan.warmup,
+                               replica_seed);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); });
+
+  BoundSimResult out;
+  out.mean_waiting_jobs = acc.waiting_acc / acc.weight_total;
+  out.mean_jobs = acc.jobs_acc / acc.weight_total;
+  out.max_gap_seen = acc.max_gap_seen;
+  out.steps = acc.steps;
   return out;
 }
 

@@ -5,11 +5,14 @@
 // against the matrix-geometric solution validates the builder and the
 // solver end to end. Time averages use expected holding times (1/total
 // rate), which is unbiased and lower-variance than sampling the clocks.
+// Long runs shard into parallel replicas (sim/replica.h) whose
+// time-weighted accumulators merge exactly.
 #pragma once
 
 #include <cstdint>
 
 #include "sqd/bound_model.h"
+#include "util/thread_budget.h"
 
 namespace rlb::sim {
 
@@ -20,9 +23,18 @@ struct BoundSimResult {
   std::uint64_t steps = 0;
 };
 
+/// Single replica on the calling thread (legacy entry point).
 BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
                                     std::uint64_t steps,
                                     std::uint64_t warmup_steps,
                                     std::uint64_t seed);
+
+/// The step budget sharded into `replicas` independent chains, with
+/// worker threads drawn from `budget`; bit-identical for every budget.
+BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
+                                    std::uint64_t steps,
+                                    std::uint64_t warmup_steps,
+                                    std::uint64_t seed, int replicas,
+                                    util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/replica.h"
 #include "sim/stats.h"
 #include "util/require.h"
 
@@ -17,16 +18,47 @@ struct Job {
   double service_time = 0.0;
 };
 
-/// The engine itself is the policy-visible cluster state.
+/// Raw per-replica statistics; merged in replica-index order before any
+/// derived quantity (utilization, quantiles, CIs) is computed.
+struct Accum {
+  StreamingMoments sojourn_stats;
+  StreamingMoments wait_stats;
+  BatchMeans sojourn_ci{1};
+  ReservoirQuantiles sojourn_quantiles{1};
+  double area_jobs = 0.0;  // integral of total jobs over measured window
+  double busy_area = 0.0;  // integral of busy servers
+  double window = 0.0;     // measured-window length
+  double sim_time = 0.0;
+
+  void merge(const Accum& other) {
+    sojourn_stats.merge(other.sojourn_stats);
+    wait_stats.merge(other.wait_stats);
+    sojourn_ci.merge(other.sojourn_ci);
+    sojourn_quantiles.merge(other.sojourn_quantiles);
+    area_jobs += other.area_jobs;
+    busy_area += other.busy_area;
+    window += other.window;
+    sim_time += other.sim_time;
+  }
+};
+
+/// One replica's event loop: `jobs` arrivals with `warmup` discarded,
+/// everything seeded from `seed`. The engine itself is the policy-visible
+/// cluster state.
 class Engine final : public ClusterState {
  public:
-  Engine(const ClusterConfig& cfg, Policy& policy, ArrivalProcess& arrivals,
-         const Distribution& service)
+  Engine(const ClusterConfig& cfg, std::uint64_t jobs, std::uint64_t warmup,
+         std::uint64_t batch, std::uint64_t seed, Policy& policy,
+         ArrivalProcess& arrivals, const Distribution& service)
       : cfg_(cfg),
+        jobs_(jobs),
+        warmup_(warmup),
+        batch_(batch),
+        seed_(seed),
         policy_(policy),
         arrivals_(arrivals),
         service_(service),
-        rng_(cfg.seed),
+        rng_(seed),
         queues_(cfg.servers),
         completion_(cfg.servers, 0.0),
         queued_work_(cfg.servers, 0.0) {}
@@ -43,49 +75,37 @@ class Engine final : public ClusterState {
     return (completion_[server] - now_) + queued_work_[server];
   }
 
-  ClusterResult run() {
-    RLB_REQUIRE(cfg_.servers >= 1, "need at least one server");
-    RLB_REQUIRE(cfg_.warmup < cfg_.jobs, "warmup must be below job count");
-    RLB_REQUIRE(cfg_.server_speeds.empty() ||
-                    cfg_.server_speeds.size() ==
-                        static_cast<std::size_t>(cfg_.servers),
-                "server_speeds must be empty or one entry per server");
-    for (double sp : cfg_.server_speeds)
-      RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
-    const std::uint64_t measured_jobs = cfg_.jobs - cfg_.warmup;
-    const std::uint64_t batch =
-        cfg_.batch_size > 0 ? cfg_.batch_size : std::max<std::uint64_t>(
-                                                    1, measured_jobs / 30);
-    BatchMeans sojourn_ci(batch);
-    StreamingMoments sojourn_stats, wait_stats;
-    ReservoirQuantiles sojourn_quantiles(100'000, cfg_.seed ^ 0xabcdefull);
+  Accum run() {
+    Accum acc;
+    acc.sojourn_ci = BatchMeans(batch_);
+    acc.sojourn_quantiles =
+        ReservoirQuantiles(100'000, seed_ ^ 0xabcdefull);
 
     double next_arrival = arrivals_.next(rng_);
     std::uint64_t arrivals = 0;
     std::uint64_t departures = 0;
 
     double measure_start = -1.0;
-    double area_jobs = 0.0;     // integral of total jobs over measured window
-    double busy_area = 0.0;     // integral of busy servers
     std::uint64_t in_system = 0;
 
     const auto advance_to = [&](double t) {
       if (measure_start >= 0.0) {
-        area_jobs += static_cast<double>(in_system) * (t - now_);
-        busy_area += static_cast<double>(busy_servers_) * (t - now_);
+        acc.area_jobs += static_cast<double>(in_system) * (t - now_);
+        acc.busy_area += static_cast<double>(busy_servers_) * (t - now_);
       }
       now_ = t;
     };
 
-    while (departures < cfg_.jobs) {
-      const bool have_arrival = arrivals < cfg_.jobs;
+    while (departures < jobs_) {
+      const bool have_arrival = arrivals < jobs_;
       const bool arrival_next =
           have_arrival &&
-          (departure_heap_.empty() || next_arrival <= departure_heap_.top().first);
+          (departure_heap_.empty() ||
+           next_arrival <= departure_heap_.top().first);
 
       if (arrival_next) {
         advance_to(next_arrival);
-        if (arrivals == cfg_.warmup && measure_start < 0.0)
+        if (arrivals == warmup_ && measure_start < 0.0)
           measure_start = now_;
         Job job{arrivals, now_, service_.sample(rng_)};
         ++arrivals;
@@ -115,12 +135,12 @@ class Engine final : public ClusterState {
         q.pop_front();
         ++departures;
         --in_system;
-        if (done.index >= cfg_.warmup) {
+        if (done.index >= warmup_) {
           const double sojourn = now_ - done.arrival_time;
-          sojourn_stats.add(sojourn);
-          wait_stats.add(sojourn - done.service_time);
-          sojourn_ci.add(sojourn);
-          sojourn_quantiles.add(sojourn);
+          acc.sojourn_stats.add(sojourn);
+          acc.wait_stats.add(sojourn - done.service_time);
+          acc.sojourn_ci.add(sojourn);
+          acc.sojourn_quantiles.add(sojourn);
         }
         if (!q.empty()) {
           const Job& next = q.front();
@@ -133,29 +153,19 @@ class Engine final : public ClusterState {
       }
     }
 
-    ClusterResult out;
-    out.mean_sojourn = sojourn_stats.mean();
-    out.mean_wait = wait_stats.mean();
-    out.ci95_sojourn = sojourn_ci.ci95_halfwidth();
-    if (sojourn_quantiles.count() > 0) {
-      out.p50_sojourn = sojourn_quantiles.quantile(0.50);
-      out.p95_sojourn = sojourn_quantiles.quantile(0.95);
-      out.p99_sojourn = sojourn_quantiles.quantile(0.99);
-    }
-    out.jobs_measured = sojourn_stats.count();
-    out.sim_time = now_;
-    const double window = now_ - std::max(measure_start, 0.0);
-    if (window > 0.0) {
-      out.mean_jobs_in_system = area_jobs / window;
-      out.utilization = busy_area / window / cfg_.servers;
-    }
-    return out;
+    acc.window = now_ - std::max(measure_start, 0.0);
+    acc.sim_time = now_;
+    return acc;
   }
 
  private:
   using Event = std::pair<double, int>;  // (time, server)
 
   const ClusterConfig& cfg_;
+  std::uint64_t jobs_;
+  std::uint64_t warmup_;
+  std::uint64_t batch_;
+  std::uint64_t seed_;
   Policy& policy_;
   ArrivalProcess& arrivals_;
   const Distribution& service_;
@@ -175,17 +185,72 @@ class Engine final : public ClusterState {
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                const Distribution& interarrival,
                                const Distribution& service) {
-  RenewalArrivals arrivals(interarrival);
-  return simulate_cluster(cfg, policy, arrivals, service);
+  return simulate_cluster(cfg, policy, interarrival, service,
+                          util::ThreadBudget::serial());
 }
 
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                ArrivalProcess& arrivals,
                                const Distribution& service) {
-  policy.reset();
-  arrivals.reset();
-  Engine engine(cfg, policy, arrivals, service);
-  return engine.run();
+  return simulate_cluster(cfg, policy, arrivals, service,
+                          util::ThreadBudget::serial());
+}
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               const Distribution& interarrival,
+                               const Distribution& service,
+                               util::ThreadBudget& budget) {
+  RenewalArrivals arrivals(interarrival);
+  return simulate_cluster(cfg, policy, arrivals, service, budget);
+}
+
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               ArrivalProcess& arrivals,
+                               const Distribution& service,
+                               util::ThreadBudget& budget) {
+  RLB_REQUIRE(cfg.servers >= 1, "need at least one server");
+  RLB_REQUIRE(cfg.server_speeds.empty() ||
+                  cfg.server_speeds.size() ==
+                      static_cast<std::size_t>(cfg.servers),
+              "server_speeds must be empty or one entry per server");
+  for (double sp : cfg.server_speeds)
+    RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
+
+  const ReplicaPlan plan =
+      ReplicaPlan::split(cfg.replicas, cfg.jobs, cfg.warmup, cfg.seed);
+  const std::uint64_t batch = plan.batch_size(cfg.batch_size);
+
+  const Accum acc = run_replicas<Accum>(
+      plan, budget,
+      [&](int /*replica*/, std::uint64_t seed) {
+        // Each replica owns fresh copies of the mutable policy / arrival
+        // state; a single replica matches the legacy reset()-then-run.
+        const auto replica_policy = policy.clone();
+        const auto replica_arrivals = arrivals.clone();
+        replica_policy->reset();
+        replica_arrivals->reset();
+        Engine engine(cfg, plan.jobs_per_replica, plan.warmup, batch, seed,
+                      *replica_policy, *replica_arrivals, service);
+        return engine.run();
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); });
+
+  ClusterResult out;
+  out.mean_sojourn = acc.sojourn_stats.mean();
+  out.mean_wait = acc.wait_stats.mean();
+  out.ci95_sojourn = acc.sojourn_ci.ci95_halfwidth();
+  if (acc.sojourn_quantiles.count() > 0) {
+    out.p50_sojourn = acc.sojourn_quantiles.quantile(0.50);
+    out.p95_sojourn = acc.sojourn_quantiles.quantile(0.95);
+    out.p99_sojourn = acc.sojourn_quantiles.quantile(0.99);
+  }
+  out.jobs_measured = acc.sojourn_stats.count();
+  out.sim_time = acc.sim_time;
+  if (acc.window > 0.0) {
+    out.mean_jobs_in_system = acc.area_jobs / acc.window;
+    out.utilization = acc.busy_area / acc.window / cfg.servers;
+  }
+  return out;
 }
 
 }  // namespace rlb::sim

@@ -10,15 +10,23 @@
 #include "sim/arrival_process.h"
 #include "sim/distributions.h"
 #include "sim/policy.h"
+#include "util/thread_budget.h"
 
 namespace rlb::sim {
 
 struct ClusterConfig {
   int servers = 1;
-  std::uint64_t jobs = 1'000'000;  ///< arrivals to generate
-  std::uint64_t warmup = 100'000;  ///< leading arrivals discarded from stats
+  std::uint64_t jobs = 1'000'000;  ///< arrivals, total across all replicas
+  std::uint64_t warmup = 100'000;  ///< leading arrivals discarded; total,
+                                   ///< split evenly per replica
   std::uint64_t seed = 1;
-  std::uint64_t batch_size = 0;  ///< 0: auto ((jobs - warmup) / 30)
+  std::uint64_t batch_size = 0;  ///< 0: auto (per-replica measured / 30)
+
+  /// Independent replicas the job budget is sharded into (sim/replica.h).
+  /// Each replica clones the policy and arrival process and is seeded
+  /// replica_seed(seed, r); replicas == 1 reproduces the legacy serial
+  /// run bit-for-bit.
+  int replicas = 1;
 
   /// Per-server speed factors for heterogeneous fleets (service time =
   /// sampled size / speed). Empty means all servers run at speed 1. The
@@ -38,10 +46,11 @@ struct ClusterResult {
   double p95_sojourn = 0.0;
   double p99_sojourn = 0.0;
   std::uint64_t jobs_measured = 0;
-  double sim_time = 0.0;
+  double sim_time = 0.0;  ///< summed over replicas (total simulated time)
 };
 
 /// Renewal arrivals: i.i.d. interarrival draws from `interarrival`.
+/// Replicas run serially on the calling thread.
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                const Distribution& interarrival,
                                const Distribution& service);
@@ -50,5 +59,16 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                ArrivalProcess& arrivals,
                                const Distribution& service);
+
+/// As above, with replica workers drawn from `budget`; the result is
+/// bit-identical for every budget.
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               const Distribution& interarrival,
+                               const Distribution& service,
+                               util::ThreadBudget& budget);
+ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
+                               ArrivalProcess& arrivals,
+                               const Distribution& service,
+                               util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

@@ -1,19 +1,41 @@
 #include "sim/fast_sqd.h"
 
+#include <algorithm>
 #include <vector>
 
+#include "sim/replica.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "util/require.h"
 
 namespace rlb::sim {
 
-FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
-  const sqd::Params& p = cfg.params;
-  p.validate();
-  RLB_REQUIRE(cfg.warmup < cfg.jobs, "warmup must be below job count");
+namespace {
 
-  Rng rng(cfg.seed);
+/// Raw per-replica statistics; merged in replica-index order before any
+/// derived quantity is computed.
+struct Accum {
+  StreamingMoments delay_stats;
+  StreamingMoments queue_seen;
+  BatchMeans delay_ci{1};
+  std::vector<std::uint64_t> tail_hist;
+
+  void merge(const Accum& other) {
+    delay_stats.merge(other.delay_stats);
+    queue_seen.merge(other.queue_seen);
+    delay_ci.merge(other.delay_ci);
+    RLB_ASSERT(tail_hist.size() == other.tail_hist.size(),
+               "replica tail histograms disagree in size");
+    for (std::size_t k = 0; k < tail_hist.size(); ++k)
+      tail_hist[k] += other.tail_hist[k];
+  }
+};
+
+Accum run_one_replica(const FastSqdConfig& cfg, std::uint64_t jobs,
+                      std::uint64_t warmup, std::uint64_t batch,
+                      std::uint64_t seed) {
+  const sqd::Params& p = cfg.params;
+  Rng rng(seed);
   DistinctSampler sampler(p.N);
   std::vector<int> polled;
 
@@ -24,19 +46,14 @@ FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
   busy.reserve(p.N);
 
   const double arrival_rate = p.total_arrival_rate();
-  const std::uint64_t measured_jobs = cfg.jobs - cfg.warmup;
-  const std::uint64_t batch =
-      cfg.batch_size > 0 ? cfg.batch_size
-                         : std::max<std::uint64_t>(1, measured_jobs / 30);
-  BatchMeans delay_ci(batch);
-  StreamingMoments delay_stats, queue_seen;
+  Accum acc;
+  acc.delay_ci = BatchMeans(batch);
   // Histogram of a uniformly sampled server's queue length at arrival
   // epochs (PASTA makes these time-stationary samples).
-  std::vector<std::uint64_t> tail_hist(
-      cfg.tail_kmax > 0 ? cfg.tail_kmax + 2 : 0, 0);
+  acc.tail_hist.assign(cfg.tail_kmax > 0 ? cfg.tail_kmax + 2 : 0, 0);
 
   std::uint64_t arrivals = 0;
-  while (arrivals < cfg.jobs) {
+  while (arrivals < jobs) {
     const double total_rate =
         arrival_rate + p.mu * static_cast<double>(busy.size());
     const bool is_arrival =
@@ -57,14 +74,14 @@ FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
           if (rng.uniform_int(ties) == 0) best = s;
         }
       }
-      if (arrivals >= cfg.warmup) {
+      if (arrivals >= warmup) {
         const double delay = (best_len + 1) / p.mu;
-        delay_stats.add(delay);
-        delay_ci.add(delay);
-        queue_seen.add(best_len);
-        if (!tail_hist.empty()) {
+        acc.delay_stats.add(delay);
+        acc.delay_ci.add(delay);
+        acc.queue_seen.add(best_len);
+        if (!acc.tail_hist.empty()) {
           const int probe = queue[rng.uniform_int(p.N)];
-          tail_hist[std::min<int>(probe, cfg.tail_kmax + 1)] += 1;
+          acc.tail_hist[std::min<int>(probe, cfg.tail_kmax + 1)] += 1;
         }
       }
       if (queue[best] == 0) {
@@ -87,21 +104,44 @@ FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
       }
     }
   }
+  return acc;
+}
+
+}  // namespace
+
+FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
+  return simulate_sqd_fast(cfg, util::ThreadBudget::serial());
+}
+
+FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg,
+                                util::ThreadBudget& budget) {
+  cfg.params.validate();
+  const ReplicaPlan plan =
+      ReplicaPlan::split(cfg.replicas, cfg.jobs, cfg.warmup, cfg.seed);
+  const std::uint64_t batch = plan.batch_size(cfg.batch_size);
+
+  const Accum acc = run_replicas<Accum>(
+      plan, budget,
+      [&](int /*replica*/, std::uint64_t seed) {
+        return run_one_replica(cfg, plan.jobs_per_replica, plan.warmup,
+                               batch, seed);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); });
 
   FastSqdResult out;
-  out.mean_delay = delay_stats.mean();
-  out.mean_wait = out.mean_delay - 1.0 / p.mu;
-  out.ci95_delay = delay_ci.ci95_halfwidth();
-  out.mean_queue_seen = queue_seen.mean();
-  out.jobs_measured = delay_stats.count();
-  if (!tail_hist.empty()) {
+  out.mean_delay = acc.delay_stats.mean();
+  out.mean_wait = out.mean_delay - 1.0 / cfg.params.mu;
+  out.ci95_delay = acc.delay_ci.ci95_halfwidth();
+  out.mean_queue_seen = acc.queue_seen.mean();
+  out.jobs_measured = acc.delay_stats.count();
+  if (!acc.tail_hist.empty()) {
     // Suffix sums of the histogram give the tail probabilities; the last
     // bucket collects all probes longer than kmax.
     out.marginal_tail.assign(cfg.tail_kmax + 1, 0.0);
-    const double total = static_cast<double>(delay_stats.count());
-    double cum = static_cast<double>(tail_hist[cfg.tail_kmax + 1]);
+    const double total = static_cast<double>(acc.delay_stats.count());
+    double cum = static_cast<double>(acc.tail_hist[cfg.tail_kmax + 1]);
     for (int k = cfg.tail_kmax; k >= 0; --k) {
-      cum += static_cast<double>(tail_hist[k]);
+      cum += static_cast<double>(acc.tail_hist[k]);
       out.marginal_tail[k] = cum / total;
     }
   }

@@ -7,21 +7,32 @@
 // unbiased estimator of E[Delay] with strictly lower variance than timing
 // individual jobs, and it lets each arrival cost O(d) work. This is what
 // makes the paper's 1e8-job simulations reproducible in seconds.
+//
+// Huge runs shard into parallel replicas (sim/replica.h): the job budget
+// splits into `replicas` independent chains whose statistics merge with
+// honest pooled confidence intervals, bit-identically for every thread
+// count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sqd/params.h"
+#include "util/thread_budget.h"
 
 namespace rlb::sim {
 
 struct FastSqdConfig {
   sqd::Params params;
-  std::uint64_t jobs = 4'000'000;
-  std::uint64_t warmup = 400'000;
+  std::uint64_t jobs = 4'000'000;  ///< total across all replicas
+  std::uint64_t warmup = 400'000;  ///< total; split evenly per replica
   std::uint64_t seed = 1;
-  std::uint64_t batch_size = 0;  ///< 0: auto ((jobs - warmup) / 30)
+  std::uint64_t batch_size = 0;  ///< 0: auto (per-replica measured / 30)
+
+  /// Independent replicas the job budget is sharded into. Replica r is
+  /// seeded replica_seed(seed, r); replicas == 1 reproduces the legacy
+  /// serial stream bit-for-bit.
+  int replicas = 1;
 
   /// When > 0, also estimate the marginal queue-length tail P(Q >= k) for
   /// k = 0..tail_kmax by sampling one uniform server per arrival (PASTA).
@@ -31,7 +42,7 @@ struct FastSqdConfig {
 struct FastSqdResult {
   double mean_delay = 0.0;       ///< E[sojourn]
   double mean_wait = 0.0;        ///< E[sojourn] - 1/mu
-  double ci95_delay = 0.0;       ///< batch-means half-width
+  double ci95_delay = 0.0;       ///< pooled batch-means half-width
   double mean_queue_seen = 0.0;  ///< E[k]: queue length at the joined server
   std::uint64_t jobs_measured = 0;
 
@@ -41,6 +52,12 @@ struct FastSqdResult {
   std::vector<double> marginal_tail;
 };
 
+/// Replicas run serially on the calling thread.
 FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg);
+
+/// Replicas additionally recruit worker threads from `budget`; the result
+/// is bit-identical for every budget.
+FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg,
+                                util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

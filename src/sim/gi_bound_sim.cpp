@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/replica.h"
 #include "sim/rng.h"
 #include "statespace/state.h"
 #include "util/combinatorics.h"
@@ -72,46 +73,58 @@ void apply_departure(State& m, int threshold, Rng& rng) {
              "GI departure left S(T)");
 }
 
-}  // namespace
+/// Raw per-replica accumulators; the occupancy histogram merges
+/// elementwise (time-weighted) and every derived quantity — the
+/// distribution and the level-tail ratio — is computed after the merge.
+struct Accum {
+  std::vector<double> occupancy;  // time in state with total == index
+  double waiting_area = 0.0;
+  double jobs_area = 0.0;
+  double measured_time = 0.0;
+  std::uint64_t events = 0;
 
-GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
-                                         const Distribution& interarrival,
-                                         std::uint64_t arrivals,
-                                         std::uint64_t warmup,
-                                         std::uint64_t seed) {
-  RLB_REQUIRE(model.kind() == sqd::BoundKind::Lower,
-              "GI simulation implemented for the lower bound model");
-  RLB_REQUIRE(warmup < arrivals, "warmup must be below arrival count");
+  void merge(const Accum& other) {
+    if (occupancy.size() < other.occupancy.size())
+      occupancy.resize(other.occupancy.size(), 0.0);
+    for (std::size_t k = 0; k < other.occupancy.size(); ++k)
+      occupancy[k] += other.occupancy[k];
+    waiting_area += other.waiting_area;
+    jobs_area += other.jobs_area;
+    measured_time += other.measured_time;
+    events += other.events;
+  }
+};
+
+Accum run_one_replica(const sqd::BoundModel& model,
+                      const Distribution& interarrival,
+                      std::uint64_t arrivals, std::uint64_t warmup,
+                      std::uint64_t seed) {
   const sqd::Params& p = model.params();
   const int threshold = model.threshold();
 
   Rng rng(seed);
   State m(static_cast<std::size_t>(p.N), 0);
 
-  std::vector<double> occupancy;  // time in state with total == index
-  occupancy.reserve(256);
-  double waiting_area = 0.0;
-  double jobs_area = 0.0;
-  double measured_time = 0.0;
+  Accum acc;
+  acc.occupancy.reserve(256);
   bool measuring = false;
 
   double now = 0.0;
   double next_arrival = interarrival.sample(rng);
   std::uint64_t arrival_count = 0;
-  std::uint64_t events = 0;
 
   const auto account = [&](double dt) {
     if (!measuring || dt <= 0.0) return;
     const auto total = static_cast<std::size_t>(statespace::total_jobs(m));
-    if (occupancy.size() <= total) occupancy.resize(total + 1, 0.0);
-    occupancy[total] += dt;
-    waiting_area += dt * statespace::waiting_jobs(m);
-    jobs_area += dt * statespace::total_jobs(m);
-    measured_time += dt;
+    if (acc.occupancy.size() <= total) acc.occupancy.resize(total + 1, 0.0);
+    acc.occupancy[total] += dt;
+    acc.waiting_area += dt * statespace::waiting_jobs(m);
+    acc.jobs_area += dt * statespace::total_jobs(m);
+    acc.measured_time += dt;
   };
 
   while (arrival_count < arrivals) {
-    ++events;
+    ++acc.events;
     const int busy = statespace::busy_servers(m);
     // Memoryless services: resample the pooled departure clock each event.
     const double t_departure =
@@ -131,24 +144,57 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
       apply_departure(m, threshold, rng);
     }
   }
+  return acc;
+}
+
+}  // namespace
+
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed) {
+  return simulate_gi_lower_bound(model, interarrival, arrivals, warmup,
+                                 seed, 1, util::ThreadBudget::serial());
+}
+
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed, int replicas,
+                                         util::ThreadBudget& budget) {
+  RLB_REQUIRE(model.kind() == sqd::BoundKind::Lower,
+              "GI simulation implemented for the lower bound model");
+  const sqd::Params& p = model.params();
+  const ReplicaPlan plan =
+      ReplicaPlan::split(replicas, arrivals, warmup, seed);
+
+  const Accum acc = run_replicas<Accum>(
+      plan, budget,
+      [&](int /*replica*/, std::uint64_t replica_seed) {
+        return run_one_replica(model, interarrival, plan.jobs_per_replica,
+                               plan.warmup, replica_seed);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); });
 
   GiBoundSimResult out;
-  out.events = events;
-  RLB_REQUIRE(measured_time > 0.0, "no measured time accumulated");
-  out.mean_waiting_jobs = waiting_area / measured_time;
-  out.mean_jobs = jobs_area / measured_time;
-  out.total_jobs_dist.resize(occupancy.size());
-  for (std::size_t k = 0; k < occupancy.size(); ++k)
-    out.total_jobs_dist[k] = occupancy[k] / measured_time;
+  out.events = acc.events;
+  RLB_REQUIRE(acc.measured_time > 0.0, "no measured time accumulated");
+  out.mean_waiting_jobs = acc.waiting_area / acc.measured_time;
+  out.mean_jobs = acc.jobs_area / acc.measured_time;
+  out.total_jobs_dist.resize(acc.occupancy.size());
+  for (std::size_t k = 0; k < acc.occupancy.size(); ++k)
+    out.total_jobs_dist[k] = acc.occupancy[k] / acc.measured_time;
 
   // Level masses: N-job bands above the boundary block.
   const int band = p.N;
-  const int base = (p.N - 1) * threshold;  // boundary total max
+  const int base = (p.N - 1) * model.threshold();  // boundary total max
   std::vector<double> level_mass;
-  for (std::size_t k = base + 1; k < occupancy.size();
+  for (std::size_t k = base + 1; k < acc.occupancy.size();
        k += static_cast<std::size_t>(band)) {
     double mass = 0.0;
-    for (int j = 0; j < band && k + j < occupancy.size(); ++j)
+    for (int j = 0; j < band && k + j < acc.occupancy.size(); ++j)
       mass += out.total_jobs_dist[k + j];
     level_mass.push_back(mass);
   }

@@ -16,6 +16,7 @@
 
 #include "sim/distributions.h"
 #include "sqd/bound_model.h"
+#include "util/thread_budget.h"
 
 namespace rlb::sim {
 
@@ -33,11 +34,23 @@ struct GiBoundSimResult {
 
 /// Simulate the lower bound model with i.i.d. `interarrival` times and
 /// Exp(mu) services for `arrivals` arrival events (after `warmup`).
-/// Requires model.kind() == BoundKind::Lower.
+/// Requires model.kind() == BoundKind::Lower. Replicas run serially on
+/// the calling thread.
 GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
                                          const Distribution& interarrival,
                                          std::uint64_t arrivals,
                                          std::uint64_t warmup,
                                          std::uint64_t seed);
+
+/// The arrival budget sharded into `replicas` independent runs
+/// (sim/replica.h) whose occupancy histograms merge time-weighted before
+/// the level-tail ratio is estimated; worker threads come from `budget`
+/// and the result is bit-identical for every budget.
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed, int replicas,
+                                         util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

@@ -29,6 +29,9 @@ class Policy {
   [[nodiscard]] virtual int select(const ClusterState& cluster, Rng& rng) = 0;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual void reset() {}
+  /// An independent copy for parallel simulation replicas (each replica
+  /// must own its mutable policy state).
+  [[nodiscard]] virtual std::unique_ptr<Policy> clone() const = 0;
 };
 
 /// SQ(d): poll d distinct servers uniformly, join the shortest polled queue
@@ -38,6 +41,9 @@ class SqdPolicy final : public Policy {
   SqdPolicy(int n, int d);
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<SqdPolicy>(*this);
+  }
 
  private:
   int d_;
@@ -50,6 +56,9 @@ class JsqPolicy final : public Policy {
  public:
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "jsq"; }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<JsqPolicy>(*this);
+  }
 };
 
 class RoundRobinPolicy final : public Policy {
@@ -57,6 +66,9 @@ class RoundRobinPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "round-robin"; }
   void reset() override { next_ = 0; }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RoundRobinPolicy>(*this);
+  }
 
  private:
   int next_ = 0;
@@ -68,6 +80,9 @@ class LeastWorkLeftPolicy final : public Policy {
  public:
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "least-work"; }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<LeastWorkLeftPolicy>(*this);
+  }
 };
 
 }  // namespace rlb::sim

@@ -1,0 +1,47 @@
+#include "sim/replica.h"
+
+#include <algorithm>
+
+#include "util/splitmix.h"
+
+namespace rlb::sim {
+
+void ReplicaPlan::validate() const {
+  RLB_REQUIRE(replicas >= 1, "replica count must be positive");
+  RLB_REQUIRE(warmup < jobs_per_replica,
+              "per-replica warmup must be below the per-replica job count");
+}
+
+std::uint64_t ReplicaPlan::batch_size(std::uint64_t requested) const {
+  RLB_REQUIRE(requested <= measured_per_replica(),
+              "batch size exceeds the per-replica measured job count");
+  if (requested > 0) return requested;
+  return std::max<std::uint64_t>(1, measured_per_replica() / 30);
+}
+
+ReplicaPlan ReplicaPlan::split(int replicas, std::uint64_t total_jobs,
+                               std::uint64_t total_warmup,
+                               std::uint64_t base_seed) {
+  RLB_REQUIRE(replicas >= 1, "replica count must be positive");
+  RLB_REQUIRE(total_warmup < total_jobs, "warmup must be below job count");
+  ReplicaPlan plan;
+  plan.replicas = replicas;
+  plan.jobs_per_replica = total_jobs / static_cast<std::uint64_t>(replicas);
+  plan.warmup = total_warmup / static_cast<std::uint64_t>(replicas);
+  plan.base_seed = base_seed;
+  RLB_REQUIRE(plan.warmup < plan.jobs_per_replica,
+              "too many replicas: per-replica job budget is all warmup");
+  return plan;
+}
+
+std::uint64_t replica_seed(std::uint64_t base, int replica) {
+  if (replica == 0) return base;
+  // Two rounds decorrelate neighbouring (base, replica) pairs, mirroring
+  // engine::cell_seed; the xor constant keeps replica streams away from
+  // the cell-seed family for the same base.
+  return util::splitmix64(
+      util::splitmix64(base ^ 0x5851f42d4c957f2dULL) ^
+      util::splitmix64(static_cast<std::uint64_t>(replica)));
+}
+
+}  // namespace rlb::sim

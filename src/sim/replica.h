@@ -1,0 +1,100 @@
+// Parallel-replica execution for the simulators.
+//
+// A huge-N simulation cell (the paper's 1e8-job runs) is split into R
+// independent replicas, each a shorter run of the same chain with its own
+// warmup and a seed derived only from (base seed, replica index). The
+// replica results are merged in replica-index order on the calling thread
+// — through the mergeable statistics in sim/stats.h, which combine batch
+// means with honest degrees of freedom (total completed batches - 1) —
+// so the merged estimate is bit-identical for every thread count: threads
+// change wall-clock time and nothing else, the same contract
+// engine/sweep.h gives cell-level parallelism.
+//
+// Worker threads come from a util::ThreadBudget shared with the cell-level
+// sweep, so the two levels split one pool instead of oversubscribing.
+// Helpers are recruited opportunistically between replicas: a lone long
+// cell at the tail of a sweep picks up the slots the finished cells
+// released.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/parallel_for.h"
+#include "util/require.h"
+#include "util/thread_budget.h"
+
+namespace rlb::sim {
+
+/// How one simulation is sharded into independent replicas. `warmup` is
+/// per replica: every replica pays its own transient, the price of the
+/// wall-clock speedup.
+struct ReplicaPlan {
+  int replicas = 1;
+  std::uint64_t jobs_per_replica = 0;
+  std::uint64_t warmup = 0;  ///< per replica
+  std::uint64_t base_seed = 1;
+
+  void validate() const;
+
+  [[nodiscard]] std::uint64_t measured_per_replica() const {
+    return jobs_per_replica - warmup;
+  }
+
+  /// The batch-means batch size to use: `requested`, or the auto choice
+  /// (per-replica measured / 30, at least 1) when 0. Throws when a
+  /// requested batch exceeds the per-replica measured count — that would
+  /// silently yield zero completed batches and a 0-width CI.
+  [[nodiscard]] std::uint64_t batch_size(std::uint64_t requested) const;
+
+  /// Shard a total budget of `total_jobs` jobs (with `total_warmup` of
+  /// them warmup) evenly across `replicas` replicas. Remainder jobs are
+  /// dropped (at 1e6+ jobs per cell the bias is nil), which keeps every
+  /// replica identical and the split independent of the thread count.
+  ///
+  /// The warmup splits with the jobs, i.e. each replica discards the
+  /// same FRACTION of its chain that the serial run would. Absolute
+  /// per-replica transients therefore shrink as R grows; with R around
+  /// the core count (the intended regime) this is well inside the usual
+  /// 10% warmup margin, but R >> jobs/mixing-time would bias the merged
+  /// estimate — keep R modest or raise total_warmup with it. (Adaptive
+  /// warmup is a ROADMAP item.)
+  static ReplicaPlan split(int replicas, std::uint64_t total_jobs,
+                           std::uint64_t total_warmup,
+                           std::uint64_t base_seed);
+};
+
+/// Seed for replica `replica` of a run with base seed `base`: splitmix64
+/// mixing of the replica index. Replica 0 keeps the base seed itself, so a
+/// single-replica run is bit-identical with the pre-replica serial path
+/// (legacy seeds, committed baselines and golden tests stay valid).
+std::uint64_t replica_seed(std::uint64_t base, int replica);
+
+/// Run plan.replicas independent replicas — run(replica_index, seed) must
+/// derive ALL its randomness from the passed seed — and fold them with
+/// merge(accumulator&, other const&) in replica-index order. Extra worker
+/// threads come from `budget` via util::budgeted_for (pass
+/// util::ThreadBudget::serial() to run on the calling thread only); the
+/// merged result is invariant under the budget. A replica that throws
+/// stops the remaining replicas and the first exception is rethrown on
+/// the calling thread after all helpers retire.
+template <typename Result, typename RunFn, typename MergeFn>
+Result run_replicas(const ReplicaPlan& plan, util::ThreadBudget& budget,
+                    RunFn&& run, MergeFn&& merge) {
+  plan.validate();
+  const auto count = static_cast<std::size_t>(plan.replicas);
+  std::vector<std::optional<Result>> results(count);
+  util::budgeted_for(count, budget, [&](std::size_t i) {
+    const int replica = static_cast<int>(i);
+    results[i] = run(replica, replica_seed(plan.base_seed, replica));
+  });
+
+  // Merge in index order on this thread: deterministic for any budget.
+  Result merged = std::move(*results[0]);
+  for (std::size_t i = 1; i < count; ++i) merge(merged, *results[i]);
+  return merged;
+}
+
+}  // namespace rlb::sim

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/require.h"
+#include "util/splitmix.h"
 
 namespace rlb::sim {
 
@@ -19,6 +20,23 @@ void StreamingMoments::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 double StreamingMoments::variance() const {
@@ -38,6 +56,12 @@ void BatchMeans::add(double x) {
     in_batch_ = 0;
     batch_sum_ = 0.0;
   }
+}
+
+void BatchMeans::merge(const BatchMeans& other) {
+  RLB_REQUIRE(batch_size_ == other.batch_size_,
+              "cannot merge BatchMeans with different batch sizes");
+  batch_means_.merge(other.batch_means_);
 }
 
 std::uint64_t BatchMeans::completed_batches() const {
@@ -60,6 +84,10 @@ ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
   sample_.reserve(capacity);
 }
 
+std::uint64_t ReservoirQuantiles::next_random() {
+  return util::splitmix64_next(rng_state_);
+}
+
 void ReservoirQuantiles::add(double x) {
   ++seen_;
   sorted_ = false;
@@ -67,14 +95,56 @@ void ReservoirQuantiles::add(double x) {
     sample_.push_back(x);
     return;
   }
-  // splitmix64 step for the replacement index.
-  rng_state_ += 0x9e3779b97f4a7c15ull;
-  std::uint64_t z = rng_state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  z ^= z >> 31;
-  const std::uint64_t slot = z % seen_;
+  const std::uint64_t slot = next_random() % seen_;
   if (slot < capacity_) sample_[slot] = x;
+}
+
+void ReservoirQuantiles::merge(const ReservoirQuantiles& other) {
+  RLB_REQUIRE(capacity_ == other.capacity_,
+              "cannot merge reservoirs with different capacities");
+  if (other.seen_ == 0) return;
+  sorted_ = false;
+  if (seen_ == 0) {
+    seen_ = other.seen_;
+    sample_ = other.sample_;
+    rng_state_ ^= other.rng_state_ * 0x9e3779b97f4a7c15ull + 1;
+    return;
+  }
+  // A reservoir shorter than its capacity holds its whole stream, so two
+  // such reservoirs that fit together concatenate exactly.
+  if (seen_ == sample_.size() && other.seen_ == other.sample_.size() &&
+      sample_.size() + other.sample_.size() <= capacity_) {
+    sample_.insert(sample_.end(), other.sample_.begin(),
+                   other.sample_.end());
+    seen_ += other.seen_;
+    return;
+  }
+  // Weighted without-replacement subsample of the union: each retained
+  // element stands for seen/|sample| stream items, so a slot is filled
+  // from the source whose remaining represented mass wins a proportional
+  // coin flip, then a uniform element of that source is consumed.
+  std::vector<double> a = std::move(sample_);
+  std::vector<double> b = other.sample_;
+  const double mass_a =
+      static_cast<double>(seen_) / static_cast<double>(a.size());
+  const double mass_b =
+      static_cast<double>(other.seen_) / static_cast<double>(b.size());
+  rng_state_ ^= other.rng_state_ * 0x9e3779b97f4a7c15ull + 1;
+  sample_.clear();
+  const std::size_t target = std::min(capacity_, a.size() + b.size());
+  while (sample_.size() < target) {
+    const double wa = mass_a * static_cast<double>(a.size());
+    const double wb = mass_b * static_cast<double>(b.size());
+    const double u = static_cast<double>(next_random() >> 11) *
+                     0x1.0p-53 * (wa + wb);
+    auto& src = (b.empty() || (!a.empty() && u < wa)) ? a : b;
+    const std::size_t idx =
+        static_cast<std::size_t>(next_random() % src.size());
+    sample_.push_back(src[idx]);
+    src[idx] = src.back();
+    src.pop_back();
+  }
+  seen_ += other.seen_;
 }
 
 double ReservoirQuantiles::quantile(double q) const {

@@ -14,6 +14,12 @@ class StreamingMoments {
  public:
   void add(double x);
 
+  /// Fold another stream's moments into this one (Chan et al. parallel
+  /// combine), as if both streams had been added to a single instance.
+  /// Exact for count/mean/min/max; variance matches a single stream up to
+  /// floating-point reassociation.
+  void merge(const StreamingMoments& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double variance() const;  ///< sample variance (n-1)
@@ -36,6 +42,15 @@ class BatchMeans {
   explicit BatchMeans(std::uint64_t batch_size);
 
   void add(double x);
+
+  /// Fold another estimator's COMPLETED batches into this one; both must
+  /// use the same batch size. `other`'s trailing partial batch is
+  /// discarded — observations from different replicas are not contiguous,
+  /// so gluing partial batches would fabricate a batch mean spanning
+  /// independent streams. After merging R replicas the confidence
+  /// interval is the honest pooled one: Student t with df = total
+  /// completed batches - 1.
+  void merge(const BatchMeans& other);
 
   [[nodiscard]] std::uint64_t completed_batches() const;
   [[nodiscard]] double mean() const;  ///< over completed batches
@@ -65,6 +80,15 @@ class ReservoirQuantiles {
 
   void add(double x);
 
+  /// Fold another reservoir (same capacity) into this one. Exact — a
+  /// plain concatenation — while both streams were fully retained and fit
+  /// together; otherwise a weighted without-replacement subsample of the
+  /// two reservoirs, each element representing its stream share, which
+  /// keeps the ~1/sqrt(capacity) quantile error of a single-stream
+  /// reservoir. Deterministic given the merge order (replica-index order
+  /// under sim/replica.h).
+  void merge(const ReservoirQuantiles& other);
+
   [[nodiscard]] std::uint64_t count() const { return seen_; }
 
   /// Quantile q in [0, 1] of the sampled distribution (nearest-rank).
@@ -72,6 +96,8 @@ class ReservoirQuantiles {
   [[nodiscard]] double quantile(double q) const;
 
  private:
+  std::uint64_t next_random();
+
   std::size_t capacity_;
   std::uint64_t seen_ = 0;
   std::uint64_t rng_state_;

@@ -1,0 +1,79 @@
+// The one budget-aware parallel loop shared by cell-level sweeps
+// (engine/sweep.h) and replica-level simulation sharding (sim/replica.h).
+//
+// body(i) runs for every i in [0, count): the calling thread always
+// works, helper threads are recruited from the ThreadBudget BETWEEN
+// iterations (so slots released mid-run by other loops get picked up),
+// and each helper returns its slot as it retires. After any iteration
+// throws, remaining iterations are skipped and the first exception is
+// rethrown on the calling thread once all helpers finish. Which thread
+// runs which index is unspecified — iterations must be independent and
+// write only to their own index's slot; done that way, the results are
+// invariant under the budget.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_budget.h"
+
+namespace rlb::util {
+
+template <typename Fn>
+void budgeted_for(std::size_t count, ThreadBudget& budget, Fn&& body) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto run_one = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+      failed.store(true);
+    }
+  };
+  const auto work = [&] {
+    while (!failed.load()) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      run_one(i);
+    }
+  };
+  std::vector<std::thread> helpers;
+  bool recruiting = true;
+  while (!failed.load()) {
+    const std::size_t i = next.fetch_add(1);
+    if (i >= count) break;
+    const std::size_t queued = count - i - 1;
+    if (recruiting && queued > 0) {
+      const int extra = budget.try_acquire(
+          static_cast<int>(std::min<std::size_t>(queued, 1u << 10)));
+      int spawned = 0;
+      try {
+        for (; spawned < extra; ++spawned)
+          helpers.emplace_back([&budget, &work] {
+            work();
+            budget.release(1);
+          });
+      } catch (...) {
+        // Thread exhaustion: return the unspawned slots, stop recruiting
+        // and keep working inline — degraded parallelism, not termination.
+        budget.release(extra - spawned);
+        recruiting = false;
+      }
+    }
+    run_one(i);
+  }
+  for (auto& t : helpers) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rlb::util

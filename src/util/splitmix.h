@@ -1,0 +1,28 @@
+// The splitmix64 mixer (Steele, Lea & Flood), the one seed-derivation
+// primitive everything in the repo shares: xoshiro seeding (sim/rng),
+// per-cell sweep seeds (engine/sweep), per-replica seeds (sim/replica)
+// and the reservoir's replacement indices (sim/stats). Committed
+// baselines and the thread-count-determinism contract depend on these
+// exact constants — change them nowhere, and only here.
+#pragma once
+
+#include <cstdint>
+
+namespace rlb::util {
+
+/// Advance `state` by the golden gamma and return the mixed output
+/// (one canonical splitmix64 step).
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless form: the output of one splitmix64 step started at `x`.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  return splitmix64_next(x);
+}
+
+}  // namespace rlb::util

@@ -1,0 +1,39 @@
+#include "util/thread_budget.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace rlb::util {
+
+ThreadBudget::ThreadBudget(int total) : total_(total), available_(total - 1) {
+  RLB_REQUIRE(total >= 1, "thread budget needs at least one slot");
+}
+
+int ThreadBudget::available() const {
+  return available_.load(std::memory_order_relaxed);
+}
+
+int ThreadBudget::try_acquire(int want) {
+  if (want <= 0) return 0;
+  int avail = available_.load(std::memory_order_relaxed);
+  while (avail > 0) {
+    const int take = std::min(avail, want);
+    if (available_.compare_exchange_weak(avail, avail - take,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      return take;
+  }
+  return 0;
+}
+
+void ThreadBudget::release(int count) {
+  if (count > 0) available_.fetch_add(count, std::memory_order_acq_rel);
+}
+
+ThreadBudget& ThreadBudget::serial() {
+  static ThreadBudget budget(1);
+  return budget;
+}
+
+}  // namespace rlb::util

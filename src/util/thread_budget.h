@@ -1,0 +1,54 @@
+// A shared worker-slot budget for nested parallelism.
+//
+// The scenario engine parallelizes across sweep cells and, since the
+// replica rework, each cell may parallelize across simulation replicas.
+// Both levels draw worker slots from one ThreadBudget instead of each
+// spawning its own hardware_concurrency() pool, so a run never
+// oversubscribes the machine: when many cells are in flight the replicas
+// inside each cell run serially, and when only one long cell remains its
+// replicas soak up the slots the finished cells released.
+//
+// Semantics: a budget of `total` holds total - 1 acquirable slots — the
+// caller of any parallel loop always owns one slot implicitly (its own
+// thread). try_acquire() never blocks; it hands out whatever is available
+// and the loop runs with that plus the calling thread. Acquired slots are
+// returned with release() as each helper thread retires, which is what
+// lets a still-running inner loop pick them up mid-flight.
+#pragma once
+
+#include <atomic>
+
+namespace rlb::util {
+
+class ThreadBudget {
+ public:
+  /// A budget of `total` worker slots (total >= 1); the constructing
+  /// caller's own thread occupies one of them.
+  explicit ThreadBudget(int total);
+
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+
+  [[nodiscard]] int total() const { return total_; }
+
+  /// Currently acquirable slots (instantaneous, informational).
+  [[nodiscard]] int available() const;
+
+  /// Take up to `want` extra slots; returns how many were granted
+  /// (possibly 0). Never blocks.
+  int try_acquire(int want);
+
+  /// Return `count` previously acquired slots.
+  void release(int count);
+
+  /// A process-wide one-slot budget: try_acquire always returns 0, so
+  /// every loop drawing from it runs serially on the calling thread. The
+  /// default for library entry points called outside the engine.
+  static ThreadBudget& serial();
+
+ private:
+  int total_;
+  std::atomic<int> available_;
+};
+
+}  // namespace rlb::util

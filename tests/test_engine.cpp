@@ -170,6 +170,17 @@ TEST(Sweep, ContextMapUsesConfiguredThreads) {
   EXPECT_EQ(values, expected);
 }
 
+TEST(Sweep, ContextCarriesReplicaCountAndBudget) {
+  char prog[] = "test";
+  char* argv[] = {prog};
+  const rlb::util::Cli cli(1, argv);
+  ScenarioContext ctx(cli, 4, 8);
+  EXPECT_EQ(ctx.replicas(), 8);
+  EXPECT_EQ(ctx.budget().total(), 4);
+  ScenarioContext defaulted(cli, 2);
+  EXPECT_EQ(defaulted.replicas(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------------
@@ -264,6 +275,29 @@ TEST(Sink, JsonEscapesStringsAndRejectsNonJsonNumbers) {
   EXPECT_NE(json.find("\"0x1f\""), std::string::npos);
   EXPECT_NE(json.find("-1.5e3"), std::string::npos);
   EXPECT_EQ(json.find("\"-1.5e3\""), std::string::npos);
+}
+
+TEST(Sink, JsonEscapesAllControlCharacters) {
+  // Scenario descriptions may carry any byte; the JSON sink must never
+  // emit an invalid document. Named escapes for the common controls,
+  // \u00XX for the rest.
+  ScenarioOutput out;
+  auto& table = out.add_table("t", {"c"});
+  std::string all_controls;
+  for (char c = 1; c < 0x20; ++c) all_controls.push_back(c);
+  table.add_row({all_controls});
+  const std::string json = rlb::engine::to_json(out, "ctl");
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\b"), std::string::npos);
+  EXPECT_NE(json.find("\\f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  // No raw control byte may survive into the document.
+  for (char c = 1; c < 0x20; ++c)
+    EXPECT_EQ(json.find(c), std::string::npos)
+        << "raw control byte " << static_cast<int>(c);
 }
 
 TEST(Sink, TextRenderingIncludesTablesAndNotes) {

@@ -1,0 +1,264 @@
+#include "sim/replica.h"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "sim/fast_sqd.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "util/thread_budget.h"
+
+namespace {
+
+using rlb::sim::BatchMeans;
+using rlb::sim::FastSqdConfig;
+using rlb::sim::ReplicaPlan;
+using rlb::sim::replica_seed;
+using rlb::sim::run_replicas;
+using rlb::sim::simulate_sqd_fast;
+using rlb::sim::StreamingMoments;
+using rlb::util::ThreadBudget;
+using rlb::sqd::Params;
+
+// ---------------------------------------------------------------------------
+// ThreadBudget
+// ---------------------------------------------------------------------------
+
+TEST(ThreadBudget, AcquireReleaseAccounting) {
+  ThreadBudget budget(4);
+  EXPECT_EQ(budget.total(), 4);
+  EXPECT_EQ(budget.available(), 3);  // caller owns one slot
+  EXPECT_EQ(budget.try_acquire(2), 2);
+  EXPECT_EQ(budget.available(), 1);
+  EXPECT_EQ(budget.try_acquire(5), 1);  // only one left
+  EXPECT_EQ(budget.try_acquire(1), 0);  // exhausted
+  budget.release(3);
+  EXPECT_EQ(budget.available(), 3);
+  EXPECT_EQ(budget.try_acquire(0), 0);
+}
+
+TEST(ThreadBudget, SerialBudgetNeverGrantsSlots) {
+  ThreadBudget& serial = ThreadBudget::serial();
+  EXPECT_EQ(serial.total(), 1);
+  EXPECT_EQ(serial.try_acquire(8), 0);
+}
+
+TEST(ThreadBudget, RejectsEmptyBudget) {
+  EXPECT_THROW(ThreadBudget(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaPlan and seeds
+// ---------------------------------------------------------------------------
+
+TEST(ReplicaPlan, SplitDividesJobsAndWarmupEvenly) {
+  const ReplicaPlan plan = ReplicaPlan::split(4, 1'000'000, 100'000, 7);
+  EXPECT_EQ(plan.replicas, 4);
+  EXPECT_EQ(plan.jobs_per_replica, 250'000u);
+  EXPECT_EQ(plan.warmup, 25'000u);
+  EXPECT_EQ(plan.base_seed, 7u);
+}
+
+TEST(ReplicaPlan, GuardsDegenerateConfigs) {
+  EXPECT_THROW(ReplicaPlan::split(0, 1000, 100, 1), std::invalid_argument);
+  EXPECT_THROW(ReplicaPlan::split(1, 1000, 1000, 1), std::invalid_argument);
+  EXPECT_THROW(ReplicaPlan::split(1, 100, 200, 1), std::invalid_argument);
+  // Sharding so thin every replica is pure warmup must be rejected, not
+  // silently return zero-batch results.
+  EXPECT_THROW(ReplicaPlan::split(600, 1000, 900, 1), std::invalid_argument);
+  ReplicaPlan zero;
+  zero.replicas = 0;
+  zero.jobs_per_replica = 10;
+  EXPECT_THROW(zero.validate(), std::invalid_argument);
+}
+
+TEST(ReplicaSeed, Replica0KeepsBaseSeedOthersDecorrelate) {
+  // Replica 0 continues the legacy serial stream, so a single-replica run
+  // is bit-identical with the pre-replica code path.
+  EXPECT_EQ(replica_seed(42, 0), 42u);
+  std::vector<std::uint64_t> seeds;
+  for (int r = 0; r < 64; ++r) seeds.push_back(replica_seed(42, r));
+  for (std::size_t a = 0; a < seeds.size(); ++a)
+    for (std::size_t b = a + 1; b < seeds.size(); ++b)
+      EXPECT_NE(seeds[a], seeds[b]) << "replicas " << a << ", " << b;
+  EXPECT_EQ(replica_seed(42, 7), replica_seed(42, 7));
+  EXPECT_NE(replica_seed(42, 7), replica_seed(43, 7));
+}
+
+// ---------------------------------------------------------------------------
+// run_replicas
+// ---------------------------------------------------------------------------
+
+ReplicaPlan tiny_plan(int replicas) {
+  ReplicaPlan plan;
+  plan.replicas = replicas;
+  plan.jobs_per_replica = 10;
+  plan.warmup = 0;
+  plan.base_seed = 11;
+  return plan;
+}
+
+TEST(RunReplicas, MergesInIndexOrderForAnyBudget) {
+  // A merge that is NOT commutative (string concatenation) detects any
+  // ordering leak from the thread schedule.
+  const auto run = [](int replica, std::uint64_t seed) {
+    rlb::sim::Rng rng(seed);
+    return std::to_string(replica) + ":" +
+           std::to_string(rng.next_u64() % 1000) + ";";
+  };
+  const auto merge = [](std::string& into, const std::string& from) {
+    into += from;
+  };
+  const std::string serial = run_replicas<std::string>(
+      tiny_plan(16), ThreadBudget::serial(), run, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    ThreadBudget budget(4);
+    EXPECT_EQ(run_replicas<std::string>(tiny_plan(16), budget, run, merge),
+              serial);
+  }
+}
+
+TEST(RunReplicas, PropagatesExceptions) {
+  ThreadBudget budget(4);
+  const auto run = [](int replica, std::uint64_t) -> int {
+    if (replica == 5) throw std::runtime_error("replica 5 exploded");
+    return replica;
+  };
+  const auto merge = [](int& into, const int& from) { into += from; };
+  EXPECT_THROW(run_replicas<int>(tiny_plan(8), budget, run, merge),
+               std::runtime_error);
+  EXPECT_THROW(run_replicas<int>(tiny_plan(8), ThreadBudget::serial(), run,
+                                 merge),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Replica-mode simulators
+// ---------------------------------------------------------------------------
+
+FastSqdConfig fast_cfg(int replicas, std::uint64_t jobs = 400'000) {
+  FastSqdConfig cfg;
+  cfg.params = Params{4, 2, 0.8, 1.0};
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = 20240612;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+TEST(ReplicaSim, FastSqdSingleReplicaMatchesLegacySerialPath) {
+  // replicas == 1 must reproduce the plain entry point bit-for-bit.
+  const auto cfg = fast_cfg(1, 100'000);
+  const auto serial = simulate_sqd_fast(cfg);
+  ThreadBudget budget(4);
+  const auto budgeted = simulate_sqd_fast(cfg, budget);
+  EXPECT_DOUBLE_EQ(serial.mean_delay, budgeted.mean_delay);
+  EXPECT_DOUBLE_EQ(serial.ci95_delay, budgeted.ci95_delay);
+  EXPECT_EQ(serial.jobs_measured, budgeted.jobs_measured);
+}
+
+TEST(ReplicaSim, FastSqdReplicasDeterministicAcrossThreadCounts) {
+  const auto cfg = fast_cfg(8, 200'000);
+  const auto serial = simulate_sqd_fast(cfg);
+  for (int threads : {2, 4}) {
+    ThreadBudget budget(threads);
+    const auto parallel = simulate_sqd_fast(cfg, budget);
+    EXPECT_DOUBLE_EQ(serial.mean_delay, parallel.mean_delay);
+    EXPECT_DOUBLE_EQ(serial.mean_wait, parallel.mean_wait);
+    EXPECT_DOUBLE_EQ(serial.ci95_delay, parallel.ci95_delay);
+    EXPECT_DOUBLE_EQ(serial.mean_queue_seen, parallel.mean_queue_seen);
+    EXPECT_EQ(serial.jobs_measured, parallel.jobs_measured);
+  }
+}
+
+TEST(ReplicaSim, FastSqdReplicasAgreeWithSingleStream) {
+  // R independent replicas estimate the same stationary quantity; the
+  // merged mean must agree with a single long run within joint CIs.
+  const auto one = simulate_sqd_fast(fast_cfg(1));
+  const auto eight = simulate_sqd_fast(fast_cfg(8));
+  EXPECT_EQ(eight.jobs_measured,
+            8u * (400'000u / 8 - 40'000u / 8));
+  EXPECT_NEAR(one.mean_delay, eight.mean_delay,
+              4.0 * (one.ci95_delay + eight.ci95_delay) + 0.02);
+}
+
+TEST(ReplicaSim, FastSqdGuardsDegenerateConfigs) {
+  auto cfg = fast_cfg(0);
+  EXPECT_THROW(simulate_sqd_fast(cfg), std::invalid_argument);
+  cfg = fast_cfg(1);
+  cfg.warmup = cfg.jobs;  // jobs <= warmup
+  EXPECT_THROW(simulate_sqd_fast(cfg), std::invalid_argument);
+  cfg = fast_cfg(4);
+  cfg.batch_size = cfg.jobs;  // bigger than the per-replica measured count
+  EXPECT_THROW(simulate_sqd_fast(cfg), std::invalid_argument);
+}
+
+TEST(ReplicaSim, CiHalfwidthShrinksLikeSqrtReplicas) {
+  // Fixed per-replica effort: R times the data should shrink the pooled
+  // CI half-width like 1/sqrt(R). Compare R=2 vs R=32 (ratio 4) with wide
+  // statistical tolerance.
+  FastSqdConfig small = fast_cfg(2);
+  small.jobs = 2 * 100'000;
+  small.warmup = 2 * 10'000;
+  FastSqdConfig large = fast_cfg(32);
+  large.jobs = 32 * 100'000;
+  large.warmup = 32 * 10'000;
+  // Equal batch sizes so only the batch COUNT differs.
+  small.batch_size = 3'000;
+  large.batch_size = 3'000;
+  const double hw_small = simulate_sqd_fast(small).ci95_delay;
+  const double hw_large = simulate_sqd_fast(large).ci95_delay;
+  ASSERT_GT(hw_small, 0.0);
+  ASSERT_GT(hw_large, 0.0);
+  const double ratio = hw_small / hw_large;
+  EXPECT_GT(ratio, 2.0) << "expected ~4x shrink from 16x the batches";
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(ReplicaSim, ClusterReplicasDeterministicAcrossThreadCounts) {
+  rlb::sim::ClusterConfig cfg;
+  cfg.servers = 5;
+  cfg.jobs = 120'000;
+  cfg.warmup = 12'000;
+  cfg.seed = 999;
+  cfg.replicas = 6;
+  const auto arr = rlb::sim::make_exponential(0.85 * 5);
+  const auto svc = rlb::sim::make_exponential(1.0);
+
+  rlb::sim::SqdPolicy policy(5, 2);
+  const auto serial = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc);
+  ThreadBudget budget(4);
+  const auto parallel =
+      rlb::sim::simulate_cluster(cfg, policy, *arr, *svc, budget);
+  EXPECT_DOUBLE_EQ(serial.mean_sojourn, parallel.mean_sojourn);
+  EXPECT_DOUBLE_EQ(serial.ci95_sojourn, parallel.ci95_sojourn);
+  EXPECT_DOUBLE_EQ(serial.p99_sojourn, parallel.p99_sojourn);
+  EXPECT_DOUBLE_EQ(serial.utilization, parallel.utilization);
+  EXPECT_EQ(serial.jobs_measured, parallel.jobs_measured);
+}
+
+TEST(ReplicaSim, ClusterReplicasAgreeWithSingleStream) {
+  rlb::sim::ClusterConfig one;
+  one.servers = 4;
+  one.jobs = 400'000;
+  one.warmup = 40'000;
+  one.seed = 4242;
+  auto eight = one;
+  eight.replicas = 8;
+  const auto arr = rlb::sim::make_exponential(0.8 * 4);
+  const auto svc = rlb::sim::make_exponential(1.0);
+  rlb::sim::SqdPolicy policy(4, 2);
+  const auto a = rlb::sim::simulate_cluster(one, policy, *arr, *svc);
+  const auto b = rlb::sim::simulate_cluster(eight, policy, *arr, *svc);
+  EXPECT_NEAR(a.mean_sojourn, b.mean_sojourn,
+              4.0 * (a.ci95_sojourn + b.ci95_sojourn) + 0.02);
+  EXPECT_NEAR(a.utilization, b.utilization, 0.02);
+  EXPECT_NEAR(a.p95_sojourn, b.p95_sojourn, 0.25);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 #include "sim/stats.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +75,72 @@ TEST(BatchMeans, HalfwidthShrinksWithData) {
   EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
 }
 
+TEST(StreamingMoments, MergeMatchesSingleStream) {
+  rlb::sim::Rng rng(17);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.normal() * 3.0 + 7.0;
+
+  StreamingMoments whole;
+  for (double x : xs) whole.add(x);
+
+  // Split at an arbitrary point and merge: identical counts/extrema,
+  // mean/variance equal up to floating-point reassociation.
+  StreamingMoments left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < 1234 ? left : right).add(xs[i]);
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(StreamingMoments, MergeWithEmptySides) {
+  StreamingMoments filled, empty;
+  filled.add(1.0);
+  filled.add(3.0);
+  StreamingMoments a = filled;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(filled);  // adopt
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+}
+
+TEST(BatchMeans, MergeAtBatchBoundaryMatchesSingleStream) {
+  rlb::sim::Rng rng(23);
+  std::vector<double> xs(4000);
+  for (double& x : xs) x = rng.normal();
+
+  BatchMeans whole(100);
+  for (double x : xs) whole.add(x);
+
+  BatchMeans left(100), right(100);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i < 2000 ? left : right).add(xs[i]);  // split on a batch boundary
+  left.merge(right);
+  EXPECT_EQ(left.completed_batches(), whole.completed_batches());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.ci95_halfwidth(), whole.ci95_halfwidth(), 1e-12);
+}
+
+TEST(BatchMeans, MergeDropsPartialBatchesAndPoolsDf) {
+  BatchMeans a(10), b(10);
+  for (int i = 0; i < 25; ++i) a.add(1.0);  // 2 complete + 5 dangling
+  for (int i = 0; i < 17; ++i) b.add(2.0);  // 1 complete + 7 dangling
+  a.merge(b);
+  EXPECT_EQ(a.completed_batches(), 3u);  // partial batches discarded
+  EXPECT_NEAR(a.mean(), (1.0 + 1.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(BatchMeans, MergeRejectsMismatchedBatchSizes) {
+  BatchMeans a(10), b(20);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
 TEST(TQuantile, KnownValues) {
   EXPECT_NEAR(t_quantile_95(1), 12.706, 1e-3);
   EXPECT_NEAR(t_quantile_95(10), 2.228, 1e-3);
@@ -134,6 +201,65 @@ TEST(ReservoirQuantiles, InterleavedAddAndQuery) {
   for (int i = 50; i < 100; ++i) rq.add(i);
   const double q2 = rq.quantile(0.5);
   EXPECT_LT(q1, q2);  // median moved right as larger values arrived
+}
+
+TEST(ReservoirQuantiles, MergeOfSmallStreamsIsExactConcatenation) {
+  ReservoirQuantiles a(1000, 1), b(1000, 2);
+  for (int i = 1; i <= 60; ++i) a.add(i);
+  for (int i = 61; i <= 101; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 101u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 51.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 101.0);
+}
+
+TEST(ReservoirQuantiles, MergedLargeStreamsApproximateUnionQuantiles) {
+  // Two uniform streams over disjoint halves of [0, 1]; the merged
+  // reservoir must report quantiles of the union.
+  ReservoirQuantiles a(20'000, 5), b(20'000, 6);
+  rlb::sim::Rng rng(77);
+  for (int i = 0; i < 300'000; ++i) a.add(rng.next_double() * 0.5);
+  for (int i = 0; i < 300'000; ++i) b.add(0.5 + rng.next_double() * 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 600'000u);
+  EXPECT_NEAR(a.quantile(0.25), 0.25, 0.02);
+  EXPECT_NEAR(a.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(a.quantile(0.95), 0.95, 0.02);
+}
+
+TEST(ReservoirQuantiles, MergeWeightsUnequalStreams) {
+  // 9:1 stream-length imbalance: the short stream should contribute ~10%
+  // of the merged sample mass.
+  ReservoirQuantiles a(10'000, 9), b(10'000, 10);
+  rlb::sim::Rng rng(88);
+  for (int i = 0; i < 900'000; ++i) a.add(0.0);
+  for (int i = 0; i < 100'000; ++i) b.add(1.0);
+  a.merge(b);
+  // P(x == 1) should be ~0.1 in the merged reservoir.
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.97), 1.0);
+}
+
+TEST(ReservoirQuantiles, MergeIsDeterministic) {
+  const auto build = [] {
+    ReservoirQuantiles a(500, 3), b(500, 4);
+    rlb::sim::Rng rng(55);
+    for (int i = 0; i < 5'000; ++i) a.add(rng.next_double());
+    for (int i = 0; i < 5'000; ++i) b.add(rng.next_double() + 1.0);
+    a.merge(b);
+    return a;
+  };
+  auto first = build();
+  auto second = build();
+  for (double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(first.quantile(q), second.quantile(q));
+}
+
+TEST(ReservoirQuantiles, MergeRejectsMismatchedCapacities) {
+  ReservoirQuantiles a(10), b(20);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 }  // namespace

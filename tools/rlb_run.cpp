@@ -3,16 +3,28 @@
 //   rlb_run --list                         enumerate registered scenarios
 //   rlb_run --describe=power_of_d          parameter schema for one
 //   rlb_run --scenario=power_of_d          run it (parallel by default)
-//           [--threads=8] [--csv=out.csv] [--json=out.json]
+//           [--threads=8] [--replicas=4] [--csv=out.csv] [--json=out.json]
+//           [--baseline=ref.json [--rtol=...] [--atol=...]
+//            [--baseline-ignore=col,col]]
 //           [scenario-specific flags, e.g. --n=12 --jobs=500000]
 //
-// Every scenario derives its randomness from fixed per-cell seeds, so
-// --threads changes wall-clock time only: parallel and serial runs emit
-// bit-identical tables (timing columns, where a scenario reports them, are
-// measured wall-clock and naturally vary).
+// Every scenario derives its randomness from fixed per-cell (and, with
+// --replicas, per-replica) seeds, so --threads changes wall-clock time
+// only: parallel and serial runs emit bit-identical tables (timing
+// columns, where a scenario reports them, are measured wall-clock and
+// naturally vary). --replicas=R shards each big simulation cell into R
+// parallel chains with merged statistics; it changes the output (R
+// decorrelated streams) but the result is still thread-count invariant.
+//
+// --baseline re-runs the scenario and diffs its tables against a
+// committed --json reference; numeric cells compare within --rtol/--atol
+// (plain number or per-column "col=tol" list), string cells exactly, and
+// drift exits with status 3.
 #include <exception>
 #include <iostream>
+#include <sstream>
 
+#include "engine/baseline.h"
 #include "engine/scenario.h"
 #include "engine/sink.h"
 #include "engine/sweep.h"
@@ -60,7 +72,10 @@ int main(int argc, char** argv) {
     const std::string name = cli.get("scenario", "");
     if (name.empty()) {
       std::cerr << "usage: rlb_run --scenario=<name> [--threads=N] "
-                   "[--csv=path] [--json=path] [scenario flags]\n"
+                   "[--replicas=R] [--csv=path] [--json=path]\n"
+                   "       [--baseline=ref.json [--rtol=tol] [--atol=tol] "
+                   "[--baseline-ignore=cols]]\n"
+                   "       [scenario flags]\n"
                    "       rlb_run --list | --describe=<name>\n\n";
       print_list(std::cerr);
       return 2;
@@ -70,15 +85,37 @@ int main(int argc, char** argv) {
     const int threads =
         rlb::engine::resolve_threads(static_cast<int>(cli.get_int(
             "threads", 0)));
+    const int replicas = static_cast<int>(cli.get_int("replicas", 1));
+    if (replicas < 1) {
+      std::cerr << "error: --replicas must be >= 1\n";
+      return 2;
+    }
     const std::string csv = cli.get("csv", "");
     const std::string json = cli.get("json", "");
+
+    const std::string baseline_path = cli.get("baseline", "");
+    rlb::engine::BaselineOptions baseline_opts;
+    baseline_opts.rtol =
+        rlb::engine::ToleranceSpec::parse(cli.get("rtol", ""), 1e-9);
+    baseline_opts.atol =
+        rlb::engine::ToleranceSpec::parse(cli.get("atol", ""), 0.0);
+    {
+      std::istringstream cols(cli.get("baseline-ignore", ""));
+      std::string col;
+      while (std::getline(cols, col, ','))
+        if (!col.empty()) baseline_opts.ignore_columns.insert(col);
+    }
+    // Read the baseline before the run so a bad path fails fast.
+    std::string baseline_json;
+    if (!baseline_path.empty())
+      baseline_json = rlb::engine::read_text_file(baseline_path);
 
     // Mark the scenario's declared parameters as known, then reject typos
     // BEFORE the (possibly hours-long) run rather than after.
     for (const auto& p : scenario.params) (void)cli.has(p.name);
     cli.finish();
 
-    ScenarioContext ctx(cli, threads);
+    ScenarioContext ctx(cli, threads, replicas);
     const rlb::engine::ScenarioOutput out = scenario.run(ctx);
 
     rlb::engine::write_text(out, std::cout);
@@ -88,6 +125,13 @@ int main(int argc, char** argv) {
     if (!json.empty()) {
       rlb::engine::write_json(out, scenario.name, json);
       std::cout << "json written: " << json << "\n";
+    }
+    if (!baseline_path.empty()) {
+      const rlb::engine::BaselineReport report =
+          rlb::engine::compare_to_baseline(out, baseline_json,
+                                           baseline_opts);
+      std::cout << report.describe() << "\n";
+      if (!report.ok) return 3;
     }
     return 0;
   } catch (const rlb::engine::UnknownScenarioError& e) {
