@@ -133,4 +133,11 @@ struct ScenarioRegistrar {
   }
 };
 
+/// The self-documenting scenario catalog: one markdown section per
+/// scenario (sorted by name) with its description and parameter-schema
+/// table. `rlb_run --list --markdown` prints it and docs/SCENARIOS.md
+/// commits it; CI regenerates the file and fails on drift, so the
+/// rendering must stay deterministic.
+std::string markdown_catalog(const std::vector<const Scenario*>& scenarios);
+
 }  // namespace rlb::engine

@@ -1,8 +1,10 @@
 #include "sim/arrival_process.h"
 
+#include <cmath>
 #include <limits>
 
 #include "util/require.h"
+#include "util/table.h"
 
 namespace rlb::sim {
 
@@ -53,6 +55,61 @@ double MmppArrivals::mean_rate() const {
 }
 
 std::string MmppArrivals::name() const { return "mmpp2"; }
+
+BatchArrivalProcess::BatchArrivalProcess(std::unique_ptr<ArrivalProcess> base,
+                                         double mean_batch, BatchSizes sizes)
+    : base_(std::move(base)), mean_batch_(mean_batch), sizes_(sizes) {
+  RLB_REQUIRE(base_ != nullptr, "batch process needs a base process");
+  RLB_REQUIRE(mean_batch >= 1.0, "mean batch size must be at least 1");
+  RLB_REQUIRE(sizes != BatchSizes::Fixed ||
+                  mean_batch == std::floor(mean_batch),
+              "fixed batch sizes must be integral");
+}
+
+BatchArrivalProcess::BatchArrivalProcess(const BatchArrivalProcess& other)
+    : base_(other.base_->clone()),
+      mean_batch_(other.mean_batch_),
+      sizes_(other.sizes_),
+      remaining_(other.remaining_) {}
+
+double BatchArrivalProcess::next(Rng& rng) {
+  if (remaining_ > 0) {
+    --remaining_;
+    return 0.0;
+  }
+  const double gap = base_->next(rng);
+  std::uint64_t size = 1;
+  if (sizes_ == BatchSizes::Fixed) {
+    size = static_cast<std::uint64_t>(mean_batch_);
+  } else if (mean_batch_ > 1.0) {
+    // Geometric on {1, 2, ...} with success probability p = 1/mean via
+    // inversion; u = 0 maps to the minimal batch of 1.
+    const double p = 1.0 / mean_batch_;
+    const double u = rng.next_double();
+    size = 1 + static_cast<std::uint64_t>(
+                   std::floor(std::log1p(-u) / std::log1p(-p)));
+  }
+  remaining_ = size - 1;
+  return gap;
+}
+
+double BatchArrivalProcess::mean_rate() const {
+  return base_->mean_rate() * mean_batch_;
+}
+
+std::string BatchArrivalProcess::name() const {
+  const std::string kind =
+      sizes_ == BatchSizes::Fixed ? "fixed" : "geom";
+  std::string mean = util::fmt(mean_batch_, 3);
+  mean.erase(mean.find_last_not_of('0') + 1);
+  if (mean.back() == '.') mean.pop_back();
+  return "batch(" + kind + "," + mean + ")/" + base_->name();
+}
+
+void BatchArrivalProcess::reset() {
+  remaining_ = 0;
+  base_->reset();
+}
 
 MmppArrivals MmppArrivals::bursty(double mean_rate, double burst_factor,
                                   double hold) {

@@ -4,8 +4,12 @@
 // setting; the Markov-modulated Poisson process (MMPP) implements the
 // paper's stated future-work direction of Markov Arrival Processes —
 // correlated, bursty traffic that no renewal process can express.
+// BatchArrivalProcess compounds batches (fixed or geometric sizes) onto
+// any base process — the classic "batch Poisson" traffic when wrapped
+// around exponential renewals.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -74,6 +78,40 @@ class MmppArrivals final : public ArrivalProcess {
   double rate_[2];
   double switch_[2];
   int phase_ = 0;
+};
+
+/// Batch arrivals over any base process: batches arrive at the base
+/// process's epochs, and the jobs of a batch arrive simultaneously (zero
+/// interarrival gaps). Batch sizes are deterministic (`Fixed`, integer
+/// mean) or geometric on {1, 2, ...} with the given mean (`Geometric`,
+/// the compound-Poisson classic when the base is exponential). The mean
+/// job rate is base rate x mean batch size — divide the base rate by the
+/// batch mean to compare against an unbatched stream at equal load.
+class BatchArrivalProcess final : public ArrivalProcess {
+ public:
+  enum class BatchSizes { Fixed, Geometric };
+
+  /// Takes ownership of `base`. mean_batch >= 1; Fixed requires an
+  /// integral mean_batch.
+  BatchArrivalProcess(std::unique_ptr<ArrivalProcess> base,
+                      double mean_batch,
+                      BatchSizes sizes = BatchSizes::Geometric);
+  BatchArrivalProcess(const BatchArrivalProcess& other);
+  BatchArrivalProcess& operator=(const BatchArrivalProcess&) = delete;
+
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<BatchArrivalProcess>(*this);
+  }
+
+ private:
+  std::unique_ptr<ArrivalProcess> base_;
+  double mean_batch_;
+  BatchSizes sizes_;
+  std::uint64_t remaining_ = 0;  ///< jobs still due at the current epoch
 };
 
 }  // namespace rlb::sim

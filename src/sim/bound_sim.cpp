@@ -31,13 +31,15 @@ struct Accum {
 };
 
 Accum run_one_replica(const sqd::BoundModel& model, std::uint64_t steps,
-                      std::uint64_t warmup_steps, std::uint64_t seed) {
+                      std::uint64_t warmup_steps, std::uint64_t seed,
+                      const std::vector<double>& rank_speeds) {
   Rng rng(seed);
   statespace::State state(static_cast<std::size_t>(model.params().N), 0);
 
   Accum acc;
   for (std::uint64_t step = 0; step < steps; ++step) {
-    const std::vector<sqd::Transition> ts = model.transitions(state);
+    const std::vector<sqd::Transition> ts =
+        model.transitions(state, rank_speeds);
     double total_rate = 0.0;
     for (const auto& t : ts) total_rate += t.rate;
     RLB_ASSERT(total_rate > 0.0, "absorbing state in bound model");
@@ -80,7 +82,14 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
                                     std::uint64_t steps,
                                     std::uint64_t warmup_steps,
                                     std::uint64_t seed, int replicas,
-                                    util::ThreadBudget& budget) {
+                                    util::ThreadBudget& budget,
+                                    const std::vector<double>& rank_speeds) {
+  RLB_REQUIRE(rank_speeds.empty() ||
+                  rank_speeds.size() ==
+                      static_cast<std::size_t>(model.params().N),
+              "rank_speeds must be empty or one entry per server");
+  for (double sp : rank_speeds)
+    RLB_REQUIRE(sp > 0.0, "rank speeds must be positive");
   const ReplicaPlan plan =
       ReplicaPlan::split(replicas, steps, warmup_steps, seed);
 
@@ -88,7 +97,7 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
       plan, budget,
       [&](int /*replica*/, std::uint64_t replica_seed) {
         return run_one_replica(model, plan.jobs_per_replica, plan.warmup,
-                               replica_seed);
+                               replica_seed, rank_speeds);
       },
       [](Accum& into, const Accum& from) { into.merge(from); });
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sqd/bound_model.h"
 #include "util/thread_budget.h"
@@ -31,10 +32,15 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
 
 /// The step budget sharded into `replicas` independent chains, with
 /// worker threads drawn from `budget`; bit-identical for every budget.
+/// `rank_speeds` selects the heterogeneous-rate variant of the model
+/// (see BoundModel::transitions(m, rank_speeds)); empty — the default —
+/// is the homogeneous model, bit-identical with the legacy streams.
 BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
                                     std::uint64_t steps,
                                     std::uint64_t warmup_steps,
                                     std::uint64_t seed, int replicas,
-                                    util::ThreadBudget& budget);
+                                    util::ThreadBudget& budget,
+                                    const std::vector<double>& rank_speeds =
+                                        {});
 
 }  // namespace rlb::sim

@@ -1,5 +1,6 @@
 #include "sim/cluster_sim.h"
 
+#include <algorithm>
 #include <deque>
 #include <queue>
 #include <vector>
@@ -61,7 +62,11 @@ class Engine final : public ClusterState {
         rng_(seed),
         queues_(cfg.servers),
         completion_(cfg.servers, 0.0),
-        queued_work_(cfg.servers, 0.0) {}
+        queued_work_(cfg.servers, 0.0) {
+    // Every server starts idle; the I-queue begins in server-index order.
+    idle_queue_.reserve(cfg.servers);
+    for (int s = 0; s < cfg.servers; ++s) idle_queue_.push_back(s);
+  }
 
   int servers() const override { return cfg_.servers; }
 
@@ -74,6 +79,13 @@ class Engine final : public ClusterState {
     if (q.empty()) return 0.0;
     return (completion_[server] - now_) + queued_work_[server];
   }
+
+  // The dispatcher's JIQ I-queue: servers in the order they became idle.
+  int idle_servers() const override {
+    return static_cast<int>(idle_queue_.size());
+  }
+
+  int idle_server(int i) const override { return idle_queue_[i]; }
 
   Accum run() {
     Accum acc;
@@ -119,6 +131,7 @@ class Engine final : public ClusterState {
           completion_[s] = now_ + job.service_time;
           departure_heap_.emplace(completion_[s], s);
           ++busy_servers_;
+          retire_idle(s);
         } else {
           queued_work_[s] += job.service_time;
         }
@@ -149,6 +162,7 @@ class Engine final : public ClusterState {
           departure_heap_.emplace(completion_[s], s);
         } else {
           --busy_servers_;
+          idle_queue_.push_back(s);
         }
       }
     }
@@ -160,6 +174,13 @@ class Engine final : public ClusterState {
 
  private:
   using Event = std::pair<double, int>;  // (time, server)
+
+  void retire_idle(int s) {
+    // O(N) erase; N is small and JIQ-style policies take the front anyway.
+    const auto it = std::find(idle_queue_.begin(), idle_queue_.end(), s);
+    RLB_ASSERT(it != idle_queue_.end(), "busy server missing from I-queue");
+    idle_queue_.erase(it);
+  }
 
   const ClusterConfig& cfg_;
   std::uint64_t jobs_;
@@ -174,6 +195,7 @@ class Engine final : public ClusterState {
   std::vector<std::deque<Job>> queues_;
   std::vector<double> completion_;
   std::vector<double> queued_work_;
+  std::vector<int> idle_queue_;  ///< idle servers, first-idle first
   std::priority_queue<Event, std::vector<Event>, std::greater<>>
       departure_heap_;
   double now_ = 0.0;

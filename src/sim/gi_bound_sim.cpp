@@ -42,23 +42,47 @@ void apply_arrival(State& m, int threshold, const sqd::Params& p, Rng& rng) {
              "GI arrival left S(T)");
 }
 
-/// Apply a lower-model departure (uniform busy server) in place.
-void apply_departure(State& m, int threshold, Rng& rng) {
+/// Apply a lower-model departure in place. With empty `speed_prefix`
+/// (homogeneous rates) the departing server is a uniform busy server;
+/// with rank speeds (speed_prefix[k] = sum of the first k rank speeds)
+/// the busy rank departs proportionally to its service rate.
+void apply_departure(State& m, int threshold,
+                     const std::vector<double>& speed_prefix, Rng& rng) {
   const auto groups = statespace::tie_groups(m);
-  // Pick a busy server uniformly: group weight = size (value > 0 only).
-  int busy = 0;
-  for (const TieGroup& g : groups)
-    if (g.value > 0) busy += g.size();
-  RLB_ASSERT(busy > 0, "departure with no busy server");
-  auto pick = static_cast<int>(rng.uniform_int(busy));
   int tail = -1;
-  for (const TieGroup& g : groups) {
-    if (g.value == 0) continue;
-    if (pick < g.size()) {
-      tail = g.tail;
-      break;
+  if (speed_prefix.empty()) {
+    // Pick a busy server uniformly: group weight = size (value > 0 only).
+    int busy = 0;
+    for (const TieGroup& g : groups)
+      if (g.value > 0) busy += g.size();
+    RLB_ASSERT(busy > 0, "departure with no busy server");
+    auto pick = static_cast<int>(rng.uniform_int(busy));
+    for (const TieGroup& g : groups) {
+      if (g.value == 0) continue;
+      if (pick < g.size()) {
+        tail = g.tail;
+        break;
+      }
+      pick -= g.size();
     }
-    pick -= g.size();
+  } else {
+    // Busy ranks are a prefix of the sorted state; group weight is the
+    // sum of its ranks' speeds.
+    const int busy = statespace::busy_servers(m);
+    RLB_ASSERT(busy > 0, "departure with no busy server");
+    double u = rng.next_double() * speed_prefix[busy];
+    for (const TieGroup& g : groups) {
+      if (g.value == 0) continue;
+      u -= speed_prefix[g.tail + 1] - speed_prefix[g.head];
+      if (u <= 0.0) {
+        tail = g.tail;
+        break;
+      }
+    }
+    if (tail < 0) {  // numeric slack: fall back to the last busy group
+      for (const TieGroup& g : groups)
+        if (g.value > 0) tail = g.tail;
+    }
   }
   RLB_ASSERT(tail >= 0, "no departing group found");
   m[tail] -= 1;
@@ -98,9 +122,19 @@ struct Accum {
 Accum run_one_replica(const sqd::BoundModel& model,
                       const Distribution& interarrival,
                       std::uint64_t arrivals, std::uint64_t warmup,
-                      std::uint64_t seed) {
+                      std::uint64_t seed,
+                      const std::vector<double>& rank_speeds) {
   const sqd::Params& p = model.params();
   const int threshold = model.threshold();
+
+  // speed_prefix[k] = sum of the first k rank speeds, so the pooled
+  // service rate with `busy` busy ranks is speed_prefix[busy] * mu.
+  std::vector<double> speed_prefix;
+  if (!rank_speeds.empty()) {
+    speed_prefix.assign(rank_speeds.size() + 1, 0.0);
+    for (std::size_t k = 0; k < rank_speeds.size(); ++k)
+      speed_prefix[k + 1] = speed_prefix[k] + rank_speeds[k];
+  }
 
   Rng rng(seed);
   State m(static_cast<std::size_t>(p.N), 0);
@@ -127,8 +161,10 @@ Accum run_one_replica(const sqd::BoundModel& model,
     ++acc.events;
     const int busy = statespace::busy_servers(m);
     // Memoryless services: resample the pooled departure clock each event.
+    const double pooled_rate =
+        speed_prefix.empty() ? busy * p.mu : speed_prefix[busy] * p.mu;
     const double t_departure =
-        busy > 0 ? rng.exponential(busy * p.mu)
+        busy > 0 ? rng.exponential(pooled_rate)
                  : std::numeric_limits<double>::infinity();
     const double dt_arrival = next_arrival - now;
     if (dt_arrival <= t_departure) {
@@ -141,7 +177,7 @@ Accum run_one_replica(const sqd::BoundModel& model,
     } else {
       account(t_departure);
       now += t_departure;
-      apply_departure(m, threshold, rng);
+      apply_departure(m, threshold, speed_prefix, rng);
     }
   }
   return acc;
@@ -163,9 +199,17 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
                                          std::uint64_t arrivals,
                                          std::uint64_t warmup,
                                          std::uint64_t seed, int replicas,
-                                         util::ThreadBudget& budget) {
+                                         util::ThreadBudget& budget,
+                                         const std::vector<double>&
+                                             rank_speeds) {
   RLB_REQUIRE(model.kind() == sqd::BoundKind::Lower,
               "GI simulation implemented for the lower bound model");
+  RLB_REQUIRE(rank_speeds.empty() ||
+                  rank_speeds.size() ==
+                      static_cast<std::size_t>(model.params().N),
+              "rank_speeds must be empty or one entry per server");
+  for (double sp : rank_speeds)
+    RLB_REQUIRE(sp > 0.0, "rank speeds must be positive");
   const sqd::Params& p = model.params();
   const ReplicaPlan plan =
       ReplicaPlan::split(replicas, arrivals, warmup, seed);
@@ -174,7 +218,7 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
       plan, budget,
       [&](int /*replica*/, std::uint64_t replica_seed) {
         return run_one_replica(model, interarrival, plan.jobs_per_replica,
-                               plan.warmup, replica_seed);
+                               plan.warmup, replica_seed, rank_speeds);
       },
       [](Accum& into, const Accum& from) { into.merge(from); });
 

@@ -46,11 +46,21 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
 /// (sim/replica.h) whose occupancy histograms merge time-weighted before
 /// the level-tail ratio is estimated; worker threads come from `budget`
 /// and the result is bit-identical for every budget.
+/// `rank_speeds` selects the heterogeneous-rate variant: the queue at
+/// sorted position k is served at rate rank_speeds[k] * mu while busy,
+/// and departures pick a busy rank proportionally to its rate (see
+/// BoundModel::transitions(m, rank_speeds) for the rank-based rate
+/// model). Empty — the default — is the homogeneous model, bit-identical
+/// with the legacy streams. Theorem 2's sigma^N prediction applies to the
+/// homogeneous model only; the hetero level_tail_ratio is an empirical
+/// output.
 GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
                                          const Distribution& interarrival,
                                          std::uint64_t arrivals,
                                          std::uint64_t warmup,
                                          std::uint64_t seed, int replicas,
-                                         util::ThreadBudget& budget);
+                                         util::ThreadBudget& budget,
+                                         const std::vector<double>&
+                                             rank_speeds = {});
 
 }  // namespace rlb::sim

@@ -6,29 +6,58 @@
 
 namespace rlb::sim {
 
-SqdPolicy::SqdPolicy(int n, int d) : d_(d), sampler_(n) {
-  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
-}
+namespace {
 
-int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
-  sampler_.sample(d_, rng, polled_);
-  int best = polled_[0];
+/// Shortest queue among the polled servers, ties broken uniformly
+/// (reservoir style: one uniform_int draw per tie encountered). Shared by
+/// SqdPolicy and JbtPolicy's shortest fallback so their tie-breaking —
+/// and RNG consumption — can never diverge.
+int shortest_polled(const ClusterState& cluster,
+                    const std::vector<int>& polled, Rng& rng) {
+  int best = polled[0];
   int best_len = cluster.queue_length(best);
   int ties = 1;
-  for (int i = 1; i < d_; ++i) {
-    const int s = polled_[i];
+  for (std::size_t i = 1; i < polled.size(); ++i) {
+    const int s = polled[i];
     const int len = cluster.queue_length(s);
     if (len < best_len) {
       best = s;
       best_len = len;
       ties = 1;
     } else if (len == best_len) {
-      // Reservoir-style uniform tie breaking among polled minima.
       ++ties;
       if (rng.uniform_int(ties) == 0) best = s;
     }
   }
   return best;
+}
+
+}  // namespace
+
+int ClusterState::idle_servers() const {
+  int idle = 0;
+  for (int s = 0; s < servers(); ++s)
+    if (queue_length(s) == 0) ++idle;
+  return idle;
+}
+
+int ClusterState::idle_server(int i) const {
+  for (int s = 0; s < servers(); ++s) {
+    if (queue_length(s) != 0) continue;
+    if (i == 0) return s;
+    --i;
+  }
+  RLB_REQUIRE(false, "idle_server index out of range");
+  return -1;
+}
+
+SqdPolicy::SqdPolicy(int n, int d) : d_(d), sampler_(n) {
+  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
+}
+
+int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
+  sampler_.sample(d_, rng, polled_);
+  return shortest_polled(cluster, polled_, rng);
 }
 
 std::string SqdPolicy::name() const { return "sq(" + std::to_string(d_) + ")"; }
@@ -55,6 +84,40 @@ int RoundRobinPolicy::select(const ClusterState& cluster, Rng&) {
   const int s = next_;
   next_ = (next_ + 1) % cluster.servers();
   return s;
+}
+
+JiqPolicy::JiqPolicy(int n, int fallback_d) : fallback_(n, fallback_d) {}
+
+int JiqPolicy::select(const ClusterState& cluster, Rng& rng) {
+  if (cluster.idle_servers() > 0) return cluster.idle_server(0);
+  return fallback_.select(cluster, rng);
+}
+
+std::string JiqPolicy::name() const {
+  return "jiq/" + fallback_.name();
+}
+
+JbtPolicy::JbtPolicy(int n, int d, int threshold, Fallback fallback)
+    : d_(d), threshold_(threshold), fallback_(fallback), sampler_(n) {
+  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
+  RLB_REQUIRE(threshold >= 0, "threshold must be non-negative");
+}
+
+int JbtPolicy::select(const ClusterState& cluster, Rng& rng) {
+  sampler_.sample(d_, rng, polled_);
+  below_.clear();
+  for (int s : polled_)
+    if (cluster.queue_length(s) < threshold_) below_.push_back(s);
+  if (!below_.empty())
+    return below_[rng.uniform_int(below_.size())];
+  if (fallback_ == Fallback::Random)
+    return polled_[rng.uniform_int(polled_.size())];
+  return shortest_polled(cluster, polled_, rng);
+}
+
+std::string JbtPolicy::name() const {
+  return "jbt(" + std::to_string(d_) + ",t=" + std::to_string(threshold_) +
+         (fallback_ == Fallback::Shortest ? ",shortest)" : ",random)");
 }
 
 int LeastWorkLeftPolicy::select(const ClusterState& cluster, Rng& rng) {

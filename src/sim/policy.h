@@ -2,7 +2,10 @@
 //
 // SqdPolicy(d) is the paper's policy family: d = 1 is uniform random
 // routing, d = N is JSQ. RoundRobin and LeastWorkLeft are classic
-// comparators used in the example scenarios.
+// comparators used in the example scenarios; JiqPolicy (join-idle-queue,
+// Lu et al. 2011) and JbtPolicy (join-below-threshold-d) are the
+// low-feedback alternatives SQ(d) competes with in the comparison
+// scenarios.
 #pragma once
 
 #include <memory>
@@ -20,6 +23,17 @@ class ClusterState {
   [[nodiscard]] virtual int servers() const = 0;
   [[nodiscard]] virtual int queue_length(int server) const = 0;
   [[nodiscard]] virtual double remaining_work(int server) const = 0;
+
+  /// Number of currently idle (empty-queue) servers. The default scans
+  /// queue_length; simulators that track the dispatcher's I-queue
+  /// override it.
+  [[nodiscard]] virtual int idle_servers() const;
+
+  /// The i-th idle server, 0 <= i < idle_servers(). Index 0 is the head
+  /// of the dispatcher's idle queue — first-idle-first-out where the
+  /// simulator tracks becoming-idle order (cluster_sim does), server-index
+  /// order in the default scan.
+  [[nodiscard]] virtual int idle_server(int i) const;
 };
 
 class Policy {
@@ -72,6 +86,52 @@ class RoundRobinPolicy final : public Policy {
 
  private:
   int next_ = 0;
+};
+
+/// Join-idle-queue (Lu et al.): the dispatcher keeps a queue of servers
+/// that reported going idle and sends each arrival to its head; when no
+/// server is idle the job falls back to SQ(fallback_d) polling
+/// (fallback_d = 1 is the classic "route randomly" JIQ). Near-zero
+/// feedback per job, JSQ-like delay at low and moderate load.
+class JiqPolicy final : public Policy {
+ public:
+  explicit JiqPolicy(int n, int fallback_d = 1);
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<JiqPolicy>(*this);
+  }
+
+ private:
+  SqdPolicy fallback_;
+};
+
+/// Join-below-threshold-d: poll d distinct servers and join a uniformly
+/// random polled server whose queue length is strictly below `threshold`
+/// (JBT needs only a below/above bit per server, so candidates are
+/// indistinguishable). When no polled server qualifies, fall back to the
+/// shortest polled queue (Fallback::Shortest, SQ(d)-like) or a uniform
+/// polled server (Fallback::Random). threshold = 0 with Fallback::Random
+/// degenerates to uniform random routing.
+class JbtPolicy final : public Policy {
+ public:
+  enum class Fallback { Shortest, Random };
+
+  JbtPolicy(int n, int d, int threshold,
+            Fallback fallback = Fallback::Shortest);
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<JbtPolicy>(*this);
+  }
+
+ private:
+  int d_;
+  int threshold_;
+  Fallback fallback_;
+  DistinctSampler sampler_;
+  std::vector<int> polled_;
+  std::vector<int> below_;
 };
 
 /// Joins the server with the least remaining work (an idealized policy that

@@ -21,7 +21,16 @@ bool BoundModel::contains(const State& m) const {
 }
 
 std::vector<Transition> BoundModel::transitions(const State& m) const {
+  static const std::vector<double> kHomogeneous;
+  return transitions(m, kHomogeneous);
+}
+
+std::vector<Transition> BoundModel::transitions(
+    const State& m, const std::vector<double>& rank_speeds) const {
   RLB_REQUIRE(contains(m), "state not in S(T): " + statespace::to_string(m));
+  RLB_REQUIRE(rank_speeds.empty() ||
+                  static_cast<int>(rank_speeds.size()) == params_.N,
+              "rank_speeds must be empty or one entry per server");
   const std::vector<TieGroup> groups = statespace::tie_groups(m);
 
   // Merge transitions that end up at the same target (redirects can collide
@@ -69,7 +78,12 @@ std::vector<Transition> BoundModel::transitions(const State& m) const {
   // Departures. Only a departure from the bottom group can violate the gap.
   for (const TieGroup& g : groups) {
     if (g.value == 0) continue;
-    const double rate = g.size() * params_.mu;
+    double speed = static_cast<double>(g.size());
+    if (!rank_speeds.empty()) {
+      speed = 0.0;
+      for (int k = g.head; k <= g.tail; ++k) speed += rank_speeds[k];
+    }
+    const double rate = speed * params_.mu;
     State target = statespace::after_departure_at_tail(m, g.tail);
     if (statespace::gap(target) <= threshold_) {
       add(std::move(target), rate);

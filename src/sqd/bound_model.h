@@ -60,6 +60,17 @@ class BoundModel {
   [[nodiscard]] std::vector<Transition> transitions(
       const statespace::State& m) const;
 
+  /// Heterogeneous-rate variant: the queue at sorted position k (0 = the
+  /// longest) is served at rate rank_speeds[k] * mu while busy. Rank-based
+  /// rates are the heterogeneity model that keeps the sorted state space
+  /// S(T) valid — speeds attach to queue-length ranks, not server
+  /// identities (per-identity speeds live in the cluster DES). An empty
+  /// vector (or all ones) reproduces the homogeneous model exactly; the
+  /// redirection rules are rate-independent and apply unchanged.
+  [[nodiscard]] std::vector<Transition> transitions(
+      const statespace::State& m,
+      const std::vector<double>& rank_speeds) const;
+
   /// True iff m is a valid state of this model.
   [[nodiscard]] bool contains(const statespace::State& m) const;
 

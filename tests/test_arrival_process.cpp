@@ -1,6 +1,8 @@
 #include "sim/arrival_process.h"
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -111,6 +113,108 @@ TEST(MmppArrivals, ResetReturnsToInitialPhase) {
   for (int i = 0; i < 50; ++i) first.push_back(a.next(rng1));
   a.reset();
   for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.next(rng2), first[i]);
+}
+
+TEST(BatchArrivalProcess, PreservesMeanRate) {
+  // Base rate lambda / b with mean batch b keeps the job rate at lambda:
+  // the batch_arrivals scenario's equal-load construction.
+  const double lambda = 2.0;
+  for (double b : {1.0, 2.0, 5.0}) {
+    for (auto sizes : {BatchArrivalProcess::BatchSizes::Geometric,
+                       BatchArrivalProcess::BatchSizes::Fixed}) {
+      if (sizes == BatchArrivalProcess::BatchSizes::Fixed &&
+          b != std::floor(b))
+        continue;
+      const auto base = make_exponential(lambda / b);
+      BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), b,
+                            sizes);
+      EXPECT_NEAR(a.mean_rate(), lambda, 1e-12);
+      Rng rng(29);
+      double total_time = 0.0;
+      const int n = 400000;
+      for (int i = 0; i < n; ++i) total_time += a.next(rng);
+      EXPECT_NEAR(n / total_time, lambda, 0.05 * lambda) << b;
+    }
+  }
+}
+
+TEST(BatchArrivalProcess, FixedBatchOfOneReproducesBaseStream) {
+  // Degenerate batch size 1 draws nothing extra: bit-identical gaps.
+  const auto base = make_exponential(3.0);
+  RenewalArrivals plain(*base);
+  BatchArrivalProcess batched(std::make_unique<RenewalArrivals>(*base), 1.0,
+                              BatchArrivalProcess::BatchSizes::Fixed);
+  Rng rng1(31), rng2(31);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_DOUBLE_EQ(batched.next(rng1), plain.next(rng2));
+}
+
+TEST(BatchArrivalProcess, FixedBatchesArriveTogether) {
+  const auto base = make_exponential(1.0);
+  BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), 4.0,
+                        BatchArrivalProcess::BatchSizes::Fixed);
+  Rng rng(37);
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    EXPECT_GT(a.next(rng), 0.0);  // the batch's first job ends the gap
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(a.next(rng), 0.0);
+  }
+}
+
+TEST(BatchArrivalProcess, GeometricBatchSizesHaveRequestedMean) {
+  const auto base = make_deterministic(1.0);
+  BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), 3.0,
+                        BatchArrivalProcess::BatchSizes::Geometric);
+  Rng rng(41);
+  // Jobs per unit time = mean batch size when the base gap is exactly 1.
+  const int epochs = 200000;
+  std::uint64_t jobs = 0;
+  double time = 0.0;
+  while (time < epochs) {
+    time += a.next(rng);
+    ++jobs;
+  }
+  EXPECT_NEAR(static_cast<double>(jobs) / epochs, 3.0, 0.05);
+}
+
+TEST(BatchArrivalProcess, CloneCopiesMidBatchState) {
+  const auto base = make_deterministic(1.0);
+  BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), 4.0,
+                        BatchArrivalProcess::BatchSizes::Fixed);
+  Rng rng(43);
+  EXPECT_GT(a.next(rng), 0.0);  // open a batch of 4, 3 jobs remaining
+  const auto clone = a.clone();
+  Rng rng1(47), rng2(47);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.next(rng1), clone->next(rng2));
+}
+
+TEST(BatchArrivalProcess, ResetClearsPendingBatch) {
+  const auto base = make_deterministic(1.0);
+  BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), 4.0,
+                        BatchArrivalProcess::BatchSizes::Fixed);
+  Rng rng(53);
+  EXPECT_GT(a.next(rng), 0.0);
+  a.reset();
+  EXPECT_GT(a.next(rng), 0.0);  // a fresh epoch, not a leftover zero gap
+}
+
+TEST(BatchArrivalProcess, ValidatesParameters) {
+  const auto base = make_exponential(1.0);
+  EXPECT_THROW(BatchArrivalProcess(nullptr, 2.0), std::invalid_argument);
+  EXPECT_THROW(BatchArrivalProcess(std::make_unique<RenewalArrivals>(*base),
+                                   0.5),
+               std::invalid_argument);
+  EXPECT_THROW(BatchArrivalProcess(std::make_unique<RenewalArrivals>(*base),
+                                   2.5,
+                                   BatchArrivalProcess::BatchSizes::Fixed),
+               std::invalid_argument);
+}
+
+TEST(BatchArrivalProcess, NameDescribesTheCompound) {
+  const auto base = make_exponential(1.0);
+  BatchArrivalProcess a(std::make_unique<RenewalArrivals>(*base), 4.0,
+                        BatchArrivalProcess::BatchSizes::Geometric);
+  EXPECT_EQ(a.name(), "batch(geom,4)/renewal(exp)");
 }
 
 }  // namespace

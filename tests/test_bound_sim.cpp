@@ -20,6 +20,71 @@ TEST(BoundSim, GapNeverExceedsThreshold) {
   }
 }
 
+TEST(BoundSim, UnitRankSpeedsReproduceHomogeneousExactly) {
+  // All-ones rank speeds build the same transition rates, so the jump
+  // chain consumes the RNG identically: bit-identical results, not just
+  // statistically close.
+  for (BoundKind kind : {BoundKind::Lower, BoundKind::Upper}) {
+    const BoundModel model(Params{3, 2, 0.75, 1.0}, 2, kind);
+    const auto homog = simulate_bound_model(model, 200'000, 10'000, 21);
+    const auto hetero = simulate_bound_model(
+        model, 200'000, 10'000, 21, 1, rlb::util::ThreadBudget::serial(),
+        {1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(hetero.mean_waiting_jobs, homog.mean_waiting_jobs);
+    EXPECT_DOUBLE_EQ(hetero.mean_jobs, homog.mean_jobs);
+    EXPECT_DOUBLE_EQ(hetero.max_gap_seen, homog.max_gap_seen);
+  }
+}
+
+TEST(BoundSim, HeteroGapBoundStillHolds) {
+  // The redirection rules are rate-independent: S(T) confines the chain
+  // for any rank-speed profile, both bound kinds.
+  const std::vector<double> speeds{1.6, 1.2, 0.8, 0.4};
+  for (BoundKind kind : {BoundKind::Lower, BoundKind::Upper}) {
+    const BoundModel model(Params{4, 2, 0.8, 1.0}, 2, kind);
+    const auto r = simulate_bound_model(
+        model, 200'000, 10'000, 23, 1, rlb::util::ThreadBudget::serial(),
+        speeds);
+    EXPECT_LE(r.max_gap_seen, 2.0);
+  }
+}
+
+TEST(BoundSim, FastServiceOfLongQueuesShrinksBacklog) {
+  // Speeding up the longest queues at equal total capacity strictly helps
+  // the lower model's backlog.
+  const BoundModel model(Params{4, 2, 0.8, 1.0}, 3, BoundKind::Lower);
+  const auto homog = simulate_bound_model(model, 1'000'000, 100'000, 29);
+  const auto skewed = simulate_bound_model(
+      model, 1'000'000, 100'000, 29, 1, rlb::util::ThreadBudget::serial(),
+      {1.5, 1.5, 0.5, 0.5});
+  EXPECT_LT(skewed.mean_waiting_jobs, 0.9 * homog.mean_waiting_jobs);
+}
+
+TEST(BoundSim, HeteroIsThreadBudgetInvariant) {
+  const BoundModel model(Params{3, 2, 0.8, 1.0}, 2, BoundKind::Lower);
+  const std::vector<double> speeds{1.5, 1.0, 0.5};
+  const auto serial = simulate_bound_model(
+      model, 120'000, 12'000, 31, 3, rlb::util::ThreadBudget::serial(),
+      speeds);
+  rlb::util::ThreadBudget four(4);
+  const auto parallel =
+      simulate_bound_model(model, 120'000, 12'000, 31, 3, four, speeds);
+  EXPECT_DOUBLE_EQ(parallel.mean_waiting_jobs, serial.mean_waiting_jobs);
+  EXPECT_DOUBLE_EQ(parallel.mean_jobs, serial.mean_jobs);
+}
+
+TEST(BoundSim, ValidatesRankSpeeds) {
+  const BoundModel model(Params{3, 2, 0.8, 1.0}, 2, BoundKind::Lower);
+  EXPECT_THROW(
+      simulate_bound_model(model, 1000, 100, 1, 1,
+                           rlb::util::ThreadBudget::serial(), {1.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(simulate_bound_model(model, 1000, 100, 1, 1,
+                                    rlb::util::ThreadBudget::serial(),
+                                    {1.0, -1.0, 1.0}),
+               std::invalid_argument);
+}
+
 TEST(BoundSim, LowerModelMatchesSolver) {
   const BoundModel model(Params{3, 2, 0.7, 1.0}, 2, BoundKind::Lower);
   const auto solved = rlb::sqd::solve_bound(model);

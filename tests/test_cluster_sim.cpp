@@ -1,6 +1,9 @@
 #include "sim/cluster_sim.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -189,6 +192,159 @@ TEST(ClusterSim, SpeedVectorValidated) {
   cfg.server_speeds = {1.0, -1.0};
   EXPECT_THROW(simulate_cluster(cfg, policy, *arr, *svc),
                std::invalid_argument);
+}
+
+/// Audits the engine's idle-queue view against ground truth on every
+/// arrival, then routes uniformly. Clones share the audit counter (fine:
+/// the tests below run a single serial replica).
+class IdleAuditPolicy final : public Policy {
+ public:
+  explicit IdleAuditPolicy(int* audits) : audits_(audits) {}
+  int select(const ClusterState& c, Rng& rng) override {
+    int idle_truth = 0;
+    for (int s = 0; s < c.servers(); ++s)
+      if (c.queue_length(s) == 0) ++idle_truth;
+    EXPECT_EQ(c.idle_servers(), idle_truth);
+    for (int i = 0; i < c.idle_servers(); ++i)
+      EXPECT_EQ(c.queue_length(c.idle_server(i)), 0);
+    ++*audits_;
+    return static_cast<int>(rng.uniform_int(c.servers()));
+  }
+  std::string name() const override { return "idle-audit"; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<IdleAuditPolicy>(*this);
+  }
+
+ private:
+  int* audits_;
+};
+
+TEST(ClusterSim, IdleQueueViewMatchesQueueLengths) {
+  ClusterConfig cfg = quick_config(4, 20'000);
+  int audits = 0;
+  IdleAuditPolicy policy(&audits);
+  const auto arr = make_exponential(0.8 * 4);
+  const auto svc = make_exponential(1.0);
+  simulate_cluster(cfg, policy, *arr, *svc);
+  EXPECT_EQ(audits, 20'000);
+}
+
+/// Records every selection of an inner policy (shared log; serial use).
+class RecordingPolicy final : public Policy {
+ public:
+  RecordingPolicy(std::unique_ptr<Policy> inner, std::vector<int>* log)
+      : inner_(std::move(inner)), log_(log) {}
+  RecordingPolicy(const RecordingPolicy& other)
+      : inner_(other.inner_->clone()), log_(other.log_) {}
+  int select(const ClusterState& c, Rng& rng) override {
+    const int s = inner_->select(c, rng);
+    log_->push_back(s);
+    return s;
+  }
+  std::string name() const override { return inner_->name(); }
+  void reset() override { inner_->reset(); }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RecordingPolicy>(*this);
+  }
+
+ private:
+  std::unique_ptr<Policy> inner_;
+  std::vector<int>* log_;
+};
+
+TEST(ClusterSim, JiqServesFirstIdleFirst) {
+  // Deterministic timing: one job in the system at a time, so every
+  // arrival finds every server idle. The I-queue then rotates — JIQ must
+  // alternate servers instead of hammering index 0 like the default
+  // index-order scan would.
+  ClusterConfig cfg = quick_config(2, 10);
+  cfg.warmup = 1;
+  std::vector<int> log;
+  RecordingPolicy policy(std::make_unique<JiqPolicy>(2), &log);
+  const auto arr = make_deterministic(1.0);
+  const auto svc = make_deterministic(0.5);
+  simulate_cluster(cfg, policy, *arr, *svc);
+  ASSERT_EQ(log.size(), 10u);
+  for (std::size_t i = 0; i < log.size(); ++i)
+    EXPECT_EQ(log[i], static_cast<int>(i % 2)) << i;
+}
+
+TEST(ClusterSim, JiqMatchesJsqWhileServersStayIdle) {
+  // Single-job-at-a-time deterministic traffic: both policies always join
+  // an idle server, so wait is exactly zero and sojourn is the service
+  // time.
+  ClusterConfig cfg = quick_config(4, 5'000);
+  JiqPolicy jiq(4);
+  JsqPolicy jsq;
+  const auto arr = make_deterministic(1.0);
+  const auto svc = make_deterministic(0.5);
+  const auto r_jiq = simulate_cluster(cfg, jiq, *arr, *svc);
+  const auto r_jsq = simulate_cluster(cfg, jsq, *arr, *svc);
+  EXPECT_DOUBLE_EQ(r_jiq.mean_wait, 0.0);
+  EXPECT_DOUBLE_EQ(r_jsq.mean_wait, 0.0);
+  EXPECT_DOUBLE_EQ(r_jiq.mean_sojourn, 0.5);
+  EXPECT_DOUBLE_EQ(r_jsq.mean_sojourn, 0.5);
+}
+
+TEST(ClusterSim, JiqNearJsqAtLowLoadStochastically) {
+  // At rho = 0.4 an idle server almost always exists, so JIQ's mean delay
+  // sits within a few percent of JSQ's.
+  ClusterConfig cfg = quick_config(8);
+  const double rho = 0.4;
+  JiqPolicy jiq(8);
+  JsqPolicy jsq;
+  const auto arr = make_exponential(rho * 8);
+  const auto svc = make_exponential(1.0);
+  const auto r_jiq = simulate_cluster(cfg, jiq, *arr, *svc);
+  const auto r_jsq = simulate_cluster(cfg, jsq, *arr, *svc);
+  EXPECT_NEAR(r_jiq.mean_sojourn, r_jsq.mean_sojourn,
+              0.03 * r_jsq.mean_sojourn);
+}
+
+TEST(ClusterSim, BatchArrivalsInflateDelayAtEqualLoad) {
+  // Same mean job rate, clumped arrivals: delay must rise with the batch
+  // size (the batch_arrivals scenario's headline effect).
+  const int n = 4;
+  const double rho = 0.8;
+  ClusterConfig cfg = quick_config(n);
+  SqdPolicy policy(n, 2);
+  const auto svc = make_exponential(1.0);
+
+  const auto plain_gap = make_exponential(rho * n);
+  RenewalArrivals plain(*plain_gap);
+  const auto plain_r = simulate_cluster(cfg, policy, plain, *svc);
+
+  const auto batch_gap = make_exponential(rho * n / 4.0);
+  BatchArrivalProcess batched(std::make_unique<RenewalArrivals>(*batch_gap),
+                              4.0, BatchArrivalProcess::BatchSizes::Fixed);
+  const auto batch_r = simulate_cluster(cfg, policy, batched, *svc);
+
+  EXPECT_NEAR(plain_r.utilization, batch_r.utilization, 0.02);
+  EXPECT_GT(batch_r.mean_sojourn, 1.2 * plain_r.mean_sojourn);
+}
+
+TEST(ClusterSim, NewPoliciesAreReplicaAndBudgetInvariant) {
+  // The PR-2 contract extended to the new policies: for a fixed replica
+  // count the thread budget never changes the output.
+  for (int replicas : {1, 3}) {
+    ClusterConfig cfg = quick_config(6, 60'000);
+    cfg.replicas = replicas;
+    const auto arr = make_exponential(0.85 * 6);
+    const auto svc = make_exponential(1.0);
+    JiqPolicy jiq(6);
+    JbtPolicy jbt(6, 2, 3);
+    for (Policy* policy : {static_cast<Policy*>(&jiq),
+                           static_cast<Policy*>(&jbt)}) {
+      const auto serial = simulate_cluster(cfg, *policy, *arr, *svc,
+                                           rlb::util::ThreadBudget::serial());
+      rlb::util::ThreadBudget four(4);
+      const auto parallel = simulate_cluster(cfg, *policy, *arr, *svc, four);
+      EXPECT_DOUBLE_EQ(parallel.mean_sojourn, serial.mean_sojourn)
+          << policy->name() << " replicas=" << replicas;
+      EXPECT_DOUBLE_EQ(parallel.p99_sojourn, serial.p99_sojourn)
+          << policy->name() << " replicas=" << replicas;
+    }
+  }
 }
 
 }  // namespace

@@ -80,6 +80,34 @@ TEST(ScenarioRegistry, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&ScenarioRegistry::global(), &ScenarioRegistry::global());
 }
 
+TEST(MarkdownCatalog, RendersSectionsAndParamTables) {
+  ScenarioRegistry registry;
+  registry.add(make_scenario("alpha"));
+  Scenario no_params = make_scenario("beta");
+  no_params.params.clear();
+  registry.add(std::move(no_params));
+
+  const std::string md = rlb::engine::markdown_catalog(registry.list());
+  EXPECT_NE(md.find("# Scenario catalog"), std::string::npos);
+  EXPECT_NE(md.find("## `alpha`"), std::string::npos);
+  EXPECT_NE(md.find("| `--n` | `4` | servers |"), std::string::npos);
+  EXPECT_NE(md.find("## `beta`"), std::string::npos);
+  EXPECT_NE(md.find("No parameters."), std::string::npos);
+  // Sections are emitted in sorted order.
+  EXPECT_LT(md.find("## `alpha`"), md.find("## `beta`"));
+}
+
+TEST(MarkdownCatalog, EscapesTableBreakingCharacters) {
+  ScenarioRegistry registry;
+  Scenario tricky = make_scenario("tricky");
+  tricky.description = "a|b\nc";
+  tricky.params = {{"x", "pipe|char", "1"}};
+  registry.add(std::move(tricky));
+  const std::string md = rlb::engine::markdown_catalog(registry.list());
+  EXPECT_NE(md.find("a\\|b c"), std::string::npos);
+  EXPECT_NE(md.find("pipe\\|char"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic parallel sweep
 // ---------------------------------------------------------------------------

@@ -1,9 +1,11 @@
 // Empirical validation of Theorem 2: the lower bound model's level tail
 // decays with ratio sigma^N for renewal (non-Poisson) arrivals.
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "sim/bound_sim.h"
 #include "sim/gi_bound_sim.h"
 #include "sqd/bound_solver.h"
 #include "sqd/interarrival.h"
@@ -23,6 +25,79 @@ TEST(GiBoundSim, PoissonTailRatioIsRhoN) {
   const auto arr = rlb::sim::make_exponential(rho * 3);
   const auto r = simulate_gi_lower_bound(model, *arr, 3'000'000, 300'000, 99);
   EXPECT_NEAR(r.level_tail_ratio, std::pow(rho, 3), 0.05);
+}
+
+TEST(GiBoundSim, UnitRankSpeedsMatchHomogeneousStatistically) {
+  // The hetero path samples the departing rank differently (weighted scan
+  // vs uniform pick), so all-ones speeds give the same law through a
+  // different stream: statistically close, not bit-identical.
+  const double rho = 0.8;
+  const Params p{3, 2, rho, 1.0};
+  const BoundModel model(p, 2, BoundKind::Lower);
+  const auto arr = rlb::sim::make_exponential(rho * 3);
+  const auto homog =
+      simulate_gi_lower_bound(model, *arr, 2'000'000, 200'000, 17);
+  const auto hetero = simulate_gi_lower_bound(
+      model, *arr, 2'000'000, 200'000, 17, 1,
+      rlb::util::ThreadBudget::serial(), {1.0, 1.0, 1.0});
+  EXPECT_NEAR(hetero.mean_jobs, homog.mean_jobs,
+              0.03 * (1.0 + homog.mean_jobs));
+  EXPECT_NEAR(hetero.mean_waiting_jobs, homog.mean_waiting_jobs,
+              0.03 * (1.0 + homog.mean_waiting_jobs));
+}
+
+TEST(GiBoundSim, HeteroAgreesWithCtmcJumpChain) {
+  // With exponential interarrivals the GI simulator and the CTMC jump
+  // chain simulate the same heterogeneous-rate chain through independent
+  // implementations; their long-run averages must agree.
+  const double rho = 0.8;
+  const Params p{4, 2, rho, 1.0};
+  const BoundModel model(p, 3, BoundKind::Lower);
+  const std::vector<double> speeds{1.5, 1.5, 0.5, 0.5};
+  const auto arr = rlb::sim::make_exponential(rho * 4);
+  const auto gi = simulate_gi_lower_bound(
+      model, *arr, 2'000'000, 200'000, 19, 1,
+      rlb::util::ThreadBudget::serial(), speeds);
+  const auto ctmc = rlb::sim::simulate_bound_model(
+      model, 2'000'000, 200'000, 23, 1, rlb::util::ThreadBudget::serial(),
+      speeds);
+  EXPECT_NEAR(gi.mean_waiting_jobs, ctmc.mean_waiting_jobs,
+              0.05 * (1.0 + ctmc.mean_waiting_jobs));
+  EXPECT_NEAR(gi.mean_jobs, ctmc.mean_jobs, 0.05 * (1.0 + ctmc.mean_jobs));
+}
+
+TEST(GiBoundSim, HeteroIsThreadBudgetInvariant) {
+  const double rho = 0.8;
+  const Params p{3, 2, rho, 1.0};
+  const BoundModel model(p, 2, BoundKind::Lower);
+  const std::vector<double> speeds{1.5, 1.0, 0.5};
+  const auto arr = rlb::sim::make_exponential(rho * 3);
+  const auto serial = simulate_gi_lower_bound(
+      model, *arr, 120'000, 12'000, 29, 3,
+      rlb::util::ThreadBudget::serial(), speeds);
+  rlb::util::ThreadBudget four(4);
+  const auto parallel =
+      simulate_gi_lower_bound(model, *arr, 120'000, 12'000, 29, 3, four,
+                              speeds);
+  EXPECT_DOUBLE_EQ(parallel.mean_jobs, serial.mean_jobs);
+  EXPECT_DOUBLE_EQ(parallel.mean_waiting_jobs, serial.mean_waiting_jobs);
+  ASSERT_EQ(parallel.total_jobs_dist.size(), serial.total_jobs_dist.size());
+}
+
+TEST(GiBoundSim, ValidatesRankSpeeds) {
+  const Params p{3, 2, 0.8, 1.0};
+  const BoundModel model(p, 2, BoundKind::Lower);
+  const auto arr = rlb::sim::make_exponential(0.8 * 3);
+  EXPECT_THROW(
+      simulate_gi_lower_bound(model, *arr, 1000, 100, 1, 1,
+                              rlb::util::ThreadBudget::serial(),
+                              {1.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      simulate_gi_lower_bound(model, *arr, 1000, 100, 1, 1,
+                              rlb::util::ThreadBudget::serial(),
+                              {0.0, 1.0, 1.0}),
+      std::invalid_argument);
 }
 
 TEST(GiBoundSim, PoissonMatchesMatrixGeometricSolver) {

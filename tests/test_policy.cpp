@@ -97,11 +97,121 @@ TEST(PolicyNames, Informative) {
   EXPECT_EQ(JsqPolicy().name(), "jsq");
   EXPECT_EQ(RoundRobinPolicy().name(), "round-robin");
   EXPECT_EQ(LeastWorkLeftPolicy().name(), "least-work");
+  EXPECT_EQ(JiqPolicy(4).name(), "jiq/sq(1)");
+  EXPECT_EQ(JbtPolicy(4, 2, 3).name(), "jbt(2,t=3,shortest)");
+  EXPECT_EQ(JbtPolicy(4, 2, 0, JbtPolicy::Fallback::Random).name(),
+            "jbt(2,t=0,random)");
 }
 
 TEST(SqdPolicy, RejectsBadD) {
   EXPECT_THROW(SqdPolicy(3, 0), std::invalid_argument);
   EXPECT_THROW(SqdPolicy(3, 4), std::invalid_argument);
+}
+
+TEST(ClusterStateView, DefaultIdleScanUsesIndexOrder) {
+  FakeCluster cluster({2, 0, 1, 0, 0});
+  EXPECT_EQ(cluster.idle_servers(), 3);
+  EXPECT_EQ(cluster.idle_server(0), 1);
+  EXPECT_EQ(cluster.idle_server(1), 3);
+  EXPECT_EQ(cluster.idle_server(2), 4);
+  EXPECT_THROW(cluster.idle_server(3), std::invalid_argument);
+}
+
+TEST(JiqPolicy, AlwaysJoinsAnIdleServerWhenOneExists) {
+  // The head of the idle view is server 2 (index-order default scan).
+  FakeCluster cluster({3, 1, 0, 2});
+  JiqPolicy policy(4);
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, rng), 2);
+}
+
+TEST(JiqPolicy, MatchesJsqWhenAnIdleServerExists) {
+  // JSQ's global minimum is the unique empty queue; JIQ must agree on
+  // every state that has exactly one idle server.
+  JiqPolicy jiq(4);
+  JsqPolicy jsq;
+  Rng rng(19);
+  for (int idle = 0; idle < 4; ++idle) {
+    std::vector<int> lens{2, 3, 1, 4};
+    lens[idle] = 0;
+    FakeCluster cluster(lens);
+    EXPECT_EQ(jiq.select(cluster, rng), idle);
+    EXPECT_EQ(jsq.select(cluster, rng), idle);
+  }
+}
+
+TEST(JiqPolicy, FallsBackToRandomWhenNoneIdle) {
+  FakeCluster cluster({1, 2, 1, 3});
+  JiqPolicy policy(4);  // fallback sq(1) = uniform random
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 4.0, 500);
+}
+
+TEST(JiqPolicy, FallbackCanPollLikeSqd) {
+  // fallback_d = 2 over two busy servers must always pick the shorter.
+  FakeCluster cluster({5, 1});
+  JiqPolicy policy(2, 2);
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, rng), 1);
+}
+
+TEST(JbtPolicy, JoinsOnlyBelowThresholdServers) {
+  // With a full poll, only the servers strictly below t = 2 qualify.
+  FakeCluster cluster({5, 1, 3, 0});
+  JbtPolicy policy(4, 4, 2);
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  // Candidates are indistinguishable below the threshold: uniform split.
+  EXPECT_NEAR(counts[1], trials / 2.0, 600);
+  EXPECT_NEAR(counts[3], trials / 2.0, 600);
+}
+
+TEST(JbtPolicy, ZeroThresholdWithRandomFallbackIsRandomD) {
+  // t = 0 never admits a candidate, so the random fallback makes the
+  // policy uniform random routing — the degenerate case.
+  FakeCluster cluster({4, 1, 7, 2});
+  JbtPolicy policy(4, 2, 0, JbtPolicy::Fallback::Random);
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 4.0, 500);
+}
+
+TEST(JbtPolicy, ZeroThresholdWithShortestFallbackIsSqd) {
+  // t = 0 with the shortest-polled fallback degenerates to SQ(d): over
+  // two servers with d = 2 the longer queue must never win.
+  FakeCluster cluster({3, 0});
+  JbtPolicy policy(2, 2, 0);
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, rng), 1);
+}
+
+TEST(JbtPolicy, ValidatesParameters) {
+  EXPECT_THROW(JbtPolicy(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(JbtPolicy(3, 4, 1), std::invalid_argument);
+  EXPECT_THROW(JbtPolicy(3, 2, -1), std::invalid_argument);
+}
+
+TEST(NewPolicies, ClonesAreIndependent) {
+  JiqPolicy jiq(4);
+  JbtPolicy jbt(4, 2, 3);
+  const auto jiq_clone = jiq.clone();
+  const auto jbt_clone = jbt.clone();
+  EXPECT_EQ(jiq_clone->name(), jiq.name());
+  EXPECT_EQ(jbt_clone->name(), jbt.name());
+  // Same seed, same state view: clone and original walk identical streams.
+  FakeCluster cluster({1, 2, 3, 4});
+  Rng rng1(43), rng2(43);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(jbt.select(cluster, rng1), jbt_clone->select(cluster, rng2));
 }
 
 }  // namespace

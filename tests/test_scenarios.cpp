@@ -1,0 +1,91 @@
+// End-to-end checks of registered scenarios through the global registry
+// (this binary links the bench/ and examples/ scenario translation units,
+// unlike the unit-test binaries). The key property is the rlb_run
+// contract: for a fixed --replicas value, the rendered output of a
+// scenario is bit-identical for every thread count.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/scenario.h"
+#include "engine/sink.h"
+#include "util/cli.h"
+
+namespace {
+
+using rlb::engine::Scenario;
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioRegistry;
+
+/// Render one scenario run (args as an rlb_run-style flag list) to JSON.
+std::string run_to_json(const std::string& name,
+                        std::vector<std::string> args, int threads,
+                        int replicas) {
+  const Scenario& scenario = ScenarioRegistry::global().get(name);
+  args.insert(args.begin(), "test_scenarios");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  const rlb::util::Cli cli(static_cast<int>(argv.size()), argv.data());
+  ScenarioContext ctx(cli, threads, replicas);
+  return rlb::engine::to_json(scenario.run(ctx), name);
+}
+
+struct QuickScenario {
+  std::string name;
+  std::vector<std::string> args;  ///< small job counts: ~1s per run
+};
+
+std::vector<QuickScenario> new_scenarios() {
+  return {
+      {"policy_comparison", {"--jobs=30000"}},
+      {"batch_arrivals", {"--jobs=30000"}},
+      {"hetero_fleet_bounds", {"--steps=120000", "--arrivals=60000"}},
+  };
+}
+
+TEST(Scenarios, NewScenariosAreRegistered) {
+  for (const auto& s : new_scenarios())
+    EXPECT_TRUE(ScenarioRegistry::global().contains(s.name)) << s.name;
+}
+
+TEST(Scenarios, ThreadCountNeverChangesOutput) {
+  for (const auto& s : new_scenarios()) {
+    const std::string one = run_to_json(s.name, s.args, 1, 1);
+    const std::string four = run_to_json(s.name, s.args, 4, 1);
+    EXPECT_EQ(one, four) << s.name;
+  }
+}
+
+TEST(Scenarios, ThreadCountNeverChangesOutputWithReplicas) {
+  for (const auto& s : new_scenarios()) {
+    const std::string one = run_to_json(s.name, s.args, 1, 2);
+    const std::string four = run_to_json(s.name, s.args, 4, 2);
+    EXPECT_EQ(one, four) << s.name;
+  }
+}
+
+TEST(Scenarios, ReplicasChangeOutputDeterministically) {
+  for (const auto& s : new_scenarios()) {
+    const std::string r1 = run_to_json(s.name, s.args, 2, 1);
+    const std::string r2 = run_to_json(s.name, s.args, 2, 2);
+    const std::string r2_again = run_to_json(s.name, s.args, 2, 2);
+    EXPECT_NE(r1, r2) << s.name;  // R decorrelated streams differ...
+    EXPECT_EQ(r2, r2_again) << s.name;  // ...but reproducibly.
+  }
+}
+
+TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {
+  const auto scenarios = ScenarioRegistry::global().list();
+  const std::string catalog = rlb::engine::markdown_catalog(scenarios);
+  for (const Scenario* s : scenarios) {
+    EXPECT_NE(catalog.find("## `" + s->name + "`"), std::string::npos)
+        << s->name;
+    for (const auto& p : s->params)
+      EXPECT_NE(catalog.find("`--" + p.name + "`"), std::string::npos)
+          << s->name << " --" << p.name;
+  }
+}
+
+}  // namespace

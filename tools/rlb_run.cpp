@@ -1,6 +1,9 @@
 // rlb_run — the unified scenario driver.
 //
 //   rlb_run --list                         enumerate registered scenarios
+//   rlb_run --list --markdown              render the scenario catalog
+//                                          (docs/SCENARIOS.md is this
+//                                          output, committed; CI diffs it)
 //   rlb_run --describe=power_of_d          parameter schema for one
 //   rlb_run --scenario=power_of_d          run it (parallel by default)
 //           [--threads=8] [--replicas=4] [--csv=out.csv] [--json=out.json]
@@ -60,7 +63,11 @@ int main(int argc, char** argv) {
   try {
     const rlb::util::Cli cli(argc, argv);
     if (cli.get_bool("list")) {
-      print_list(std::cout);
+      if (cli.get_bool("markdown"))
+        std::cout << rlb::engine::markdown_catalog(
+            ScenarioRegistry::global().list());
+      else
+        print_list(std::cout);
       return 0;
     }
     const std::string describe = cli.get("describe", "");
@@ -76,7 +83,8 @@ int main(int argc, char** argv) {
                    "       [--baseline=ref.json [--rtol=tol] [--atol=tol] "
                    "[--baseline-ignore=cols]]\n"
                    "       [scenario flags]\n"
-                   "       rlb_run --list | --describe=<name>\n\n";
+                   "       rlb_run --list [--markdown] | "
+                   "--describe=<name>\n\n";
       print_list(std::cerr);
       return 2;
     }
