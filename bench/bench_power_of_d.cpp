@@ -3,6 +3,7 @@
 // comparators, by discrete-event simulation, plus the paper's bounds for
 // SQ(2). Each (rho, policy) simulation is one sweep cell, so the table
 // fills across worker threads.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,22 +41,30 @@ std::unique_ptr<rlb::sim::Policy> make_policy(int n, std::size_t task) {
   }
 }
 
+/// One sweep cell's result; the report stays default in fixed mode and
+/// for the solver task (which never enters the row aggregation).
+struct Cell {
+  double value = 0.0;
+  rlb::sim::AdaptiveReport report;
+};
+
 ScenarioOutput run(ScenarioContext& ctx) {
   const int n = static_cast<int>(ctx.cli().get_int("n", 10));
   const auto jobs =
       static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 1'000'000));
   const auto seed = static_cast<std::uint64_t>(ctx.cli().get_int("seed", 777));
+  const bool adaptive = ctx.adaptive().enabled();
 
   const std::vector<double> rhos{0.5, 0.7, 0.9, 0.95, 0.99};
   const auto cells =
-      ctx.map<double>(rhos.size() * kTasks, [&](std::size_t i) {
+      ctx.map<Cell>(rhos.size() * kTasks, [&](std::size_t i) {
         const double rho = rhos[i / kTasks];
         const std::size_t task = i % kTasks;
         if (task == kTasks - 1) {
           // Lower bound for SQ(2) at this N (improved solver, T = 2).
           const rlb::sqd::BoundModel lower(rlb::sqd::Params{n, 2, rho, 1.0},
                                            2, rlb::sqd::BoundKind::Lower);
-          return rlb::sqd::solve_lower_improved(lower).mean_delay;
+          return Cell{rlb::sqd::solve_lower_improved(lower).mean_delay, {}};
         }
         using namespace rlb::sim;
         ClusterConfig cfg;
@@ -70,25 +79,56 @@ ScenarioOutput run(ScenarioContext& ctx) {
         const auto arr = make_exponential(rho * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(n, task);
-        return simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget())
-            .mean_sojourn;
+        if (adaptive) {
+          const auto res = simulate_cluster_adaptive(
+              cfg, *policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
+              ctx.budget());
+          return Cell{res.mean_sojourn, res.adaptive};
+        }
+        return Cell{
+            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget())
+                .mean_sojourn,
+            {}};
       });
 
   ScenarioOutput out;
   out.preamble = "E10: the power of d choices, N = " + std::to_string(n) +
-                 " servers, M/M service, DES with " + std::to_string(jobs) +
-                 " jobs.";
-  auto& table = out.add_table(
-      "main", {"rho", "sq(1)", "sq(2)", "sq(5)", "jsq", "round-robin",
-               "least-work", "asym d=2", "lower bound sq(2)"});
+                 " servers, M/M service, DES with " +
+                 (adaptive ? "adaptive (--target-ci) run lengths"
+                           : std::to_string(jobs) + " jobs") +
+                 ".";
+  std::vector<std::string> header{"rho",  "sq(1)",       "sq(2)",
+                                  "sq(5)", "jsq",        "round-robin",
+                                  "least-work", "asym d=2",
+                                  "lower bound sq(2)"};
+  if (adaptive) {
+    // Per-row stopping report over the six simulated cells: the WORST
+    // half-width, the TOTAL budget, and whether every cell converged.
+    header.insert(header.end(), {"half_width", "jobs_used", "converged"});
+  }
+  auto& table = out.add_table("main", header);
   for (std::size_t r = 0; r < rhos.size(); ++r) {
     std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
     for (std::size_t task = 0; task + 1 < kTasks; ++task)
-      row.push_back(rlb::util::fmt(cells[r * kTasks + task], 3));
+      row.push_back(rlb::util::fmt(cells[r * kTasks + task].value, 3));
     row.push_back(rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[r], 2), 3));
-    row.push_back(rlb::util::fmt(cells[r * kTasks + kTasks - 1], 3));
+    row.push_back(rlb::util::fmt(cells[r * kTasks + kTasks - 1].value, 3));
+    if (adaptive) {
+      auto report = rlb::sim::AdaptiveReport::row_identity();
+      for (std::size_t task = 0; task + 1 < kTasks; ++task)
+        report.combine(cells[r * kTasks + task].report);
+      row.push_back(rlb::util::fmt(report.half_width, 5));
+      row.push_back(std::to_string(report.jobs_used));
+      row.push_back(report.converged ? "1" : "0");
+    }
     table.add_row(std::move(row));
   }
+  if (adaptive)
+    out.note(
+        "Adaptive mode: half_width is the worst pooled CI half-width over "
+        "the six\nsimulated policies (at --confidence), jobs_used their "
+        "total budget, converged = 1\nonly when every policy met "
+        "--target-ci before --max-jobs (docs/PRECISION.md).");
   out.postamble =
       "Expected shape: sq(1) explodes at high rho; sq(2) removes most of "
       "that pain\n(exponential improvement); extra choices give diminishing "

@@ -35,17 +35,25 @@ ScenarioOutput run(ScenarioContext& ctx) {
   // Two independent cells: the analytic tail and the simulation.
   const auto lower_tail = rlb::sqd::marginal_queue_tail(
       BoundModel(p, t, BoundKind::Lower), kmax);
-  const auto sims = ctx.map<std::vector<double>>(1, [&](std::size_t i) {
-    rlb::sim::FastSqdConfig cfg;
-    cfg.params = p;
-    cfg.jobs = jobs;
-    cfg.warmup = jobs / 10;
-    cfg.tail_kmax = kmax;
-    cfg.seed = rlb::engine::cell_seed(seed, i);
-    // A single simulation cell: --replicas is the only parallelism here.
-    cfg.replicas = ctx.replicas();
-    return rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).marginal_tail;
-  });
+  const bool adaptive = ctx.adaptive().enabled();
+  const auto sims =
+      ctx.map<rlb::sim::FastSqdResult>(1, [&](std::size_t i) {
+        rlb::sim::FastSqdConfig cfg;
+        cfg.params = p;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        cfg.tail_kmax = kmax;
+        cfg.seed = rlb::engine::cell_seed(seed, i);
+        // A single simulation cell: --replicas is the only parallelism
+        // here.
+        cfg.replicas = ctx.replicas();
+        if (adaptive)
+          // Target statistic: the mean delay; the tail histogram rides
+          // along on the budget the mean needed.
+          return rlb::sim::simulate_sqd_fast_adaptive(
+              cfg, ctx.adaptive_plan(cfg.seed, jobs), ctx.budget());
+        return rlb::sim::simulate_sqd_fast(cfg, ctx.budget());
+      });
 
   ScenarioOutput out;
   out.preamble = "Tail probabilities P(queue >= i), SQ(" +
@@ -56,10 +64,23 @@ ScenarioOutput run(ScenarioContext& ctx) {
                "lower bound (T=" + std::to_string(t) + ")",
                "asymptotic s_i"});
   for (int i = 0; i <= kmax; ++i) {
-    table.add_row({std::to_string(i), rlb::util::fmt(sims[0][i], 6),
+    table.add_row({std::to_string(i),
+                   rlb::util::fmt(sims[0].marginal_tail[i], 6),
                    rlb::util::fmt(lower_tail.tail[i], 6),
                    rlb::util::fmt(rlb::sqd::asymptotic_queue_tail(rho, d, i),
                                   6)});
+  }
+  if (adaptive) {
+    const auto& rep = sims[0].adaptive;
+    auto& report = out.add_table(
+        "adaptive", {"half_width", "jobs_used", "converged", "rounds"});
+    report.add_row({rlb::util::fmt(rep.half_width, 5),
+                    std::to_string(rep.jobs_used),
+                    rep.converged ? "1" : "0",
+                    std::to_string(rep.rounds)});
+    out.note(
+        "Adaptive (--target-ci) stopping report; the target statistic is "
+        "the mean\ndelay of the jump chain (docs/PRECISION.md).");
   }
   out.postamble =
       "Expected shape: the asymptotic s_i decays doubly exponentially, but "

@@ -9,6 +9,7 @@
 // skew 1:1 row reproduces the homogeneous model, cross-checked against
 // the matrix-geometric solver in the note. Each (skew, simulator) run is
 // one sweep cell; rows share seeds (common random numbers).
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -59,42 +60,63 @@ ScenarioOutput run(ScenarioContext& ctx) {
     return speeds;
   };
 
-  const auto cells = ctx.map<double>(
+  struct Cell {
+    double delay = 0.0;
+    rlb::sim::AdaptiveReport report;
+  };
+  const bool adaptive = ctx.adaptive().enabled();
+  const auto cells = ctx.map<Cell>(
       skews.size() * kSims, [&](std::size_t i) {
         const std::size_t s = i / kSims;
         const std::vector<double> speeds = rank_speeds(skews[s]);
         // One seed per skew row (common random numbers across simulators).
         const std::uint64_t cell = rlb::engine::cell_seed(seed, s);
+        // Little's-law scaling (below) maps a waiting-jobs half-width to
+        // a delay half-width, so the CTMC/GI targets are requested in
+        // delay units too: target scales by lambda * N.
+        const auto bound_plan = [&](std::uint64_t budget_jobs) {
+          auto plan = ctx.adaptive_plan(cell, budget_jobs);
+          plan.target_ci *= p.lambda * p.N;
+          return plan;
+        };
+        const std::size_t sim = i % kSims;
         double waiting_jobs = 0.0;
-        switch (i % kSims) {
-          case 0:
-            waiting_jobs =
-                rlb::sim::simulate_bound_model(
-                    BoundModel(p, t, BoundKind::Lower), steps, steps / 10,
-                    cell, ctx.replicas(), ctx.budget(), speeds)
-                    .mean_waiting_jobs;
-            break;
-          case 1: {
-            const auto arr = rlb::sim::make_exponential(rho * n);
+        rlb::sim::AdaptiveReport report;
+        if (sim == 1) {
+          const auto arr = rlb::sim::make_exponential(rho * n);
+          if (adaptive) {
+            const auto res = rlb::sim::simulate_gi_lower_bound_adaptive(
+                BoundModel(p, t, BoundKind::Lower), *arr,
+                bound_plan(arrivals), ctx.budget(), speeds);
+            waiting_jobs = res.mean_waiting_jobs;
+            report = res.adaptive;
+          } else {
             waiting_jobs =
                 rlb::sim::simulate_gi_lower_bound(
                     BoundModel(p, t, BoundKind::Lower), *arr, arrivals,
                     arrivals / 10, cell, ctx.replicas(), ctx.budget(),
                     speeds)
                     .mean_waiting_jobs;
-            break;
           }
-          default:
-            waiting_jobs =
-                rlb::sim::simulate_bound_model(
-                    BoundModel(p, t, BoundKind::Upper), steps, steps / 10,
-                    cell, ctx.replicas(), ctx.budget(), speeds)
-                    .mean_waiting_jobs;
-            break;
+        } else {
+          const BoundModel model(
+              p, t, sim == 0 ? BoundKind::Lower : BoundKind::Upper);
+          if (adaptive) {
+            const auto res = rlb::sim::simulate_bound_model_adaptive(
+                model, bound_plan(steps), ctx.budget(), speeds);
+            waiting_jobs = res.mean_waiting_jobs;
+            report = res.adaptive;
+          } else {
+            waiting_jobs = rlb::sim::simulate_bound_model(
+                               model, steps, steps / 10, cell,
+                               ctx.replicas(), ctx.budget(), speeds)
+                               .mean_waiting_jobs;
+          }
         }
         // Solver convention: delay = E[W] + 1/mu, Little's law over the
         // original arrival rate lambda*N.
-        return waiting_jobs / (p.lambda * p.N) + 1.0 / p.mu;
+        report.half_width /= p.lambda * p.N;
+        return Cell{waiting_jobs / (p.lambda * p.N) + 1.0 / p.mu, report};
       });
 
   ScenarioOutput out;
@@ -104,16 +126,32 @@ ScenarioOutput run(ScenarioContext& ctx) {
       ", rho = " + rlb::util::fmt(rho, 2) +
       ".\nRank speeds: fast half serves the longest queues, slow half the "
       "shortest;\ntotal capacity is constant across skews.";
-  auto& table = out.add_table(
-      "main", {"skew (fast:slow)", "lower delay", "lower delay (GI sim)",
-               "upper delay"});
+  std::vector<std::string> header{"skew (fast:slow)", "lower delay",
+                                  "lower delay (GI sim)", "upper delay"};
+  if (adaptive)
+    header.insert(header.end(), {"half_width", "jobs_used", "converged"});
+  auto& table = out.add_table("main", header);
   for (std::size_t s = 0; s < skews.size(); ++s) {
     std::vector<std::string> row{rlb::util::fmt(skews[s], 2) + ":" +
                                  rlb::util::fmt(2.0 - skews[s], 2)};
     for (std::size_t k = 0; k < kSims; ++k)
-      row.push_back(rlb::util::fmt(cells[s * kSims + k], 4));
+      row.push_back(rlb::util::fmt(cells[s * kSims + k].delay, 4));
+    if (adaptive) {
+      auto report = rlb::sim::AdaptiveReport::row_identity();
+      for (std::size_t k = 0; k < kSims; ++k)
+        report.combine(cells[s * kSims + k].report);
+      row.push_back(rlb::util::fmt(report.half_width, 5));
+      row.push_back(std::to_string(report.jobs_used));
+      row.push_back(report.converged ? "1" : "0");
+    }
     table.add_row(std::move(row));
   }
+  if (adaptive)
+    out.note(
+        "Adaptive mode: half_width is the worst delay-unit CI half-width "
+        "over the\nthree simulators (waiting-jobs CIs scaled by Little's "
+        "law), jobs_used the total\nsteps+arrivals spent, converged = 1 "
+        "when all three met --target-ci\n(docs/PRECISION.md).");
   std::string homog_note;
   try {
     const auto lower =

@@ -5,6 +5,7 @@
 // down the rows and one column per policy, comparable to the fig10 delay
 // curves. Each (rho, policy) simulation is one sweep cell; policy columns
 // share the rho row's random streams (common random numbers).
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,7 +51,9 @@ ScenarioOutput run(ScenarioContext& ctx) {
   struct CellResult {
     double mean = 0.0;
     double p99 = 0.0;
+    rlb::sim::AdaptiveReport report;
   };
+  const bool adaptive = ctx.adaptive().enabled();
   const auto cells = ctx.map<CellResult>(
       rhos.size() * kPolicies, [&](std::size_t i) {
         const std::size_t r = i / kPolicies;
@@ -65,9 +68,16 @@ ScenarioOutput run(ScenarioContext& ctx) {
         const auto arr = make_exponential(rhos[r] * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(i % kPolicies);
+        if (adaptive) {
+          const auto res = simulate_cluster_adaptive(
+              cfg, *policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
+              ctx.budget());
+          return CellResult{res.mean_sojourn, res.p99_sojourn,
+                            res.adaptive};
+        }
         const auto res =
             simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-        return CellResult{res.mean_sojourn, res.p99_sojourn};
+        return CellResult{res.mean_sojourn, res.p99_sojourn, {}};
       });
 
   ScenarioOutput out;
@@ -96,6 +106,26 @@ ScenarioOutput run(ScenarioContext& ctx) {
     tail.add_row(std::move(row));
   }
   out.note("99th percentile sojourn time per policy.");
+  if (adaptive) {
+    // The stopping report per (rho, policy) cell: the target statistic
+    // is the mean sojourn time; p99 rides along on whatever budget the
+    // mean needed.
+    auto& report = out.add_table(
+        "adaptive", {"rho", "half_width", "jobs_used", "converged"});
+    for (std::size_t r = 0; r < rhos.size(); ++r) {
+      auto row = rlb::sim::AdaptiveReport::row_identity();
+      for (std::size_t t = 0; t < kPolicies; ++t)
+        row.combine(cells[r * kPolicies + t].report);
+      report.add_row({rlb::util::fmt(rhos[r], 2),
+                      rlb::util::fmt(row.half_width, 5),
+                      std::to_string(row.jobs_used),
+                      row.converged ? "1" : "0"});
+    }
+    out.note(
+        "Adaptive (--target-ci) stopping per rho row: worst pooled "
+        "half-width across\npolicies, total jobs spent, converged = 1 when "
+        "every policy met the target\n(docs/PRECISION.md).");
+  }
   out.postamble =
       "Reading: JIQ tracks JSQ while idle servers exist and falls back to "
       "random beyond\nrho ~ 0.9; JBT needs one bit per poll and sits "

@@ -1,6 +1,61 @@
 #include "engine/scenario.h"
 
+#include <algorithm>
+
 namespace rlb::engine {
+
+AdaptiveSpec AdaptiveSpec::parse(const util::Cli& cli) {
+  // Job counts go through int64; reject negatives here instead of
+  // letting the uint64 cast wrap them into near-infinite budgets.
+  const auto job_count = [&cli](const std::string& name) {
+    const std::int64_t value = cli.get_int(name, 0);
+    if (value < 0)
+      throw std::invalid_argument("--" + name + " must be >= 0");
+    return static_cast<std::uint64_t>(value);
+  };
+  AdaptiveSpec spec;
+  spec.target_ci = cli.get_double("target-ci", 0.0);
+  spec.confidence = cli.get_double("confidence", 0.95);
+  spec.initial_jobs = job_count("initial-jobs");
+  spec.max_jobs = job_count("max-jobs");
+  spec.growth_factor = cli.get_double("growth-factor", 2.0);
+  const std::string policy = cli.get("warmup-policy", "fixed");
+  if (policy == "fixed")
+    spec.warmup_policy = sim::WarmupPolicy::kFixed;
+  else if (policy == "fraction")
+    spec.warmup_policy = sim::WarmupPolicy::kFraction;
+  else
+    throw std::invalid_argument(
+        "--warmup-policy must be 'fixed' or 'fraction'");
+  spec.warmup_jobs_set = cli.has("warmup-jobs");
+  spec.warmup_jobs = job_count("warmup-jobs");
+  spec.warmup_fraction = cli.get_double("warmup-fraction", 0.1);
+  if (spec.target_ci < 0.0)
+    throw std::invalid_argument("--target-ci must be positive");
+  return spec;
+}
+
+sim::AdaptivePlan ScenarioContext::adaptive_plan(
+    std::uint64_t base_seed, std::uint64_t fixed_jobs) const {
+  const auto replicas = static_cast<std::uint64_t>(replicas_);
+  sim::AdaptivePlan plan;
+  plan.replicas = replicas_;
+  plan.base_seed = base_seed;
+  plan.target_ci = adaptive_.target_ci;
+  plan.confidence = adaptive_.confidence;
+  plan.growth_factor = adaptive_.growth_factor;
+  plan.warmup_policy = adaptive_.warmup_policy;
+  plan.warmup_fraction = adaptive_.warmup_fraction;
+  plan.initial_jobs = adaptive_.initial_jobs != 0
+                          ? adaptive_.initial_jobs
+                          : std::max(fixed_jobs / 8, replicas * 30);
+  plan.max_jobs = adaptive_.max_jobs != 0 ? adaptive_.max_jobs
+                                          : 32 * plan.initial_jobs;
+  plan.warmup_jobs = adaptive_.warmup_jobs_set
+                         ? adaptive_.warmup_jobs
+                         : plan.initial_jobs / (10 * replicas);
+  return plan;
+}
 
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry;
@@ -63,6 +118,54 @@ std::string md_escape(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+/// The global flags rlb_run understands for every scenario, rendered
+/// into the catalog's "Common flags" section (the same CI freshness
+/// guard that covers the per-scenario tables covers this list).
+struct CommonFlag {
+  const char* name;
+  const char* default_value;
+  const char* description;
+};
+
+constexpr CommonFlag kCommonFlags[] = {
+    {"threads", "hardware concurrency",
+     "worker threads; never changes output, only wall-clock time"},
+    {"replicas", "1",
+     "independent replica chains per simulation cell (sim/replica.h); "
+     "changes output deterministically, 1 reproduces legacy streams"},
+    {"csv", "(off)", "write the result tables as CSV"},
+    {"json", "(off)", "write the result tables as JSON"},
+    {"baseline", "(off)",
+     "diff the run against a committed --json reference; drift exits 3"},
+    {"rtol", "1e-9",
+     "baseline relative tolerance (plain number or col=tol list)"},
+    {"atol", "0", "baseline absolute tolerance"},
+    {"baseline-ignore", "(none)",
+     "comma-separated baseline columns to skip (e.g. timings, jobs_used)"},
+    {"target-ci", "(off)",
+     "adaptive precision target: grow the budget in rounds until the "
+     "pooled CI half-width of the cell's target statistic falls below "
+     "this (docs/PRECISION.md); scenarios not wired for it ignore it"},
+    {"confidence", "0.95",
+     "CI level for --target-ci stopping (t-table levels: 0.90/0.95/0.99)"},
+    {"initial-jobs", "fixed budget / 8, min 30 x replicas",
+     "round-0 total jobs per cell in adaptive mode"},
+    {"max-jobs", "32 x initial",
+     "adaptive budget cap per cell; hitting it reports converged=0"},
+    {"growth-factor", "2", "round-over-round budget growth in adaptive mode"},
+    {"warmup-policy", "fixed",
+     "adaptive warmup: 'fixed' absolute per-replica discard, 'fraction' "
+     "proportional"},
+    {"warmup-jobs", "initial / (10 * replicas)",
+     "per-replica warmup under --warmup-policy=fixed"},
+    {"warmup-fraction", "0.1",
+     "per-replica warmup share under --warmup-policy=fraction"},
+};
+
+}  // namespace
+
 std::string markdown_catalog(const std::vector<const Scenario*>& scenarios) {
   std::string out =
       "# Scenario catalog\n"
@@ -79,9 +182,23 @@ std::string markdown_catalog(const std::vector<const Scenario*>& scenarios) {
       "\n"
       "```sh\n"
       "./build/rlb_run --scenario=<name> [--threads=N] [--replicas=R]\n"
+      "    [--target-ci=EPS [--confidence=P] [--max-jobs=N]]\n"
       "    [--csv=out.csv] [--json=out.json] [--baseline=ref.json] "
       "[scenario flags]\n"
-      "```\n";
+      "```\n"
+      "\n"
+      "## Common flags\n"
+      "\n"
+      "Global flags, understood in front of every scenario's own "
+      "parameters.\nThe `--target-ci` family is the adaptive "
+      "precision-targeted run length;\nits statistics contract lives in "
+      "[PRECISION.md](PRECISION.md).\n"
+      "\n"
+      "| flag | default | description |\n"
+      "| --- | --- | --- |\n";
+  for (const CommonFlag& f : kCommonFlags)
+    out += std::string("| `--") + f.name + "` | `" + f.default_value +
+           "` | " + f.description + " |\n";
   for (const Scenario* s : scenarios) {
     out += "\n## `" + s->name + "`\n\n" + md_escape(s->description) + "\n";
     if (s->params.empty()) {

@@ -37,6 +37,7 @@
 
 #include "engine/sink.h"
 #include "engine/sweep.h"
+#include "sim/replica.h"
 #include "util/cli.h"
 
 namespace rlb::engine {
@@ -49,16 +50,45 @@ struct ParamSpec {
   std::string default_value;
 };
 
+/// The precision-targeted run-length request parsed from the global
+/// `--target-ci` flag family (docs/PRECISION.md). `target_ci == 0` —
+/// the default — means adaptive mode is off and scenarios run their
+/// fixed budgets. Zero-valued job fields mean "derive from the
+/// scenario's fixed budget" (see ScenarioContext::adaptive_plan).
+struct AdaptiveSpec {
+  double target_ci = 0.0;
+  double confidence = 0.95;
+  std::uint64_t initial_jobs = 0;
+  std::uint64_t max_jobs = 0;
+  double growth_factor = 2.0;
+  sim::WarmupPolicy warmup_policy = sim::WarmupPolicy::kFixed;
+  std::uint64_t warmup_jobs = 0;
+  /// Whether --warmup-jobs appeared on the command line: an explicit 0
+  /// (a legitimate "no warmup" request) must not fall back to the
+  /// derived default the way an absent flag does.
+  bool warmup_jobs_set = false;
+  double warmup_fraction = 0.1;
+
+  [[nodiscard]] bool enabled() const { return target_ci > 0.0; }
+
+  /// Parse the --target-ci family from `cli` (also marking the flags as
+  /// known, so util::Cli::finish() accepts them). Throws
+  /// std::invalid_argument on malformed values.
+  static AdaptiveSpec parse(const util::Cli& cli);
+};
+
 /// Handed to the scenario's run function: its CLI parameters, the
-/// requested replica count, and the run's shared thread budget, from
-/// which both the cell-level map() and any within-cell replica
-/// parallelism (sim/replica.h) draw their workers.
+/// requested replica count, the adaptive-precision request, and the
+/// run's shared thread budget, from which both the cell-level map() and
+/// any within-cell replica parallelism (sim/replica.h) draw their
+/// workers.
 class ScenarioContext {
  public:
   ScenarioContext(const util::Cli& cli, int threads, int replicas = 1)
       : cli_(cli),
         threads_(resolve_threads(threads)),
         replicas_(replicas),
+        adaptive_(AdaptiveSpec::parse(cli)),
         budget_(threads_) {}  // threads_ resolved first (declaration order)
 
   [[nodiscard]] const util::Cli& cli() const { return cli_; }
@@ -69,6 +99,26 @@ class ScenarioContext {
   /// replicas merge R decorrelated streams) but never varies with the
   /// thread count, preserving the determinism contract.
   [[nodiscard]] int replicas() const { return replicas_; }
+
+  /// The precision-targeted run-length request (--target-ci family).
+  /// Scenarios that support adaptive mode branch on
+  /// adaptive().enabled() and report half_width / jobs_used / converged
+  /// columns; scenarios that do not simply ignore it (documented in the
+  /// catalog's Common flags section).
+  [[nodiscard]] const AdaptiveSpec& adaptive() const { return adaptive_; }
+
+  /// Build the sim::AdaptivePlan for one adaptive cell: `base_seed` is
+  /// the cell's seed, `fixed_jobs` the budget the scenario would burn in
+  /// fixed mode. Explicit --initial-jobs/--max-jobs/--warmup-jobs win;
+  /// the derived defaults are initial = max(fixed_jobs / 8,
+  /// 30 * replicas) (round 0 is an eighth of the fixed budget, floored
+  /// so every replica gets a measurable shard), max = 32 * initial
+  /// (adaptive may spend up to 4x the fixed budget before giving up),
+  /// and per-replica warmup = initial / (10 * replicas) (round 0
+  /// discards the usual 10%; under the default kFixed policy later
+  /// rounds keep that ABSOLUTE warmup).
+  [[nodiscard]] sim::AdaptivePlan adaptive_plan(
+      std::uint64_t base_seed, std::uint64_t fixed_jobs) const;
 
   /// The run-wide worker budget; hand it to the simulators so replica
   /// parallelism shares the pool with cell parallelism.
@@ -85,6 +135,7 @@ class ScenarioContext {
   const util::Cli& cli_;
   int threads_;
   int replicas_;
+  AdaptiveSpec adaptive_;
   // Worker-slot accounting mutates under const map(); the budget is
   // internally synchronized.
   mutable util::ThreadBudget budget_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/replica.h"
 #include "sqd/bound_model.h"
 #include "util/thread_budget.h"
 
@@ -22,6 +23,13 @@ struct BoundSimResult {
   double mean_jobs = 0.0;
   double max_gap_seen = 0.0;  ///< should never exceed T
   std::uint64_t steps = 0;
+
+  /// Pooled 95% CI half-width on the waiting-jobs time average
+  /// (holding-time-weighted batch means, df = total batches - 1).
+  double ci95_waiting_jobs = 0.0;
+
+  /// Filled by simulate_bound_model_adaptive only.
+  AdaptiveReport adaptive;
 };
 
 /// Single replica on the calling thread (legacy entry point).
@@ -42,5 +50,16 @@ BoundSimResult simulate_bound_model(const sqd::BoundModel& model,
                                     util::ThreadBudget& budget,
                                     const std::vector<double>& rank_speeds =
                                         {});
+
+/// Sequential-stopping run (docs/PRECISION.md): rounds of plan.replicas
+/// jump chains grow the step budget until the pooled CI half-width of
+/// the MEAN WAITING JOBS time average (holding-time-weighted batch
+/// means) at plan.confidence drops to plan.target_ci or plan.max_jobs
+/// caps out (a "job" of the plan is one chain step here). Bit-identical
+/// for every budget.
+BoundSimResult simulate_bound_model_adaptive(
+    const sqd::BoundModel& model, const AdaptivePlan& plan,
+    util::ThreadBudget& budget,
+    const std::vector<double>& rank_speeds = {});
 
 }  // namespace rlb::sim

@@ -202,6 +202,50 @@ class Engine final : public ClusterState {
   int busy_servers_ = 0;
 };
 
+void validate_config(const ClusterConfig& cfg) {
+  RLB_REQUIRE(cfg.servers >= 1, "need at least one server");
+  RLB_REQUIRE(cfg.server_speeds.empty() ||
+                  cfg.server_speeds.size() ==
+                      static_cast<std::size_t>(cfg.servers),
+              "server_speeds must be empty or one entry per server");
+  for (double sp : cfg.server_speeds)
+    RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
+}
+
+/// One replica: fresh clones of the mutable policy / arrival state, so a
+/// single replica matches the legacy reset()-then-run.
+Accum run_one_replica(const ClusterConfig& cfg, Policy& policy,
+                      ArrivalProcess& arrivals, const Distribution& service,
+                      std::uint64_t jobs, std::uint64_t warmup,
+                      std::uint64_t batch, std::uint64_t seed) {
+  const auto replica_policy = policy.clone();
+  const auto replica_arrivals = arrivals.clone();
+  replica_policy->reset();
+  replica_arrivals->reset();
+  Engine engine(cfg, jobs, warmup, batch, seed, *replica_policy,
+                *replica_arrivals, service);
+  return engine.run();
+}
+
+ClusterResult assemble(const ClusterConfig& cfg, const Accum& acc) {
+  ClusterResult out;
+  out.mean_sojourn = acc.sojourn_stats.mean();
+  out.mean_wait = acc.wait_stats.mean();
+  out.ci95_sojourn = acc.sojourn_ci.half_width(0.95);
+  if (acc.sojourn_quantiles.count() > 0) {
+    out.p50_sojourn = acc.sojourn_quantiles.quantile(0.50);
+    out.p95_sojourn = acc.sojourn_quantiles.quantile(0.95);
+    out.p99_sojourn = acc.sojourn_quantiles.quantile(0.99);
+  }
+  out.jobs_measured = acc.sojourn_stats.count();
+  out.sim_time = acc.sim_time;
+  if (acc.window > 0.0) {
+    out.mean_jobs_in_system = acc.area_jobs / acc.window;
+    out.utilization = acc.busy_area / acc.window / cfg.servers;
+  }
+  return out;
+}
+
 }  // namespace
 
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
@@ -230,14 +274,7 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                ArrivalProcess& arrivals,
                                const Distribution& service,
                                util::ThreadBudget& budget) {
-  RLB_REQUIRE(cfg.servers >= 1, "need at least one server");
-  RLB_REQUIRE(cfg.server_speeds.empty() ||
-                  cfg.server_speeds.size() ==
-                      static_cast<std::size_t>(cfg.servers),
-              "server_speeds must be empty or one entry per server");
-  for (double sp : cfg.server_speeds)
-    RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
-
+  validate_config(cfg);
   const ReplicaPlan plan =
       ReplicaPlan::split(cfg.replicas, cfg.jobs, cfg.warmup, cfg.seed);
   const std::uint64_t batch = plan.batch_size(cfg.batch_size);
@@ -245,33 +282,52 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
   const Accum acc = run_replicas<Accum>(
       plan, budget,
       [&](int /*replica*/, std::uint64_t seed) {
-        // Each replica owns fresh copies of the mutable policy / arrival
-        // state; a single replica matches the legacy reset()-then-run.
-        const auto replica_policy = policy.clone();
-        const auto replica_arrivals = arrivals.clone();
-        replica_policy->reset();
-        replica_arrivals->reset();
-        Engine engine(cfg, plan.jobs_per_replica, plan.warmup, batch, seed,
-                      *replica_policy, *replica_arrivals, service);
-        return engine.run();
+        return run_one_replica(cfg, policy, arrivals, service,
+                               plan.jobs_per_replica, plan.warmup, batch,
+                               seed);
       },
       [](Accum& into, const Accum& from) { into.merge(from); });
 
-  ClusterResult out;
-  out.mean_sojourn = acc.sojourn_stats.mean();
-  out.mean_wait = acc.wait_stats.mean();
-  out.ci95_sojourn = acc.sojourn_ci.ci95_halfwidth();
-  if (acc.sojourn_quantiles.count() > 0) {
-    out.p50_sojourn = acc.sojourn_quantiles.quantile(0.50);
-    out.p95_sojourn = acc.sojourn_quantiles.quantile(0.95);
-    out.p99_sojourn = acc.sojourn_quantiles.quantile(0.99);
-  }
-  out.jobs_measured = acc.sojourn_stats.count();
-  out.sim_time = acc.sim_time;
-  if (acc.window > 0.0) {
-    out.mean_jobs_in_system = acc.area_jobs / acc.window;
-    out.utilization = acc.busy_area / acc.window / cfg.servers;
-  }
+  return assemble(cfg, acc);
+}
+
+ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
+                                        Policy& policy,
+                                        const Distribution& interarrival,
+                                        const Distribution& service,
+                                        const AdaptivePlan& plan,
+                                        util::ThreadBudget& budget) {
+  RenewalArrivals arrivals(interarrival);
+  return simulate_cluster_adaptive(cfg, policy, arrivals, service, plan,
+                                   budget);
+}
+
+ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
+                                        Policy& policy,
+                                        ArrivalProcess& arrivals,
+                                        const Distribution& service,
+                                        const AdaptivePlan& plan,
+                                        util::ThreadBudget& budget) {
+  validate_config(cfg);
+  plan.validate();
+  const std::uint64_t batch = plan.batch_size(cfg.batch_size);
+
+  AdaptiveReport report;
+  const Accum acc = run_replicas_adaptive<Accum>(
+      plan, budget,
+      [&](int /*global_replica*/, std::uint64_t seed, std::uint64_t jobs,
+          std::uint64_t warmup) {
+        return run_one_replica(cfg, policy, arrivals, service, jobs,
+                               warmup, batch, seed);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); },
+      [&](const Accum& merged) {
+        return merged.sojourn_ci.half_width_or_infinity(plan.confidence);
+      },
+      report);
+
+  ClusterResult out = assemble(cfg, acc);
+  out.adaptive = report;
   return out;
 }
 

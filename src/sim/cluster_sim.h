@@ -10,6 +10,7 @@
 #include "sim/arrival_process.h"
 #include "sim/distributions.h"
 #include "sim/policy.h"
+#include "sim/replica.h"
 #include "util/thread_budget.h"
 
 namespace rlb::sim {
@@ -47,6 +48,10 @@ struct ClusterResult {
   double p99_sojourn = 0.0;
   std::uint64_t jobs_measured = 0;
   double sim_time = 0.0;  ///< summed over replicas (total simulated time)
+
+  /// Filled by simulate_cluster_adaptive only; default-initialized on
+  /// the fixed-budget paths.
+  AdaptiveReport adaptive;
 };
 
 /// Renewal arrivals: i.i.d. interarrival draws from `interarrival`.
@@ -70,5 +75,26 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                ArrivalProcess& arrivals,
                                const Distribution& service,
                                util::ThreadBudget& budget);
+
+/// Sequential-stopping run (docs/PRECISION.md): rounds of plan.replicas
+/// replicas grow the budget until the pooled CI half-width of the MEAN
+/// SOJOURN TIME (the target statistic) at plan.confidence drops to
+/// plan.target_ci or plan.max_jobs caps out. The plan supersedes
+/// cfg.jobs / cfg.warmup / cfg.replicas / cfg.seed; every replica of
+/// every round clones the policy and arrival process, exactly like the
+/// fixed path. Result fields merge all rounds; result.adaptive reports
+/// the stopping outcome. Bit-identical for every budget.
+ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
+                                        Policy& policy,
+                                        const Distribution& interarrival,
+                                        const Distribution& service,
+                                        const AdaptivePlan& plan,
+                                        util::ThreadBudget& budget);
+ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
+                                        Policy& policy,
+                                        ArrivalProcess& arrivals,
+                                        const Distribution& service,
+                                        const AdaptivePlan& plan,
+                                        util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

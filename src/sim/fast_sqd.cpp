@@ -107,6 +107,27 @@ Accum run_one_replica(const FastSqdConfig& cfg, std::uint64_t jobs,
   return acc;
 }
 
+FastSqdResult assemble(const FastSqdConfig& cfg, const Accum& acc) {
+  FastSqdResult out;
+  out.mean_delay = acc.delay_stats.mean();
+  out.mean_wait = out.mean_delay - 1.0 / cfg.params.mu;
+  out.ci95_delay = acc.delay_ci.half_width(0.95);
+  out.mean_queue_seen = acc.queue_seen.mean();
+  out.jobs_measured = acc.delay_stats.count();
+  if (!acc.tail_hist.empty()) {
+    // Suffix sums of the histogram give the tail probabilities; the last
+    // bucket collects all probes longer than kmax.
+    out.marginal_tail.assign(cfg.tail_kmax + 1, 0.0);
+    const double total = static_cast<double>(acc.delay_stats.count());
+    double cum = static_cast<double>(acc.tail_hist[cfg.tail_kmax + 1]);
+    for (int k = cfg.tail_kmax; k >= 0; --k) {
+      cum += static_cast<double>(acc.tail_hist[k]);
+      out.marginal_tail[k] = cum / total;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg) {
@@ -128,23 +149,31 @@ FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg,
       },
       [](Accum& into, const Accum& from) { into.merge(from); });
 
-  FastSqdResult out;
-  out.mean_delay = acc.delay_stats.mean();
-  out.mean_wait = out.mean_delay - 1.0 / cfg.params.mu;
-  out.ci95_delay = acc.delay_ci.ci95_halfwidth();
-  out.mean_queue_seen = acc.queue_seen.mean();
-  out.jobs_measured = acc.delay_stats.count();
-  if (!acc.tail_hist.empty()) {
-    // Suffix sums of the histogram give the tail probabilities; the last
-    // bucket collects all probes longer than kmax.
-    out.marginal_tail.assign(cfg.tail_kmax + 1, 0.0);
-    const double total = static_cast<double>(acc.delay_stats.count());
-    double cum = static_cast<double>(acc.tail_hist[cfg.tail_kmax + 1]);
-    for (int k = cfg.tail_kmax; k >= 0; --k) {
-      cum += static_cast<double>(acc.tail_hist[k]);
-      out.marginal_tail[k] = cum / total;
-    }
-  }
+  return assemble(cfg, acc);
+}
+
+FastSqdResult simulate_sqd_fast_adaptive(const FastSqdConfig& cfg,
+                                         const AdaptivePlan& plan,
+                                         util::ThreadBudget& budget) {
+  cfg.params.validate();
+  plan.validate();
+  const std::uint64_t batch = plan.batch_size(cfg.batch_size);
+
+  AdaptiveReport report;
+  const Accum acc = run_replicas_adaptive<Accum>(
+      plan, budget,
+      [&](int /*global_replica*/, std::uint64_t seed, std::uint64_t jobs,
+          std::uint64_t warmup) {
+        return run_one_replica(cfg, jobs, warmup, batch, seed);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); },
+      [&](const Accum& merged) {
+        return merged.delay_ci.half_width_or_infinity(plan.confidence);
+      },
+      report);
+
+  FastSqdResult out = assemble(cfg, acc);
+  out.adaptive = report;
   return out;
 }
 

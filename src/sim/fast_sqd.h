@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/replica.h"
 #include "sqd/params.h"
 #include "util/thread_budget.h"
 
@@ -50,6 +51,10 @@ struct FastSqdResult {
   /// empty when tail_kmax == 0. Comparable with Mitzenmacher's s_k and
   /// with sqd::marginal_queue_tail.
   std::vector<double> marginal_tail;
+
+  /// Filled by simulate_sqd_fast_adaptive only; default-initialized
+  /// (converged = false, jobs_used = 0) on the fixed-budget paths.
+  AdaptiveReport adaptive;
 };
 
 /// Replicas run serially on the calling thread.
@@ -59,5 +64,18 @@ FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg);
 /// is bit-identical for every budget.
 FastSqdResult simulate_sqd_fast(const FastSqdConfig& cfg,
                                 util::ThreadBudget& budget);
+
+/// Sequential-stopping run (docs/PRECISION.md): rounds of plan.replicas
+/// replicas grow the budget until the pooled CI half-width of the MEAN
+/// DELAY (the target statistic) at plan.confidence drops to
+/// plan.target_ci or plan.max_jobs caps out. The plan supersedes
+/// cfg.jobs / cfg.warmup / cfg.replicas / cfg.seed; cfg supplies the
+/// system parameters, tail_kmax and the (round-0-derived) batch size.
+/// Result fields are the merged statistics over every round;
+/// result.adaptive reports the stopping outcome. Bit-identical for every
+/// budget.
+FastSqdResult simulate_sqd_fast_adaptive(const FastSqdConfig& cfg,
+                                         const AdaptivePlan& plan,
+                                         util::ThreadBudget& budget);
 
 }  // namespace rlb::sim

@@ -6,6 +6,7 @@
 
 #include "sim/replica.h"
 #include "sim/rng.h"
+#include "sim/stats.h"
 #include "statespace/state.h"
 #include "util/combinatorics.h"
 #include "util/require.h"
@@ -106,6 +107,7 @@ struct Accum {
   double jobs_area = 0.0;
   double measured_time = 0.0;
   std::uint64_t events = 0;
+  WeightedBatchMeans waiting_ci{1};  // dt-weighted over measured events
 
   void merge(const Accum& other) {
     if (occupancy.size() < other.occupancy.size())
@@ -116,13 +118,14 @@ struct Accum {
     jobs_area += other.jobs_area;
     measured_time += other.measured_time;
     events += other.events;
+    waiting_ci.merge(other.waiting_ci);
   }
 };
 
 Accum run_one_replica(const sqd::BoundModel& model,
                       const Distribution& interarrival,
                       std::uint64_t arrivals, std::uint64_t warmup,
-                      std::uint64_t seed,
+                      std::uint64_t batch, std::uint64_t seed,
                       const std::vector<double>& rank_speeds) {
   const sqd::Params& p = model.params();
   const int threshold = model.threshold();
@@ -141,6 +144,7 @@ Accum run_one_replica(const sqd::BoundModel& model,
 
   Accum acc;
   acc.occupancy.reserve(256);
+  acc.waiting_ci = WeightedBatchMeans(batch);
   bool measuring = false;
 
   double now = 0.0;
@@ -151,10 +155,12 @@ Accum run_one_replica(const sqd::BoundModel& model,
     if (!measuring || dt <= 0.0) return;
     const auto total = static_cast<std::size_t>(statespace::total_jobs(m));
     if (acc.occupancy.size() <= total) acc.occupancy.resize(total + 1, 0.0);
+    const double waiting = statespace::waiting_jobs(m);
     acc.occupancy[total] += dt;
-    acc.waiting_area += dt * statespace::waiting_jobs(m);
+    acc.waiting_area += dt * waiting;
     acc.jobs_area += dt * statespace::total_jobs(m);
     acc.measured_time += dt;
+    acc.waiting_ci.add(waiting, dt);
   };
 
   while (arrival_count < arrivals) {
@@ -183,25 +189,8 @@ Accum run_one_replica(const sqd::BoundModel& model,
   return acc;
 }
 
-}  // namespace
-
-GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
-                                         const Distribution& interarrival,
-                                         std::uint64_t arrivals,
-                                         std::uint64_t warmup,
-                                         std::uint64_t seed) {
-  return simulate_gi_lower_bound(model, interarrival, arrivals, warmup,
-                                 seed, 1, util::ThreadBudget::serial());
-}
-
-GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
-                                         const Distribution& interarrival,
-                                         std::uint64_t arrivals,
-                                         std::uint64_t warmup,
-                                         std::uint64_t seed, int replicas,
-                                         util::ThreadBudget& budget,
-                                         const std::vector<double>&
-                                             rank_speeds) {
+void validate_model(const sqd::BoundModel& model,
+                    const std::vector<double>& rank_speeds) {
   RLB_REQUIRE(model.kind() == sqd::BoundKind::Lower,
               "GI simulation implemented for the lower bound model");
   RLB_REQUIRE(rank_speeds.empty() ||
@@ -210,23 +199,16 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
               "rank_speeds must be empty or one entry per server");
   for (double sp : rank_speeds)
     RLB_REQUIRE(sp > 0.0, "rank speeds must be positive");
+}
+
+GiBoundSimResult assemble(const sqd::BoundModel& model, const Accum& acc) {
   const sqd::Params& p = model.params();
-  const ReplicaPlan plan =
-      ReplicaPlan::split(replicas, arrivals, warmup, seed);
-
-  const Accum acc = run_replicas<Accum>(
-      plan, budget,
-      [&](int /*replica*/, std::uint64_t replica_seed) {
-        return run_one_replica(model, interarrival, plan.jobs_per_replica,
-                               plan.warmup, replica_seed, rank_speeds);
-      },
-      [](Accum& into, const Accum& from) { into.merge(from); });
-
   GiBoundSimResult out;
   out.events = acc.events;
   RLB_REQUIRE(acc.measured_time > 0.0, "no measured time accumulated");
   out.mean_waiting_jobs = acc.waiting_area / acc.measured_time;
   out.mean_jobs = acc.jobs_area / acc.measured_time;
+  out.ci95_waiting_jobs = acc.waiting_ci.half_width(0.95);
   out.total_jobs_dist.resize(acc.occupancy.size());
   for (std::size_t k = 0; k < acc.occupancy.size(); ++k)
     out.total_jobs_dist[k] = acc.occupancy[k] / acc.measured_time;
@@ -251,6 +233,69 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
     den += level_mass[q];
   }
   out.level_tail_ratio = den > 0.0 ? num / den : 0.0;
+  return out;
+}
+
+}  // namespace
+
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed) {
+  return simulate_gi_lower_bound(model, interarrival, arrivals, warmup,
+                                 seed, 1, util::ThreadBudget::serial());
+}
+
+GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
+                                         const Distribution& interarrival,
+                                         std::uint64_t arrivals,
+                                         std::uint64_t warmup,
+                                         std::uint64_t seed, int replicas,
+                                         util::ThreadBudget& budget,
+                                         const std::vector<double>&
+                                             rank_speeds) {
+  validate_model(model, rank_speeds);
+  const ReplicaPlan plan =
+      ReplicaPlan::split(replicas, arrivals, warmup, seed);
+  const std::uint64_t batch = plan.batch_size(0);
+
+  const Accum acc = run_replicas<Accum>(
+      plan, budget,
+      [&](int /*replica*/, std::uint64_t replica_seed) {
+        return run_one_replica(model, interarrival, plan.jobs_per_replica,
+                               plan.warmup, batch, replica_seed,
+                               rank_speeds);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); });
+
+  return assemble(model, acc);
+}
+
+GiBoundSimResult simulate_gi_lower_bound_adaptive(
+    const sqd::BoundModel& model, const Distribution& interarrival,
+    const AdaptivePlan& plan, util::ThreadBudget& budget,
+    const std::vector<double>& rank_speeds) {
+  validate_model(model, rank_speeds);
+  plan.validate();
+  const std::uint64_t batch = plan.batch_size(0);
+
+  AdaptiveReport report;
+  const Accum acc = run_replicas_adaptive<Accum>(
+      plan, budget,
+      [&](int /*global_replica*/, std::uint64_t seed,
+          std::uint64_t arrivals, std::uint64_t warmup) {
+        return run_one_replica(model, interarrival, arrivals, warmup,
+                               batch, seed, rank_speeds);
+      },
+      [](Accum& into, const Accum& from) { into.merge(from); },
+      [&](const Accum& merged) {
+        return merged.waiting_ci.half_width_or_infinity(plan.confidence);
+      },
+      report);
+
+  GiBoundSimResult out = assemble(model, acc);
+  out.adaptive = report;
   return out;
 }
 

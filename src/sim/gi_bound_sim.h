@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/distributions.h"
+#include "sim/replica.h"
 #include "sqd/bound_model.h"
 #include "util/thread_budget.h"
 
@@ -30,6 +31,13 @@ struct GiBoundSimResult {
   /// sigma^N.
   double level_tail_ratio = 0.0;
   std::uint64_t events = 0;
+
+  /// Pooled 95% CI half-width on the waiting-jobs time average
+  /// (dt-weighted batch means over measured events).
+  double ci95_waiting_jobs = 0.0;
+
+  /// Filled by simulate_gi_lower_bound_adaptive only.
+  AdaptiveReport adaptive;
 };
 
 /// Simulate the lower bound model with i.i.d. `interarrival` times and
@@ -62,5 +70,16 @@ GiBoundSimResult simulate_gi_lower_bound(const sqd::BoundModel& model,
                                          util::ThreadBudget& budget,
                                          const std::vector<double>&
                                              rank_speeds = {});
+
+/// Sequential-stopping run (docs/PRECISION.md): rounds of plan.replicas
+/// event-driven runs grow the arrival budget until the pooled CI
+/// half-width of the MEAN WAITING JOBS time average (dt-weighted batch
+/// means) at plan.confidence drops to plan.target_ci or plan.max_jobs
+/// caps out (a "job" of the plan is one arrival event here).
+/// Bit-identical for every budget.
+GiBoundSimResult simulate_gi_lower_bound_adaptive(
+    const sqd::BoundModel& model, const Distribution& interarrival,
+    const AdaptivePlan& plan, util::ThreadBudget& budget,
+    const std::vector<double>& rank_speeds = {});
 
 }  // namespace rlb::sim

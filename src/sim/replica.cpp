@@ -1,7 +1,9 @@
 #include "sim/replica.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "sim/stats.h"
 #include "util/splitmix.h"
 
 namespace rlb::sim {
@@ -32,6 +34,53 @@ ReplicaPlan ReplicaPlan::split(int replicas, std::uint64_t total_jobs,
   RLB_REQUIRE(plan.warmup < plan.jobs_per_replica,
               "too many replicas: per-replica job budget is all warmup");
   return plan;
+}
+
+void AdaptivePlan::validate() const {
+  RLB_REQUIRE(replicas >= 1, "replica count must be positive");
+  RLB_REQUIRE(target_ci > 0.0, "target CI half-width must be positive");
+  // Fail on an unsupported confidence level here, before any round runs
+  // (t_quantile throws on levels outside its table).
+  (void)t_quantile(confidence, 10);
+  RLB_REQUIRE(initial_jobs >= static_cast<std::uint64_t>(replicas),
+              "initial round must hold at least one job per replica");
+  RLB_REQUIRE(max_jobs >= initial_jobs,
+              "max_jobs must cover at least the initial round");
+  RLB_REQUIRE(growth_factor >= 1.0, "growth factor must be >= 1");
+  RLB_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+              "warmup fraction must be in [0, 1)");
+  const std::uint64_t round0 =
+      initial_jobs / static_cast<std::uint64_t>(replicas);
+  RLB_REQUIRE(warmup_for(round0) < round0,
+              "per-replica warmup must be below the round-0 per-replica "
+              "job count");
+}
+
+std::uint64_t AdaptivePlan::round_jobs(int round) const {
+  // Double arithmetic saturates cleanly at max_jobs (growth^round can
+  // overflow any integer type long before the cap matters) and is a pure
+  // deterministic function of the plan.
+  const double want = static_cast<double>(initial_jobs) *
+                      std::pow(growth_factor, static_cast<double>(round));
+  if (want >= static_cast<double>(max_jobs)) return max_jobs;
+  return static_cast<std::uint64_t>(want);
+}
+
+std::uint64_t AdaptivePlan::warmup_for(std::uint64_t jobs_per_replica)
+    const {
+  if (warmup_policy == WarmupPolicy::kFixed) return warmup_jobs;
+  return static_cast<std::uint64_t>(
+      warmup_fraction * static_cast<double>(jobs_per_replica));
+}
+
+std::uint64_t AdaptivePlan::batch_size(std::uint64_t requested) const {
+  const std::uint64_t round0 =
+      initial_jobs / static_cast<std::uint64_t>(replicas);
+  const std::uint64_t measured = round0 - warmup_for(round0);
+  RLB_REQUIRE(requested <= measured,
+              "batch size exceeds the round-0 per-replica measured count");
+  if (requested > 0) return requested;
+  return std::max<std::uint64_t>(1, measured / 30);
 }
 
 std::uint64_t replica_seed(std::uint64_t base, int replica) {

@@ -17,6 +17,7 @@
 // released.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -72,6 +73,91 @@ struct ReplicaPlan {
 /// (legacy seeds, committed baselines and golden tests stay valid).
 std::uint64_t replica_seed(std::uint64_t base, int replica);
 
+/// How the per-replica warmup is chosen when the run length is not fixed
+/// up front (the adaptive path, and docs/PRECISION.md's contract):
+///
+/// - kFixed: every replica discards the same ABSOLUTE number of leading
+///   jobs, independent of how large its measurement budget is. This is
+///   the adaptive default — it keeps the transient discard honest when
+///   replica counts are extreme or rounds start small (the fractional
+///   split's bias noted in ReplicaPlan::split cannot occur).
+/// - kFraction: every replica discards a fixed FRACTION of its jobs, the
+///   behaviour of ReplicaPlan::split. Cheap for huge per-replica budgets,
+///   biased when the absolute transient shrinks below the mixing time.
+enum class WarmupPolicy { kFixed, kFraction };
+
+/// Sequential-stopping ("run until the answer is ±ε") configuration for
+/// run_replicas_adaptive. The run proceeds in ROUNDS: round r launches
+/// `replicas` fresh replicas with a per-replica budget of
+/// round_jobs(r) / replicas jobs; after the round's replicas merge (in
+/// global replica-index order), the pooled CI half-width of the target
+/// statistic is compared against `target_ci`. The schedule — round sizes,
+/// warmups, seeds — is a pure function of this struct, never of timing or
+/// the thread count, so adaptive output is bit-identical across
+/// --threads (rounds are barriers; within a round replicas seed and
+/// merge in index order exactly like run_replicas).
+struct AdaptivePlan {
+  int replicas = 1;             ///< replicas launched per round
+  double target_ci = 0.0;       ///< stop when half-width <= this (> 0)
+  double confidence = 0.95;     ///< CI level (a t_quantile table level)
+  std::uint64_t initial_jobs = 0;  ///< round-0 total jobs across replicas
+  double growth_factor = 2.0;   ///< round r total = initial * growth^r
+  std::uint64_t max_jobs = 0;   ///< cumulative cap (includes warmup)
+  WarmupPolicy warmup_policy = WarmupPolicy::kFixed;
+  std::uint64_t warmup_jobs = 0;    ///< kFixed: absolute, per replica
+  double warmup_fraction = 0.1;     ///< kFraction: of per-replica jobs
+  std::uint64_t base_seed = 1;
+
+  void validate() const;
+
+  /// Total job budget requested for round `round` (before the max_jobs
+  /// clamp): initial_jobs * growth_factor^round, saturating at max_jobs.
+  [[nodiscard]] std::uint64_t round_jobs(int round) const;
+
+  /// Per-replica warmup for a replica running `jobs_per_replica` jobs,
+  /// under this plan's warmup policy.
+  [[nodiscard]] std::uint64_t warmup_for(std::uint64_t jobs_per_replica)
+      const;
+
+  /// The batch-means batch size: `requested`, or the auto choice derived
+  /// from ROUND 0's per-replica measured count (mirroring
+  /// ReplicaPlan::batch_size). One size serves every round — BatchMeans
+  /// merging requires it — so later, larger rounds simply complete more
+  /// batches.
+  [[nodiscard]] std::uint64_t batch_size(std::uint64_t requested) const;
+};
+
+/// What the adaptive run did: exposed per cell as the half_width /
+/// jobs_used / converged scenario columns.
+struct AdaptiveReport {
+  bool converged = false;  ///< half-width met target before max_jobs
+  /// Achieved pooled half-width at the plan's confidence. +infinity in
+  /// the degenerate case where the run capped out before two batches
+  /// ever completed — no interval could be formed, and printing "inf"
+  /// is more honest than a fake 0.
+  double half_width = 0.0;
+  std::uint64_t jobs_used = 0;  ///< total jobs simulated, warmup included
+  int rounds = 0;               ///< rounds executed
+
+  /// Row-level aggregate for scenarios whose table row spans several
+  /// adaptive cells (one per policy / simulator): the WORST half-width,
+  /// the TOTAL budget, converged only when every cell converged, the
+  /// longest round count. Fold cell reports into a row_identity() seed.
+  void combine(const AdaptiveReport& cell) {
+    converged = converged && cell.converged;
+    half_width = std::max(half_width, cell.half_width);
+    jobs_used += cell.jobs_used;
+    rounds = std::max(rounds, cell.rounds);
+  }
+
+  /// The neutral element for combine() (converged must start true).
+  [[nodiscard]] static AdaptiveReport row_identity() {
+    AdaptiveReport identity;
+    identity.converged = true;
+    return identity;
+  }
+};
+
 /// Run plan.replicas independent replicas — run(replica_index, seed) must
 /// derive ALL its randomness from the passed seed — and fold them with
 /// merge(accumulator&, other const&) in replica-index order. Extra worker
@@ -95,6 +181,75 @@ Result run_replicas(const ReplicaPlan& plan, util::ThreadBudget& budget,
   Result merged = std::move(*results[0]);
   for (std::size_t i = 1; i < count; ++i) merge(merged, *results[i]);
   return merged;
+}
+
+/// Sequential-stopping replica runner. Rounds of plan.replicas fresh
+/// replicas run until half_width(merged) <= plan.target_ci or the
+/// cumulative job budget hits plan.max_jobs (then report.converged is
+/// false — the estimate is still the best available, just not at the
+/// requested precision).
+///
+/// - run(global_replica, seed, jobs, warmup) -> Result simulates one
+///   replica: `global_replica` numbers replicas consecutively ACROSS
+///   rounds (round r owns indices r*R .. r*R + R - 1), and `seed` is
+///   replica_seed(plan.base_seed, global_replica) — so the round
+///   schedule never reuses a stream, and a one-round adaptive run is
+///   bit-identical with the fixed-budget run_replicas of the same shape.
+/// - merge folds results in global-index order on the calling thread.
+/// - half_width(merged) -> double reports the pooled CI half-width of
+///   the designated target statistic at plan.confidence; return
+///   +infinity while the estimate is not yet CI-capable (< 2 completed
+///   batches) so the run keeps going.
+///
+/// Rounds are barriers: round r+1 starts only after round r merged, and
+/// the stopping decision depends only on merged statistics — output is
+/// bit-identical for every `budget`.
+template <typename Result, typename RunFn, typename MergeFn,
+          typename HalfWidthFn>
+Result run_replicas_adaptive(const AdaptivePlan& plan,
+                             util::ThreadBudget& budget, RunFn&& run,
+                             MergeFn&& merge, HalfWidthFn&& half_width,
+                             AdaptiveReport& report) {
+  plan.validate();
+  const auto count = static_cast<std::size_t>(plan.replicas);
+  const auto replicas64 = static_cast<std::uint64_t>(plan.replicas);
+  report = AdaptiveReport{};
+  std::optional<Result> merged;
+  for (int round = 0;; ++round) {
+    const std::uint64_t remaining = plan.max_jobs - report.jobs_used;
+    const std::uint64_t round_total =
+        std::min(plan.round_jobs(round), remaining);
+    const std::uint64_t jobs_per_replica = round_total / replicas64;
+    const std::uint64_t warmup = plan.warmup_for(jobs_per_replica);
+    // The clamped tail of the budget may be too thin to measure anything;
+    // plan.validate() guarantees round 0 never is.
+    if (jobs_per_replica == 0 || warmup >= jobs_per_replica) break;
+
+    std::vector<std::optional<Result>> results(count);
+    util::budgeted_for(count, budget, [&](std::size_t i) {
+      const int global = round * plan.replicas + static_cast<int>(i);
+      results[i] =
+          run(global, replica_seed(plan.base_seed, global),
+              jobs_per_replica, warmup);
+    });
+    for (auto& result : results) {
+      if (!merged)
+        merged = std::move(*result);
+      else
+        merge(*merged, *result);
+    }
+
+    report.rounds = round + 1;
+    report.jobs_used += jobs_per_replica * replicas64;
+    report.half_width = half_width(*merged);
+    if (report.half_width <= plan.target_ci) {
+      report.converged = true;
+      break;
+    }
+    if (report.jobs_used >= plan.max_jobs) break;
+  }
+  RLB_ASSERT(merged.has_value(), "adaptive run executed zero rounds");
+  return std::move(*merged);
 }
 
 }  // namespace rlb::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 
 #include "util/require.h"
 #include "util/splitmix.h"
@@ -70,11 +71,60 @@ std::uint64_t BatchMeans::completed_batches() const {
 
 double BatchMeans::mean() const { return batch_means_.mean(); }
 
-double BatchMeans::ci95_halfwidth() const {
+double BatchMeans::half_width(double confidence) const {
   const std::uint64_t b = batch_means_.count();
   if (b < 2) return 0.0;
-  return t_quantile_95(b - 1) * batch_means_.stddev() /
+  return t_quantile(confidence, b - 1) * batch_means_.stddev() /
          std::sqrt(static_cast<double>(b));
+}
+
+double BatchMeans::half_width_or_infinity(double confidence) const {
+  if (completed_batches() < 2)
+    return std::numeric_limits<double>::infinity();
+  return half_width(confidence);
+}
+
+WeightedBatchMeans::WeightedBatchMeans(std::uint64_t batch_size)
+    : batch_size_(batch_size) {
+  RLB_REQUIRE(batch_size >= 1, "batch size must be positive");
+}
+
+void WeightedBatchMeans::add(double x, double weight) {
+  batch_wsum_ += weight;
+  batch_wxsum_ += weight * x;
+  if (++in_batch_ == batch_size_) {
+    // Zero total weight cannot happen in the simulators (holding times
+    // are positive), but guard the division anyway.
+    batch_stats_.add(batch_wsum_ > 0.0 ? batch_wxsum_ / batch_wsum_ : 0.0);
+    in_batch_ = 0;
+    batch_wsum_ = 0.0;
+    batch_wxsum_ = 0.0;
+  }
+}
+
+void WeightedBatchMeans::merge(const WeightedBatchMeans& other) {
+  RLB_REQUIRE(batch_size_ == other.batch_size_,
+              "cannot merge WeightedBatchMeans with different batch sizes");
+  batch_stats_.merge(other.batch_stats_);
+}
+
+std::uint64_t WeightedBatchMeans::completed_batches() const {
+  return batch_stats_.count();
+}
+
+double WeightedBatchMeans::mean() const { return batch_stats_.mean(); }
+
+double WeightedBatchMeans::half_width(double confidence) const {
+  const std::uint64_t b = batch_stats_.count();
+  if (b < 2) return 0.0;
+  return t_quantile(confidence, b - 1) * batch_stats_.stddev() /
+         std::sqrt(static_cast<double>(b));
+}
+
+double WeightedBatchMeans::half_width_or_infinity(double confidence) const {
+  if (completed_batches() < 2)
+    return std::numeric_limits<double>::infinity();
+  return half_width(confidence);
 }
 
 ReservoirQuantiles::ReservoirQuantiles(std::size_t capacity,
@@ -160,17 +210,62 @@ double ReservoirQuantiles::quantile(double q) const {
   return scratch_[std::min(rank, scratch_.size() - 1)];
 }
 
-double t_quantile_95(std::uint64_t df) {
-  static constexpr std::array<double, 31> table = {
-      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
-      2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
-      2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
-      2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
-  if (df == 0) return table[1];
-  if (df < table.size()) return table[df];
-  if (df < 60) return 2.00;
-  if (df < 120) return 1.98;
-  return 1.96;
+namespace {
+
+/// One confidence level's clamped lookup: exact entries for df = 1..30,
+/// then the conventional 30 < df < 60 and 60 <= df < 120 bands, then the
+/// normal quantile.
+struct TQuantileTable {
+  std::array<double, 31> exact;  // index = df; [0] unused
+  double below_60;
+  double below_120;
+  double normal;
+
+  [[nodiscard]] double lookup(std::uint64_t df) const {
+    if (df == 0) return exact[1];
+    if (df < exact.size()) return exact[df];
+    if (df < 60) return below_60;
+    if (df < 120) return below_120;
+    return normal;
+  }
+};
+
+constexpr TQuantileTable kT90 = {
+    {0.0,   6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+     1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753,
+     1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714,
+     1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697},
+    1.68,
+    1.66,
+    1.645};
+
+constexpr TQuantileTable kT95 = {
+    {0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+     2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+     2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+     2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042},
+    2.00,
+    1.98,
+    1.96};
+
+constexpr TQuantileTable kT99 = {
+    {0.0,   63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+     3.355, 3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947,
+     2.921, 2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807,
+     2.797, 2.787,  2.779, 2.771, 2.763, 2.756, 2.750},
+    2.66,
+    2.62,
+    2.576};
+
+}  // namespace
+
+double t_quantile(double confidence, std::uint64_t df) {
+  if (confidence == 0.90) return kT90.lookup(df);
+  if (confidence == 0.95) return kT95.lookup(df);
+  if (confidence == 0.99) return kT99.lookup(df);
+  throw std::invalid_argument(
+      "unsupported confidence level (the t-quantile table covers 0.90, "
+      "0.95, 0.99)");
 }
 
 }  // namespace rlb::sim

@@ -55,9 +55,24 @@ class BatchMeans {
   [[nodiscard]] std::uint64_t completed_batches() const;
   [[nodiscard]] double mean() const;  ///< over completed batches
 
-  /// Half-width of the 95% confidence interval (Student t over the batch
-  /// means); 0 while fewer than two batches completed.
-  [[nodiscard]] double ci95_halfwidth() const;
+  /// Half-width of the two-sided confidence interval at `confidence`
+  /// (Student t over the batch means, df = completed batches - 1); 0
+  /// while fewer than two batches completed. `confidence` must be a
+  /// level the t-quantile table supports (see t_quantile).
+  [[nodiscard]] double half_width(double confidence) const;
+
+  /// half_width(confidence), except +infinity while fewer than two
+  /// batches completed — the spelling sequential-stopping rules must
+  /// use: the bare half_width's 0 would read as "infinitely tight" and
+  /// stop a run that has no interval yet.
+  [[nodiscard]] double half_width_or_infinity(double confidence) const;
+
+  /// Deprecated spelling of half_width(0.95): the implicit level made the
+  /// statistics contract ambiguous once --confidence became a knob.
+  [[deprecated("use half_width(confidence)")]] [[nodiscard]] double
+  ci95_halfwidth() const {
+    return half_width(0.95);
+  }
 
  private:
   std::uint64_t batch_size_;
@@ -66,9 +81,55 @@ class BatchMeans {
   StreamingMoments batch_means_;
 };
 
-/// Two-sided 95% Student-t quantile for `df` degrees of freedom (clamped
-/// lookup; converges to 1.96 for large df).
-double t_quantile_95(std::uint64_t df);
+/// Weighted batch means for time-average statistics: add(x, w) feeds an
+/// observation with weight w (e.g. a state value weighted by its holding
+/// time); every `batch_size` observations close one batch whose statistic
+/// is the weighted mean sum(w*x)/sum(w). Batch statistics are treated as
+/// approximately independent samples, exactly like BatchMeans, so the
+/// bound-model simulators get honest pooled CIs on their time averages.
+class WeightedBatchMeans {
+ public:
+  explicit WeightedBatchMeans(std::uint64_t batch_size);
+
+  void add(double x, double weight);
+
+  /// Fold another estimator's COMPLETED batches into this one; both must
+  /// use the same batch size. `other`'s trailing partial batch is
+  /// discarded (see BatchMeans::merge); pooled df = total completed
+  /// batches - 1.
+  void merge(const WeightedBatchMeans& other);
+
+  [[nodiscard]] std::uint64_t completed_batches() const;
+  [[nodiscard]] double mean() const;  ///< over completed batch statistics
+
+  /// Half-width of the two-sided CI at `confidence` over the batch
+  /// statistics; 0 while fewer than two batches completed.
+  [[nodiscard]] double half_width(double confidence) const;
+
+  /// As BatchMeans::half_width_or_infinity: +infinity below two batches,
+  /// for sequential-stopping rules.
+  [[nodiscard]] double half_width_or_infinity(double confidence) const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t in_batch_ = 0;
+  double batch_wsum_ = 0.0;
+  double batch_wxsum_ = 0.0;
+  StreamingMoments batch_stats_;
+};
+
+/// Two-sided Student-t quantile at `confidence` for `df` degrees of
+/// freedom (clamped table lookup, converging to the normal quantile for
+/// large df). Supported confidence levels: 0.90, 0.95, 0.99; anything
+/// else throws — the tables are the documented statistics contract
+/// (docs/PRECISION.md), not an approximation surface.
+double t_quantile(double confidence, std::uint64_t df);
+
+/// Deprecated spelling of t_quantile(0.95, df).
+[[deprecated("use t_quantile(confidence, df)")]] inline double t_quantile_95(
+    std::uint64_t df) {
+  return t_quantile(0.95, df);
+}
 
 /// Streaming quantile estimation by uniform reservoir sampling: holds a
 /// fixed-size uniform sample of the stream and answers arbitrary quantile

@@ -210,6 +210,80 @@ TEST(Sweep, ContextCarriesReplicaCountAndBudget) {
 }
 
 // ---------------------------------------------------------------------------
+// AdaptiveSpec / adaptive_plan (--target-ci family)
+// ---------------------------------------------------------------------------
+
+rlb::util::Cli make_cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  static std::vector<std::string> keep_alive;  // Cli stores string copies
+  keep_alive = std::move(args);
+  for (auto& a : keep_alive) argv.push_back(a.data());
+  return rlb::util::Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(AdaptiveSpec, DisabledByDefaultAndParsesTheFlagFamily) {
+  const auto off = make_cli({});
+  EXPECT_FALSE(rlb::engine::AdaptiveSpec::parse(off).enabled());
+
+  const auto on = make_cli({"--target-ci=0.01", "--confidence=0.99",
+                            "--initial-jobs=500", "--max-jobs=9000",
+                            "--growth-factor=3",
+                            "--warmup-policy=fraction",
+                            "--warmup-fraction=0.2"});
+  const auto spec = rlb::engine::AdaptiveSpec::parse(on);
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_DOUBLE_EQ(spec.target_ci, 0.01);
+  EXPECT_DOUBLE_EQ(spec.confidence, 0.99);
+  EXPECT_EQ(spec.initial_jobs, 500u);
+  EXPECT_EQ(spec.max_jobs, 9000u);
+  EXPECT_DOUBLE_EQ(spec.growth_factor, 3.0);
+  EXPECT_EQ(spec.warmup_policy, rlb::sim::WarmupPolicy::kFraction);
+  EXPECT_DOUBLE_EQ(spec.warmup_fraction, 0.2);
+}
+
+TEST(AdaptiveSpec, RejectsMalformedValues) {
+  // Negative counts must fail loudly instead of wrapping through the
+  // uint64 cast into near-infinite budgets.
+  for (const char* bad : {"--target-ci=-0.5", "--initial-jobs=-1",
+                          "--max-jobs=-1", "--warmup-jobs=-1",
+                          "--warmup-policy=banana"}) {
+    const auto cli = make_cli({bad});
+    EXPECT_THROW(rlb::engine::AdaptiveSpec::parse(cli),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(AdaptiveSpec, AdaptivePlanDerivesDocumentedDefaults) {
+  const auto cli = make_cli({"--target-ci=0.05"});
+  ScenarioContext ctx(cli, 1, 4);
+  const auto plan = ctx.adaptive_plan(123, 80'000);
+  EXPECT_EQ(plan.replicas, 4);
+  EXPECT_EQ(plan.base_seed, 123u);
+  EXPECT_DOUBLE_EQ(plan.target_ci, 0.05);
+  EXPECT_EQ(plan.initial_jobs, 10'000u);  // fixed budget / 8
+  EXPECT_EQ(plan.max_jobs, 320'000u);     // 32 x initial
+  EXPECT_EQ(plan.warmup_jobs, 250u);      // initial / (10 * replicas)
+  plan.validate();
+
+  // The documented floor: tiny fixed budgets with many replicas still
+  // give every replica a measurable round-0 shard.
+  ScenarioContext wide(cli, 1, 30);
+  const auto floored = wide.adaptive_plan(1, 1'000);
+  EXPECT_EQ(floored.initial_jobs, 900u);  // 30 jobs x 30 replicas
+  floored.validate();
+
+  // An explicit --warmup-jobs=0 is a real "no warmup" request, not the
+  // unset sentinel: it must survive instead of becoming the 10% default.
+  const auto zero_warmup = make_cli({"--target-ci=0.05",
+                                     "--warmup-jobs=0"});
+  ScenarioContext zero_ctx(zero_warmup, 1, 4);
+  EXPECT_EQ(zero_ctx.adaptive_plan(1, 80'000).warmup_jobs, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Sinks
 // ---------------------------------------------------------------------------
 

@@ -15,13 +15,18 @@
 
 namespace {
 
+using rlb::sim::AdaptivePlan;
+using rlb::sim::AdaptiveReport;
 using rlb::sim::BatchMeans;
 using rlb::sim::FastSqdConfig;
 using rlb::sim::ReplicaPlan;
 using rlb::sim::replica_seed;
 using rlb::sim::run_replicas;
+using rlb::sim::run_replicas_adaptive;
 using rlb::sim::simulate_sqd_fast;
+using rlb::sim::simulate_sqd_fast_adaptive;
 using rlb::sim::StreamingMoments;
+using rlb::sim::WarmupPolicy;
 using rlb::util::ThreadBudget;
 using rlb::sqd::Params;
 
@@ -240,6 +245,310 @@ TEST(ReplicaSim, ClusterReplicasDeterministicAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(serial.p99_sojourn, parallel.p99_sojourn);
   EXPECT_DOUBLE_EQ(serial.utilization, parallel.utilization);
   EXPECT_EQ(serial.jobs_measured, parallel.jobs_measured);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptivePlan and run_replicas_adaptive
+// ---------------------------------------------------------------------------
+
+AdaptivePlan small_adaptive_plan() {
+  AdaptivePlan plan;
+  plan.replicas = 2;
+  plan.target_ci = 0.5;
+  plan.initial_jobs = 100;
+  plan.growth_factor = 2.0;
+  plan.max_jobs = 1'000;
+  plan.warmup_jobs = 10;
+  plan.base_seed = 99;
+  return plan;
+}
+
+TEST(AdaptivePlan, GuardsDegenerateConfigs) {
+  const AdaptivePlan good = small_adaptive_plan();
+  good.validate();
+
+  AdaptivePlan plan = good;
+  plan.target_ci = 0.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.confidence = 0.8;  // not a t-table level
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.max_jobs = plan.initial_jobs - 1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.growth_factor = 0.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.warmup_jobs = plan.initial_jobs / plan.replicas;  // all warmup
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.warmup_policy = WarmupPolicy::kFraction;
+  plan.warmup_fraction = 1.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = good;
+  plan.replicas = 0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(AdaptivePlan, RoundBudgetsGrowGeometricallyAndSaturate) {
+  const AdaptivePlan plan = small_adaptive_plan();
+  EXPECT_EQ(plan.round_jobs(0), 100u);
+  EXPECT_EQ(plan.round_jobs(1), 200u);
+  EXPECT_EQ(plan.round_jobs(2), 400u);
+  EXPECT_EQ(plan.round_jobs(3), 800u);
+  EXPECT_EQ(plan.round_jobs(4), 1'000u);   // clamped to max_jobs
+  EXPECT_EQ(plan.round_jobs(200), 1'000u);  // no overflow at huge rounds
+}
+
+TEST(AdaptivePlan, WarmupPolicyFixedVsFraction) {
+  AdaptivePlan plan = small_adaptive_plan();
+  plan.warmup_jobs = 100;
+  // kFixed keeps the ABSOLUTE per-replica transient whatever the round
+  // or replica count; kFraction scales with the per-replica budget (and
+  // so shrinks when many replicas split a round).
+  EXPECT_EQ(plan.warmup_for(200), 100u);
+  EXPECT_EQ(plan.warmup_for(200'000), 100u);
+  plan.warmup_policy = WarmupPolicy::kFraction;
+  plan.warmup_fraction = 0.1;
+  EXPECT_EQ(plan.warmup_for(200), 20u);
+  EXPECT_EQ(plan.warmup_for(200'000), 20'000u);
+}
+
+/// Logging stub: records every (global index, seed, jobs, warmup) the
+/// runner hands out, in merge order.
+struct Rec {
+  int global;
+  std::uint64_t seed, jobs, warmup;
+};
+using Log = std::vector<Rec>;
+
+Log run_logged(const AdaptivePlan& plan, ThreadBudget& budget,
+               std::size_t converge_after_replicas, AdaptiveReport& report) {
+  return run_replicas_adaptive<Log>(
+      plan, budget,
+      [](int global, std::uint64_t seed, std::uint64_t jobs,
+         std::uint64_t warmup) {
+        return Log{{global, seed, jobs, warmup}};
+      },
+      [](Log& into, const Log& from) {
+        into.insert(into.end(), from.begin(), from.end());
+      },
+      [&](const Log& merged) {
+        return merged.size() >= converge_after_replicas ? 0.1 : 1.0;
+      },
+      report);
+}
+
+TEST(RunReplicasAdaptive, RoundScheduleIsGloballySeededAndInOrder) {
+  const AdaptivePlan plan = small_adaptive_plan();
+  AdaptiveReport report;
+  const Log log =
+      run_logged(plan, ThreadBudget::serial(), 6, report);  // 3 rounds
+
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.rounds, 3);
+  EXPECT_DOUBLE_EQ(report.half_width, 0.1);
+  // Rounds of 100, 200, 400 jobs across 2 replicas.
+  EXPECT_EQ(report.jobs_used, 700u);
+  ASSERT_EQ(log.size(), 6u);
+  const std::uint64_t expected_jobs[] = {50, 50, 100, 100, 200, 200};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(log[i].global, i);  // merge order == global replica order
+    EXPECT_EQ(log[i].seed, replica_seed(plan.base_seed, i));
+    EXPECT_EQ(log[i].jobs, expected_jobs[i]);
+    EXPECT_EQ(log[i].warmup, plan.warmup_jobs);
+  }
+}
+
+TEST(RunReplicasAdaptive, ScheduleIsInvariantUnderTheBudget) {
+  const AdaptivePlan plan = small_adaptive_plan();
+  AdaptiveReport serial_report;
+  const Log serial =
+      run_logged(plan, ThreadBudget::serial(), 6, serial_report);
+  for (int threads : {2, 4}) {
+    ThreadBudget budget(threads);
+    AdaptiveReport report;
+    const Log parallel = run_logged(plan, budget, 6, report);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].global, serial[i].global);
+      EXPECT_EQ(parallel[i].seed, serial[i].seed);
+      EXPECT_EQ(parallel[i].jobs, serial[i].jobs);
+    }
+    EXPECT_EQ(report.jobs_used, serial_report.jobs_used);
+    EXPECT_EQ(report.rounds, serial_report.rounds);
+  }
+}
+
+TEST(RunReplicasAdaptive, CapsAtMaxJobsAndReportsNotConverged) {
+  const AdaptivePlan plan = small_adaptive_plan();
+  AdaptiveReport report;
+  // Never converges: rounds of 100, 200, 400, then the 300-job remainder.
+  const Log log = run_logged(plan, ThreadBudget::serial(), 1'000'000,
+                             report);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.jobs_used, 1'000u);  // exactly the cap
+  EXPECT_EQ(report.rounds, 4);
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.back().jobs, 150u);  // clamped final round
+}
+
+TEST(RunReplicasAdaptive, StopsWhenTheClampedTailCannotClearWarmup) {
+  AdaptivePlan plan = small_adaptive_plan();
+  plan.max_jobs = 130;  // 30 jobs left after round 0: 15 per replica,
+  plan.warmup_jobs = 20;  // all of it warmup — unusable.
+  AdaptiveReport report;
+  const Log log =
+      run_logged(plan, ThreadBudget::serial(), 1'000'000, report);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.rounds, 1);
+  EXPECT_EQ(report.jobs_used, 100u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive simulators
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveSim, OneRoundRunMatchesFixedBudgetBitForBit) {
+  // A one-round adaptive run has the same replica shape, seeds, warmup
+  // and batch size as the fixed-budget path — the outputs must be
+  // bit-identical, which pins the "adaptive is a superset" contract.
+  const auto cfg = fast_cfg(4, 200'000);
+  const auto fixed = simulate_sqd_fast(cfg);
+
+  AdaptivePlan plan;
+  plan.replicas = 4;
+  plan.target_ci = 100.0;  // trivially met after round 0
+  plan.initial_jobs = cfg.jobs;
+  plan.max_jobs = 2 * cfg.jobs;
+  plan.warmup_jobs = cfg.warmup / 4;  // what ReplicaPlan::split would use
+  plan.base_seed = cfg.seed;
+  const auto adaptive =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+
+  EXPECT_TRUE(adaptive.adaptive.converged);
+  EXPECT_EQ(adaptive.adaptive.rounds, 1);
+  EXPECT_EQ(adaptive.adaptive.jobs_used, cfg.jobs);
+  EXPECT_DOUBLE_EQ(adaptive.mean_delay, fixed.mean_delay);
+  EXPECT_DOUBLE_EQ(adaptive.ci95_delay, fixed.ci95_delay);
+  EXPECT_EQ(adaptive.jobs_measured, fixed.jobs_measured);
+}
+
+TEST(AdaptiveSim, ConvergesUnderTargetOnAnEasyCell) {
+  auto cfg = fast_cfg(2);
+  AdaptivePlan plan;
+  plan.replicas = 2;
+  plan.target_ci = 0.05;  // easy at rho = 0.8, N = 4
+  plan.initial_jobs = 40'000;
+  plan.max_jobs = 32 * 40'000;
+  plan.warmup_jobs = 40'000 / (10 * 2);
+  plan.base_seed = cfg.seed;
+  const auto res =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  EXPECT_TRUE(res.adaptive.converged);
+  EXPECT_LE(res.adaptive.half_width, plan.target_ci);
+  EXPECT_GT(res.adaptive.half_width, 0.0);
+  EXPECT_LT(res.adaptive.jobs_used, plan.max_jobs);  // stopped early
+  EXPECT_GE(res.adaptive.rounds, 1);
+}
+
+TEST(AdaptiveSim, CapsAtMaxJobsOnAHardCell) {
+  auto cfg = fast_cfg(4);
+  AdaptivePlan plan;
+  plan.replicas = 4;
+  plan.target_ci = 1e-7;  // unreachable inside the cap
+  plan.initial_jobs = 20'000;
+  plan.max_jobs = 100'000;
+  plan.warmup_jobs = 20'000 / (10 * 4);
+  plan.base_seed = cfg.seed;
+  const auto res =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  EXPECT_FALSE(res.adaptive.converged);
+  EXPECT_GT(res.adaptive.half_width, plan.target_ci);
+  EXPECT_EQ(res.adaptive.jobs_used, plan.max_jobs);  // burned the cap
+}
+
+TEST(AdaptiveSim, FastSqdAdaptiveDeterministicAcrossThreadCounts) {
+  auto cfg = fast_cfg(4);
+  AdaptivePlan plan;
+  plan.replicas = 4;
+  plan.target_ci = 0.02;  // forces a few rounds
+  plan.initial_jobs = 40'000;
+  plan.max_jobs = 640'000;
+  plan.warmup_jobs = 1'000;
+  plan.base_seed = cfg.seed;
+  const auto serial =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  for (int threads : {2, 4}) {
+    ThreadBudget budget(threads);
+    const auto parallel = simulate_sqd_fast_adaptive(cfg, plan, budget);
+    EXPECT_DOUBLE_EQ(serial.mean_delay, parallel.mean_delay);
+    EXPECT_DOUBLE_EQ(serial.ci95_delay, parallel.ci95_delay);
+    EXPECT_DOUBLE_EQ(serial.adaptive.half_width,
+                     parallel.adaptive.half_width);
+    EXPECT_EQ(serial.adaptive.jobs_used, parallel.adaptive.jobs_used);
+    EXPECT_EQ(serial.adaptive.rounds, parallel.adaptive.rounds);
+    EXPECT_EQ(serial.adaptive.converged, parallel.adaptive.converged);
+    EXPECT_EQ(serial.jobs_measured, parallel.jobs_measured);
+  }
+}
+
+TEST(AdaptiveSim, WarmupPolicyControlsTheMeasuredShare) {
+  // 32 replicas splitting a 32k-job round: the fraction policy discards
+  // 10% of each replica (100 of 1000 jobs); the fixed policy keeps an
+  // absolute 400-job transient — at high replica counts the two differ
+  // by design, and the measured-job accounting shows it exactly.
+  auto cfg = fast_cfg(32);
+  AdaptivePlan plan;
+  plan.replicas = 32;
+  plan.target_ci = 100.0;  // one round
+  plan.initial_jobs = 32'000;
+  plan.max_jobs = 64'000;
+  plan.base_seed = cfg.seed;
+
+  plan.warmup_policy = WarmupPolicy::kFixed;
+  plan.warmup_jobs = 400;
+  const auto fixed =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  EXPECT_EQ(fixed.jobs_measured, 32u * (1'000 - 400));
+
+  plan.warmup_policy = WarmupPolicy::kFraction;
+  plan.warmup_fraction = 0.1;
+  const auto fraction =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  EXPECT_EQ(fraction.jobs_measured, 32u * (1'000 - 100));
+}
+
+TEST(AdaptiveSim, ClusterAdaptiveDeterministicAcrossThreadCounts) {
+  rlb::sim::ClusterConfig cfg;
+  cfg.servers = 5;
+  cfg.seed = 999;
+  const auto arr = rlb::sim::make_exponential(0.85 * 5);
+  const auto svc = rlb::sim::make_exponential(1.0);
+
+  AdaptivePlan plan;
+  plan.replicas = 3;
+  plan.target_ci = 0.05;
+  plan.initial_jobs = 30'000;
+  plan.max_jobs = 240'000;
+  plan.warmup_jobs = 1'000;
+  plan.base_seed = cfg.seed;
+
+  rlb::sim::SqdPolicy policy(5, 2);
+  const auto serial = rlb::sim::simulate_cluster_adaptive(
+      cfg, policy, *arr, *svc, plan, ThreadBudget::serial());
+  ThreadBudget budget(4);
+  const auto parallel = rlb::sim::simulate_cluster_adaptive(
+      cfg, policy, *arr, *svc, plan, budget);
+  EXPECT_DOUBLE_EQ(serial.mean_sojourn, parallel.mean_sojourn);
+  EXPECT_DOUBLE_EQ(serial.ci95_sojourn, parallel.ci95_sojourn);
+  EXPECT_DOUBLE_EQ(serial.p99_sojourn, parallel.p99_sojourn);
+  EXPECT_DOUBLE_EQ(serial.adaptive.half_width,
+                   parallel.adaptive.half_width);
+  EXPECT_EQ(serial.adaptive.jobs_used, parallel.adaptive.jobs_used);
+  EXPECT_EQ(serial.adaptive.converged, parallel.adaptive.converged);
 }
 
 TEST(ReplicaSim, ClusterReplicasAgreeWithSingleStream) {

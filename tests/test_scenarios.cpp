@@ -76,6 +76,34 @@ TEST(Scenarios, ReplicasChangeOutputDeterministically) {
   }
 }
 
+TEST(Scenarios, AdaptiveModeIsThreadCountInvariantAndReportsColumns) {
+  // The --target-ci acceptance contract: adaptive runs stop on their own
+  // schedule, report half_width / jobs_used / converged, and stay
+  // bit-identical across thread counts (rounds are barriers; replicas
+  // seed and merge in index order).
+  const std::vector<std::string> args{"--jobs=30000", "--target-ci=0.05",
+                                      "--max-jobs=120000"};
+  for (int replicas : {1, 2}) {
+    const std::string one = run_to_json("power_of_d", args, 1, replicas);
+    const std::string four = run_to_json("power_of_d", args, 4, replicas);
+    EXPECT_EQ(one, four) << "replicas=" << replicas;
+  }
+  const std::string out = run_to_json("power_of_d", args, 2, 1);
+  for (const char* column : {"half_width", "jobs_used", "converged"})
+    EXPECT_NE(out.find(column), std::string::npos) << column;
+}
+
+TEST(Scenarios, AdaptiveBoundScenarioIsThreadCountInvariant) {
+  // hetero_fleet_bounds drives both bound-model simulators through the
+  // adaptive path (CTMC jump chain + GI event simulation).
+  const std::vector<std::string> args{"--steps=120000", "--arrivals=60000",
+                                      "--target-ci=0.2",
+                                      "--max-jobs=240000"};
+  const std::string one = run_to_json("hetero_fleet_bounds", args, 1, 2);
+  const std::string four = run_to_json("hetero_fleet_bounds", args, 4, 2);
+  EXPECT_EQ(one, four);
+}
+
 TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {
   const auto scenarios = ScenarioRegistry::global().list();
   const std::string catalog = rlb::engine::markdown_catalog(scenarios);
@@ -86,6 +114,12 @@ TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {
       EXPECT_NE(catalog.find("`--" + p.name + "`"), std::string::npos)
           << s->name << " --" << p.name;
   }
+  // The global-flag section documents the full rlb_run CLI.
+  EXPECT_NE(catalog.find("## Common flags"), std::string::npos);
+  for (const char* flag :
+       {"`--threads`", "`--replicas`", "`--baseline`", "`--target-ci`",
+        "`--confidence`", "`--max-jobs`", "`--warmup-policy`"})
+    EXPECT_NE(catalog.find(flag), std::string::npos) << flag;
 }
 
 }  // namespace

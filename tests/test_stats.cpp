@@ -11,7 +11,8 @@ namespace {
 
 using rlb::sim::BatchMeans;
 using rlb::sim::StreamingMoments;
-using rlb::sim::t_quantile_95;
+using rlb::sim::t_quantile;
+using rlb::sim::WeightedBatchMeans;
 
 TEST(StreamingMoments, SmallSeries) {
   StreamingMoments s;
@@ -50,7 +51,7 @@ TEST(BatchMeans, IncompleteBatchIgnored) {
   bm.add(1.0);
   bm.add(2.0);
   EXPECT_EQ(bm.completed_batches(), 0u);
-  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.half_width(0.95), 0.0);
 }
 
 TEST(BatchMeans, CoverageOnIidNormal) {
@@ -61,7 +62,7 @@ TEST(BatchMeans, CoverageOnIidNormal) {
   for (int r = 0; r < replications; ++r) {
     BatchMeans bm(50);
     for (int i = 0; i < 1000; ++i) bm.add(rng.normal() + 10.0);
-    if (std::abs(bm.mean() - 10.0) <= bm.ci95_halfwidth()) ++covered;
+    if (std::abs(bm.mean() - 10.0) <= bm.half_width(0.95)) ++covered;
   }
   EXPECT_GT(covered, replications * 0.9);
   EXPECT_LE(covered, replications);
@@ -72,7 +73,7 @@ TEST(BatchMeans, HalfwidthShrinksWithData) {
   BatchMeans small(100), large(100);
   for (int i = 0; i < 1000; ++i) small.add(rng.normal());
   for (int i = 0; i < 100000; ++i) large.add(rng.normal());
-  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+  EXPECT_LT(large.half_width(0.95), small.half_width(0.95));
 }
 
 TEST(StreamingMoments, MergeMatchesSingleStream) {
@@ -124,7 +125,7 @@ TEST(BatchMeans, MergeAtBatchBoundaryMatchesSingleStream) {
   left.merge(right);
   EXPECT_EQ(left.completed_batches(), whole.completed_batches());
   EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
-  EXPECT_NEAR(left.ci95_halfwidth(), whole.ci95_halfwidth(), 1e-12);
+  EXPECT_NEAR(left.half_width(0.95), whole.half_width(0.95), 1e-12);
 }
 
 TEST(BatchMeans, MergeDropsPartialBatchesAndPoolsDf) {
@@ -142,15 +143,89 @@ TEST(BatchMeans, MergeRejectsMismatchedBatchSizes) {
 }
 
 TEST(TQuantile, KnownValues) {
-  EXPECT_NEAR(t_quantile_95(1), 12.706, 1e-3);
-  EXPECT_NEAR(t_quantile_95(10), 2.228, 1e-3);
-  EXPECT_NEAR(t_quantile_95(30), 2.042, 1e-3);
-  EXPECT_NEAR(t_quantile_95(1000), 1.96, 1e-3);
+  EXPECT_NEAR(t_quantile(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_quantile(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(t_quantile(0.95, 30), 2.042, 1e-3);
+  EXPECT_NEAR(t_quantile(0.95, 1000), 1.96, 1e-3);
+  // The other table levels, spot-checked against standard t tables.
+  EXPECT_NEAR(t_quantile(0.90, 1), 6.314, 1e-3);
+  EXPECT_NEAR(t_quantile(0.90, 10), 1.812, 1e-3);
+  EXPECT_NEAR(t_quantile(0.90, 1000), 1.645, 1e-3);
+  EXPECT_NEAR(t_quantile(0.99, 1), 63.657, 1e-3);
+  EXPECT_NEAR(t_quantile(0.99, 10), 3.169, 1e-3);
+  EXPECT_NEAR(t_quantile(0.99, 1000), 2.576, 1e-3);
 }
 
-TEST(TQuantile, MonotoneDecreasing) {
-  for (std::uint64_t df = 1; df < 40; ++df)
-    EXPECT_GE(t_quantile_95(df), t_quantile_95(df + 1));
+TEST(TQuantile, MonotoneDecreasingInDfAndIncreasingInConfidence) {
+  for (double confidence : {0.90, 0.95, 0.99})
+    for (std::uint64_t df = 1; df < 40; ++df)
+      EXPECT_GE(t_quantile(confidence, df), t_quantile(confidence, df + 1));
+  for (std::uint64_t df : {1ull, 5ull, 20ull, 100ull, 1000ull}) {
+    EXPECT_LT(t_quantile(0.90, df), t_quantile(0.95, df));
+    EXPECT_LT(t_quantile(0.95, df), t_quantile(0.99, df));
+  }
+}
+
+TEST(TQuantile, RejectsUnsupportedConfidenceLevels) {
+  EXPECT_THROW(t_quantile(0.5, 10), std::invalid_argument);
+  EXPECT_THROW(t_quantile(0.975, 10), std::invalid_argument);
+  EXPECT_THROW(t_quantile(1.0, 10), std::invalid_argument);
+}
+
+TEST(TQuantile, DeprecatedAliasesKeepTheir95Behaviour) {
+  // The deprecated spellings must stay exact synonyms while call sites
+  // migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_DOUBLE_EQ(rlb::sim::t_quantile_95(7), t_quantile(0.95, 7));
+  BatchMeans bm(2);
+  for (double x : {1.0, 3.0, 5.0, 9.0, 2.0, 4.0}) bm.add(x);
+  EXPECT_DOUBLE_EQ(bm.ci95_halfwidth(), bm.half_width(0.95));
+#pragma GCC diagnostic pop
+}
+
+TEST(BatchMeans, HalfWidthOrderedByConfidence) {
+  rlb::sim::Rng rng(91);
+  BatchMeans bm(20);
+  for (int i = 0; i < 2000; ++i) bm.add(rng.normal());
+  EXPECT_GT(bm.half_width(0.90), 0.0);
+  EXPECT_LT(bm.half_width(0.90), bm.half_width(0.95));
+  EXPECT_LT(bm.half_width(0.95), bm.half_width(0.99));
+}
+
+TEST(WeightedBatchMeans, UnitWeightsMatchBatchMeans) {
+  rlb::sim::Rng rng(37);
+  BatchMeans plain(25);
+  WeightedBatchMeans weighted(25);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() + 3.0;
+    plain.add(x);
+    weighted.add(x, 1.0);
+  }
+  EXPECT_EQ(weighted.completed_batches(), plain.completed_batches());
+  EXPECT_DOUBLE_EQ(weighted.mean(), plain.mean());
+  EXPECT_DOUBLE_EQ(weighted.half_width(0.95), plain.half_width(0.95));
+}
+
+TEST(WeightedBatchMeans, BatchStatisticIsTheWeightedMean) {
+  WeightedBatchMeans w(2);
+  w.add(1.0, 3.0);  // batch 1: (3*1 + 1*5) / 4 = 2
+  w.add(5.0, 1.0);
+  w.add(10.0, 2.0);  // batch 2: (2*10 + 2*0) / 4 = 5
+  w.add(0.0, 2.0);
+  EXPECT_EQ(w.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+}
+
+TEST(WeightedBatchMeans, MergeDropsPartialsAndChecksBatchSize) {
+  WeightedBatchMeans a(10), b(10), c(20);
+  for (int i = 0; i < 25; ++i) a.add(1.0, 1.0);  // 2 complete + partial
+  for (int i = 0; i < 17; ++i) b.add(2.0, 1.0);  // 1 complete + partial
+  a.merge(b);
+  EXPECT_EQ(a.completed_batches(), 3u);
+  EXPECT_NEAR(a.mean(), 4.0 / 3.0, 1e-12);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+  EXPECT_THROW(WeightedBatchMeans(0), std::invalid_argument);
 }
 
 }  // namespace

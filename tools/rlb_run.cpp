@@ -7,6 +7,10 @@
 //   rlb_run --describe=power_of_d          parameter schema for one
 //   rlb_run --scenario=power_of_d          run it (parallel by default)
 //           [--threads=8] [--replicas=4] [--csv=out.csv] [--json=out.json]
+//           [--target-ci=0.01 [--confidence=0.95] [--initial-jobs=N]
+//            [--max-jobs=N] [--growth-factor=2]
+//            [--warmup-policy=fixed|fraction] [--warmup-jobs=N]
+//            [--warmup-fraction=0.1]]
 //           [--baseline=ref.json [--rtol=...] [--atol=...]
 //            [--baseline-ignore=col,col]]
 //           [scenario-specific flags, e.g. --n=12 --jobs=500000]
@@ -18,6 +22,13 @@
 // naturally vary). --replicas=R shards each big simulation cell into R
 // parallel chains with merged statistics; it changes the output (R
 // decorrelated streams) but the result is still thread-count invariant.
+//
+// --target-ci=EPS switches wired scenarios into the adaptive
+// precision-targeted run length (docs/PRECISION.md): each cell grows its
+// budget in rounds of replicas until the pooled CI half-width of the
+// cell's target statistic falls below EPS (at --confidence) or
+// --max-jobs caps out; cells report half_width / jobs_used / converged
+// and remain bit-identical across --threads.
 //
 // --baseline re-runs the scenario and diffs its tables against a
 // committed --json reference; numeric cells compare within --rtol/--atol
@@ -80,6 +91,11 @@ int main(int argc, char** argv) {
     if (name.empty()) {
       std::cerr << "usage: rlb_run --scenario=<name> [--threads=N] "
                    "[--replicas=R] [--csv=path] [--json=path]\n"
+                   "       [--target-ci=eps [--confidence=p] "
+                   "[--initial-jobs=n] [--max-jobs=n]\n"
+                   "        [--growth-factor=g] "
+                   "[--warmup-policy=fixed|fraction] [--warmup-jobs=n]\n"
+                   "        [--warmup-fraction=f]]\n"
                    "       [--baseline=ref.json [--rtol=tol] [--atol=tol] "
                    "[--baseline-ignore=cols]]\n"
                    "       [scenario flags]\n"
@@ -118,12 +134,13 @@ int main(int argc, char** argv) {
     if (!baseline_path.empty())
       baseline_json = rlb::engine::read_text_file(baseline_path);
 
-    // Mark the scenario's declared parameters as known, then reject typos
-    // BEFORE the (possibly hours-long) run rather than after.
+    // Mark the scenario's declared parameters as known; constructing the
+    // context parses (and thereby marks) the global --target-ci family.
+    // Then reject typos BEFORE the (possibly hours-long) run.
     for (const auto& p : scenario.params) (void)cli.has(p.name);
+    ScenarioContext ctx(cli, threads, replicas);
     cli.finish();
 
-    ScenarioContext ctx(cli, threads, replicas);
     const rlb::engine::ScenarioOutput out = scenario.run(ctx);
 
     rlb::engine::write_text(out, std::cout);
