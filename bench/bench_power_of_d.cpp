@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sim/cluster_sim.h"
@@ -104,7 +105,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
   if (adaptive) {
     // Per-row stopping report over the six simulated cells: the WORST
     // half-width, the TOTAL budget, and whether every cell converged.
-    header.insert(header.end(), {"half_width", "jobs_used", "converged"});
+    rlb::engine::add_adaptive_columns(header);
   }
   auto& table = out.add_table("main", header);
   for (std::size_t r = 0; r < rhos.size(); ++r) {
@@ -117,18 +118,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
       auto report = rlb::sim::AdaptiveReport::row_identity();
       for (std::size_t task = 0; task + 1 < kTasks; ++task)
         report.combine(cells[r * kTasks + task].report);
-      row.push_back(rlb::util::fmt(report.half_width, 5));
-      row.push_back(std::to_string(report.jobs_used));
-      row.push_back(report.converged ? "1" : "0");
+      rlb::engine::add_adaptive_cells(row, report);
     }
     table.add_row(std::move(row));
   }
   if (adaptive)
-    out.note(
-        "Adaptive mode: half_width is the worst pooled CI half-width over "
-        "the six\nsimulated policies (at --confidence), jobs_used their "
-        "total budget, converged = 1\nonly when every policy met "
-        "--target-ci before --max-jobs (docs/PRECISION.md).");
+    out.note(rlb::engine::adaptive_note("the six simulated policies"));
   out.postamble =
       "Expected shape: sq(1) explodes at high rho; sq(2) removes most of "
       "that pain\n(exponential improvement); extra choices give diminishing "

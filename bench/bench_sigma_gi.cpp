@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/cluster_sim.h"
 #include "sim/gi_bound_sim.h"
@@ -95,7 +96,12 @@ ScenarioOutput run(ScenarioContext& ctx) {
   // All DES cells share one seed and all tail cells share another, so the
   // arrival families are compared under common random numbers (as the
   // original bench did with its fixed seeds).
-  const auto cells = ctx.map<double>(7, [&](std::size_t i) {
+  struct Cell {
+    double value = 0.0;
+    rlb::sim::AdaptiveReport report;
+  };
+  const bool adaptive = ctx.adaptive().enabled();
+  const auto cells = ctx.map<Cell>(7, [&](std::size_t i) {
     if (i < 4) {
       rlb::sim::ClusterConfig cfg;
       cfg.servers = n;
@@ -106,23 +112,39 @@ ScenarioOutput run(ScenarioContext& ctx) {
       rlb::sim::SqdPolicy policy(n, 2);
       const auto arr = des_sampler(i);
       const auto svc = rlb::sim::make_exponential(1.0);
-      return rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
-                                        ctx.budget())
-          .mean_sojourn;
+      if (adaptive) {
+        const auto res = rlb::sim::simulate_cluster_adaptive(
+            cfg, policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
+            ctx.budget());
+        return Cell{res.mean_sojourn, res.adaptive};
+      }
+      return Cell{rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
+                                             ctx.budget())
+                      .mean_sojourn,
+                  {}};
     }
     const rlb::sqd::BoundModel lower(rlb::sqd::Params{n2, 2, rho2, 1.0}, 2,
                                      rlb::sqd::BoundKind::Lower);
     const auto sampler = tail_sampler(i - 4);
-    return rlb::sim::simulate_gi_lower_bound(
-               lower, *sampler, 4 * jobs, jobs / 2,
-               rlb::engine::cell_seed(seed, 1), ctx.replicas(),
-               ctx.budget())
-        .level_tail_ratio;
+    const std::uint64_t cell = rlb::engine::cell_seed(seed, 1);
+    if (adaptive) {
+      // The stopping target is the waiting-jobs CI (the level ratio has
+      // no interval of its own); the tail estimate rides along.
+      const auto res = rlb::sim::simulate_gi_lower_bound_adaptive(
+          lower, *sampler, ctx.adaptive_plan(cell, 4 * jobs), ctx.budget());
+      return Cell{res.level_tail_ratio, res.adaptive};
+    }
+    return Cell{rlb::sim::simulate_gi_lower_bound(lower, *sampler, 4 * jobs,
+                                                  jobs / 2, cell,
+                                                  ctx.replicas(),
+                                                  ctx.budget())
+                    .level_tail_ratio,
+                {}};
   });
 
-  auto& sim_table =
-      out.add_table("des_crosscheck", {"arrivals", "sigma",
-                                       "sim mean delay"});
+  std::vector<std::string> des_header{"arrivals", "sigma", "sim mean delay"};
+  if (adaptive) rlb::engine::add_adaptive_columns(des_header);
+  auto& sim_table = out.add_table("des_crosscheck", des_header);
   const std::vector<std::pair<std::string, double>> des_entries{
       {"deterministic",
        solve_sigma(DeterministicInterarrival(1.0 / rho), 1.0).sigma},
@@ -133,32 +155,46 @@ ScenarioOutput run(ScenarioContext& ctx) {
                                         2.0 * (1.0 - kP1) * rho),
                    1.0)
            .sigma}};
-  for (std::size_t i = 0; i < des_entries.size(); ++i)
-    sim_table.add_row({des_entries[i].first,
-                       rlb::util::fmt(des_entries[i].second, 5),
-                       rlb::util::fmt(cells[i], 4)});
+  for (std::size_t i = 0; i < des_entries.size(); ++i) {
+    std::vector<std::string> row{des_entries[i].first,
+                                 rlb::util::fmt(des_entries[i].second, 5),
+                                 rlb::util::fmt(cells[i].value, 4)};
+    if (adaptive) rlb::engine::add_adaptive_cells(row, cells[i].report);
+    sim_table.add_row(std::move(row));
+  }
   out.note("DES cross-check: GI/M SQ(2), N = " + std::to_string(n) +
-           ", rho = " + rlb::util::fmt(rho, 2) + ", " +
-           std::to_string(jobs) + " jobs");
+           ", rho = " + rlb::util::fmt(rho, 2) +
+           (adaptive ? " (adaptive --target-ci run lengths)"
+                     : ", " + std::to_string(jobs) + " jobs"));
 
   // Direct verification of Theorem 2's geometric tail: simulate the LOWER
   // BOUND MODEL itself under each arrival family and compare the measured
   // level-mass ratio with sigma^N.
-  auto& tail_table = out.add_table(
-      "thm2_tail", {"arrivals", "sigma^N (Thm 2)", "measured level ratio"});
+  std::vector<std::string> tail_header{"arrivals", "sigma^N (Thm 2)",
+                                       "measured level ratio"};
+  if (adaptive) rlb::engine::add_adaptive_columns(tail_header);
+  auto& tail_table = out.add_table("thm2_tail", tail_header);
   const std::vector<std::pair<std::string, double>> tail_entries{
       {"erlang(3)",
        solve_sigma(ErlangInterarrival(3, 3.0 * cluster2), n2).sigma},
       {"poisson", solve_sigma(ExponentialInterarrival(cluster2), n2).sigma},
       {"deterministic",
        solve_sigma(DeterministicInterarrival(1.0 / cluster2), n2).sigma}};
-  for (std::size_t i = 0; i < tail_entries.size(); ++i)
-    tail_table.add_row(
-        {tail_entries[i].first,
-         rlb::util::fmt(std::pow(tail_entries[i].second, n2), 5),
-         rlb::util::fmt(cells[4 + i], 5)});
+  for (std::size_t i = 0; i < tail_entries.size(); ++i) {
+    std::vector<std::string> row{
+        tail_entries[i].first,
+        rlb::util::fmt(std::pow(tail_entries[i].second, n2), 5),
+        rlb::util::fmt(cells[4 + i].value, 5)};
+    if (adaptive) rlb::engine::add_adaptive_cells(row, cells[4 + i].report);
+    tail_table.add_row(std::move(row));
+  }
   out.note("Theorem 2 tail check: lower bound model, N = 2, T = 2, rho = "
            "0.85");
+  if (adaptive)
+    out.note(rlb::engine::adaptive_note() +
+             "\nTargets: DES rows stop on the mean-sojourn CI; tail rows "
+             "stop on the\nwaiting-jobs CI (the level ratio itself carries "
+             "no interval).");
 
   out.postamble =
       "Note: sigma solves x = LST(N mu (1-x)) for the cluster stream "

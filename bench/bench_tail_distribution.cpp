@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/fast_sqd.h"
 #include "sqd/asymptotic.h"
@@ -72,15 +73,17 @@ ScenarioOutput run(ScenarioContext& ctx) {
   }
   if (adaptive) {
     const auto& rep = sims[0].adaptive;
-    auto& report = out.add_table(
-        "adaptive", {"half_width", "jobs_used", "converged", "rounds"});
-    report.add_row({rlb::util::fmt(rep.half_width, 5),
-                    std::to_string(rep.jobs_used),
-                    rep.converged ? "1" : "0",
-                    std::to_string(rep.rounds)});
-    out.note(
-        "Adaptive (--target-ci) stopping report; the target statistic is "
-        "the mean\ndelay of the jump chain (docs/PRECISION.md).");
+    std::vector<std::string> header;
+    rlb::engine::add_adaptive_columns(header);
+    header.push_back("rounds");
+    auto& report = out.add_table("adaptive", header);
+    std::vector<std::string> row;
+    rlb::engine::add_adaptive_cells(row, rep);
+    row.push_back(std::to_string(rep.rounds));
+    report.add_row(std::move(row));
+    out.note(rlb::engine::adaptive_note() +
+             "\nTarget statistic: the mean delay of the jump chain; the "
+             "tail histogram\nrides along on the budget the mean needed.");
   }
   out.postamble =
       "Expected shape: the asymptotic s_i decays doubly exponentially, but "

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/cluster_sim.h"
 #include "sqd/waiting_distribution.h"
@@ -26,6 +27,7 @@ struct CellResult {
   double p_wait = 0.0;
   double model_p50 = 0.0, model_p95 = 0.0, model_p99 = 0.0;
   double sim_p50 = 0.0, sim_p95 = 0.0, sim_p99 = 0.0;
+  rlb::sim::AdaptiveReport report;  ///< default in fixed mode
 };
 
 ScenarioOutput run(ScenarioContext& ctx) {
@@ -53,10 +55,20 @@ ScenarioOutput run(ScenarioContext& ctx) {
         rlb::sim::SqdPolicy policy(n, d);
         const auto arr = rlb::sim::make_exponential(rhos[i] * n);
         const auto svc = rlb::sim::make_exponential(1.0);
-        const auto sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
-                                                    ctx.budget());
-
         CellResult cell;
+        rlb::sim::ClusterResult sim;
+        if (ctx.adaptive().enabled()) {
+          // Stopping target: the mean-sojourn CI; the quantile columns
+          // ride along on whatever budget the mean needed.
+          sim = rlb::sim::simulate_cluster_adaptive(
+              cfg, policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
+              ctx.budget());
+          cell.report = sim.adaptive;
+        } else {
+          sim = rlb::sim::simulate_cluster(cfg, policy, *arr, *svc,
+                                           ctx.budget());
+        }
+
         cell.p_wait = profile.ccdf(0.0);
         cell.model_p50 = profile.quantile(0.50);
         cell.model_p95 = profile.quantile(0.95);
@@ -75,19 +87,26 @@ ScenarioOutput run(ScenarioContext& ctx) {
       "DES,\nSQ(" +
       std::to_string(d) + "), N = " + std::to_string(n) +
       ", T = " + std::to_string(t);
-  auto& table = out.add_table(
-      "main", {"rho", "P(W>0) model", "p50 model", "p50 sim", "p95 model",
-               "p95 sim", "p99 model", "p99 sim"});
+  const bool adaptive = ctx.adaptive().enabled();
+  std::vector<std::string> header{"rho",       "P(W>0) model", "p50 model",
+                                  "p50 sim",   "p95 model",    "p95 sim",
+                                  "p99 model", "p99 sim"};
+  if (adaptive) rlb::engine::add_adaptive_columns(header);
+  auto& table = out.add_table("main", header);
   for (std::size_t i = 0; i < rhos.size(); ++i) {
     const CellResult& c = cells[i];
-    table.add_row({rlb::util::fmt(rhos[i], 2), rlb::util::fmt(c.p_wait, 4),
-                   rlb::util::fmt(c.model_p50, 3),
-                   rlb::util::fmt(c.sim_p50, 3),
-                   rlb::util::fmt(c.model_p95, 3),
-                   rlb::util::fmt(c.sim_p95, 3),
-                   rlb::util::fmt(c.model_p99, 3),
-                   rlb::util::fmt(c.sim_p99, 3)});
+    std::vector<std::string> row{
+        rlb::util::fmt(rhos[i], 2),   rlb::util::fmt(c.p_wait, 4),
+        rlb::util::fmt(c.model_p50, 3), rlb::util::fmt(c.sim_p50, 3),
+        rlb::util::fmt(c.model_p95, 3), rlb::util::fmt(c.sim_p95, 3),
+        rlb::util::fmt(c.model_p99, 3), rlb::util::fmt(c.sim_p99, 3)};
+    if (adaptive) rlb::engine::add_adaptive_cells(row, c.report);
+    table.add_row(std::move(row));
   }
+  if (adaptive)
+    out.note(rlb::engine::adaptive_note() +
+             "\nTarget statistic: the mean sojourn time (half_width in "
+             "sojourn units); the\nquantile columns ride along.");
   out.postamble =
       "Note: sim columns are sojourn quantiles minus the unit mean service "
       "time; the\nwait and sojourn distributions differ by an independent "

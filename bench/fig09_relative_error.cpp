@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/fast_sqd.h"
 #include "sqd/asymptotic.h"
@@ -39,19 +40,31 @@ std::uint64_t seed_for(std::uint64_t base, const Cell& c) {
           static_cast<std::uint64_t>(c.d));
 }
 
+/// One simulation cell's result; the report stays default in fixed mode.
+struct CellResult {
+  double delay = 0.0;
+  rlb::sim::AdaptiveReport report;
+};
+
 // Each cell's job budget shards into ctx.replicas() parallel chains with
 // merged batch-means (sim/replica.h); replica workers share the sweep's
 // thread budget, so the lone huge-N cell at the tail of the sweep soaks
 // up the slots its finished neighbours released.
-double simulate_cell(const ScenarioContext& ctx, const Cell& c,
-                     std::uint64_t jobs, std::uint64_t seed) {
+CellResult simulate_cell(const ScenarioContext& ctx, const Cell& c,
+                         std::uint64_t jobs, std::uint64_t seed) {
   rlb::sim::FastSqdConfig cfg;
   cfg.params = {c.n, c.d, c.rho, 1.0};
   cfg.jobs = jobs;
   cfg.warmup = jobs / 10;
   cfg.seed = seed;
   cfg.replicas = ctx.replicas();
-  return rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay;
+  if (ctx.adaptive().enabled()) {
+    const auto res = rlb::sim::simulate_sqd_fast_adaptive(
+        cfg, ctx.adaptive_plan(cfg.seed, jobs), ctx.budget());
+    return CellResult{res.mean_delay, res.adaptive};
+  }
+  return CellResult{rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay,
+                    {}};
 }
 
 ScenarioOutput run(ScenarioContext& ctx) {
@@ -77,7 +90,8 @@ ScenarioOutput run(ScenarioContext& ctx) {
   for (double rho : {0.75, 0.95})
     for (int n : {3, 6, 12, 25, 50}) cells.push_back({rho, n, 2});
 
-  const auto delays = ctx.map<double>(cells.size(), [&](std::size_t i) {
+  const bool adaptive = ctx.adaptive().enabled();
+  const auto delays = ctx.map<CellResult>(cells.size(), [&](std::size_t i) {
     return simulate_cell(ctx, cells[i], jobs, seed_for(seed, cells[i]));
   });
 
@@ -92,36 +106,54 @@ ScenarioOutput run(ScenarioContext& ctx) {
   for (double rho : rhos) {
     std::vector<std::string> header{"N"};
     for (int d : choices) header.push_back("d=" + std::to_string(d));
+    if (adaptive) rlb::engine::add_adaptive_columns(header);
     auto& table = out.add_table("rho" + rlb::util::fmt(rho, 2), header);
     for (int n : servers) {
       std::vector<std::string> row{std::to_string(n)};
+      auto report = rlb::sim::AdaptiveReport::row_identity();
       for (int d : choices) {
         if (d > n) {
           row.push_back("-");
           continue;
         }
-        const double sim = delays[next++];
+        const CellResult& cell = delays[next++];
         const double asym = rlb::sqd::asymptotic_delay(rho, d);
-        row.push_back(rlb::util::fmt(100.0 * std::abs(asym - sim) / sim, 2));
+        report.combine(cell.report);
+        row.push_back(
+            rlb::util::fmt(100.0 * std::abs(asym - cell.delay) / cell.delay,
+                           2));
       }
+      if (adaptive) rlb::engine::add_adaptive_cells(row, report);
       table.add_row(std::move(row));
     }
     out.note("relative error (%) of asymptotic vs simulation, rho = " +
-             rlb::util::fmt(rho, 2) + ", jobs = " + std::to_string(jobs));
+             rlb::util::fmt(rho, 2) +
+             (adaptive ? " (adaptive --target-ci run lengths)"
+                       : ", jobs = " + std::to_string(jobs)));
   }
+  if (adaptive)
+    out.note(rlb::engine::adaptive_note(
+        "the row's simulated d values (half_width in delay units; the "
+        "error\ncolumns are percentages)"));
 
   // The headline motivation: small-N panel where the approximation is
   // misleading (text of Section V).
-  auto& detail = out.add_table(
-      "small_n", {"rho", "N", "simulated", "asymptotic", "rel.err(%)"});
+  std::vector<std::string> detail_header{"rho", "N", "simulated",
+                                         "asymptotic", "rel.err(%)"};
+  if (adaptive) rlb::engine::add_adaptive_columns(detail_header);
+  auto& detail = out.add_table("small_n", detail_header);
   next = detail_start;
   for (double rho : {0.75, 0.95}) {
     for (int n : {3, 6, 12, 25, 50}) {
-      const double sim = delays[next++];
+      const CellResult& cell = delays[next++];
       const double asym = rlb::sqd::asymptotic_delay(rho, 2);
-      detail.add_row({rlb::util::fmt(rho, 2), std::to_string(n),
-                      rlb::util::fmt(sim, 4), rlb::util::fmt(asym, 4),
-                      rlb::util::fmt(100.0 * std::abs(asym - sim) / sim, 2)});
+      std::vector<std::string> row{
+          rlb::util::fmt(rho, 2), std::to_string(n),
+          rlb::util::fmt(cell.delay, 4), rlb::util::fmt(asym, 4),
+          rlb::util::fmt(100.0 * std::abs(asym - cell.delay) / cell.delay,
+                         2)};
+      if (adaptive) rlb::engine::add_adaptive_cells(row, cell.report);
+      detail.add_row(std::move(row));
     }
   }
   out.note("small-N detail (d = 2): asymptotic vs simulated delay");

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "qbd/solver.h"
 #include "sim/fast_sqd.h"
@@ -34,6 +35,7 @@ struct CellResult {
   std::string upper = "unstable";
   double sim = 0.0;
   double lower = 0.0;
+  rlb::sim::AdaptiveReport report;  ///< default in fixed mode
 };
 
 ScenarioOutput run(ScenarioContext& ctx) {
@@ -81,8 +83,15 @@ ScenarioOutput run(ScenarioContext& ctx) {
             rlb::engine::cell_seed(seed, static_cast<std::uint64_t>(def.n)),
             static_cast<std::uint64_t>(std::llround(rho * 10000)));
         cfg.replicas = ctx.replicas();
-        cell.sim =
-            rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay;
+        if (ctx.adaptive().enabled()) {
+          const auto res = rlb::sim::simulate_sqd_fast_adaptive(
+              cfg, ctx.adaptive_plan(cfg.seed, jobs), ctx.budget());
+          cell.sim = res.mean_delay;
+          cell.report = res.adaptive;
+        } else {
+          cell.sim =
+              rlb::sim::simulate_sqd_fast(cfg, ctx.budget()).mean_delay;
+        }
 
         cell.lower = rlb::sqd::solve_lower_improved(
                          BoundModel(p, def.t, BoundKind::Lower))
@@ -98,24 +107,28 @@ ScenarioOutput run(ScenarioContext& ctx) {
       "T=3 is much tighter; the asymptotic curve\nunderestimates at high "
       "rho, worst for small N.";
 
+  const bool adaptive = ctx.adaptive().enabled();
   for (std::size_t pi = 0; pi < panels.size(); ++pi) {
     const PanelDef& def = panels[pi];
-    auto& table =
-        out.add_table(std::string("panel_") + def.label,
-                      {"rho", "upper", "simulation", "lower", "asymptotic"});
+    std::vector<std::string> header{"rho", "upper", "simulation", "lower",
+                                    "asymptotic"};
+    if (adaptive) rlb::engine::add_adaptive_columns(header);
+    auto& table = out.add_table(std::string("panel_") + def.label, header);
     for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
       const CellResult& cell = cells[pi * per_panel + ri];
-      table.add_row({rlb::util::fmt(rhos[ri], 2), cell.upper,
-                     rlb::util::fmt(cell.sim, 4),
-                     rlb::util::fmt(cell.lower, 4),
-                     rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[ri], 2),
-                                    4)});
+      std::vector<std::string> row{
+          rlb::util::fmt(rhos[ri], 2), cell.upper,
+          rlb::util::fmt(cell.sim, 4), rlb::util::fmt(cell.lower, 4),
+          rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[ri], 2), 4)};
+      if (adaptive) rlb::engine::add_adaptive_cells(row, cell.report);
+      table.add_row(std::move(row));
     }
     out.note("Figure 10(" + std::string(1, def.label) +
              "): SQ(2), N = " + std::to_string(def.n) +
              ", T = " + std::to_string(def.t) +
              " (block size C(N+T-1,T))");
   }
+  if (adaptive) out.note(rlb::engine::adaptive_note());
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/bound_sim.h"
 #include "sim/distributions.h"
@@ -128,8 +129,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
       "shortest;\ntotal capacity is constant across skews.";
   std::vector<std::string> header{"skew (fast:slow)", "lower delay",
                                   "lower delay (GI sim)", "upper delay"};
-  if (adaptive)
-    header.insert(header.end(), {"half_width", "jobs_used", "converged"});
+  if (adaptive) rlb::engine::add_adaptive_columns(header);
   auto& table = out.add_table("main", header);
   for (std::size_t s = 0; s < skews.size(); ++s) {
     std::vector<std::string> row{rlb::util::fmt(skews[s], 2) + ":" +
@@ -140,18 +140,14 @@ ScenarioOutput run(ScenarioContext& ctx) {
       auto report = rlb::sim::AdaptiveReport::row_identity();
       for (std::size_t k = 0; k < kSims; ++k)
         report.combine(cells[s * kSims + k].report);
-      row.push_back(rlb::util::fmt(report.half_width, 5));
-      row.push_back(std::to_string(report.jobs_used));
-      row.push_back(report.converged ? "1" : "0");
+      rlb::engine::add_adaptive_cells(row, report);
     }
     table.add_row(std::move(row));
   }
   if (adaptive)
-    out.note(
-        "Adaptive mode: half_width is the worst delay-unit CI half-width "
-        "over the\nthree simulators (waiting-jobs CIs scaled by Little's "
-        "law), jobs_used the total\nsteps+arrivals spent, converged = 1 "
-        "when all three met --target-ci\n(docs/PRECISION.md).");
+    out.note(rlb::engine::adaptive_note(
+        "the three simulators (waiting-jobs CIs scaled to delay units by "
+        "Little's law;\njobs_used counts steps+arrivals)"));
   std::string homog_note;
   try {
     const auto lower =

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/arrival_process.h"
 #include "sim/cluster_sim.h"
@@ -36,7 +37,9 @@ ScenarioOutput run(ScenarioContext& ctx) {
   struct CellResult {
     double mean = 0.0;
     double p99 = 0.0;
+    rlb::sim::AdaptiveReport report;
   };
+  const bool adaptive = ctx.adaptive().enabled();
   const auto cells = ctx.map<CellResult>(
       batch_sizes.size() * kKinds, [&](std::size_t i) {
         const std::size_t b = i / kKinds;
@@ -59,9 +62,15 @@ ScenarioOutput run(ScenarioContext& ctx) {
             kind);
         const auto svc = make_exponential(1.0);
         SqdPolicy policy(n, d);
+        if (adaptive) {
+          const auto res = simulate_cluster_adaptive(
+              cfg, policy, arrivals, *svc, ctx.adaptive_plan(cfg.seed, jobs),
+              ctx.budget());
+          return CellResult{res.mean_sojourn, res.p99_sojourn, res.adaptive};
+        }
         const auto res =
             simulate_cluster(cfg, policy, arrivals, *svc, ctx.budget());
-        return CellResult{res.mean_sojourn, res.p99_sojourn};
+        return CellResult{res.mean_sojourn, res.p99_sojourn, {}};
       });
 
   ScenarioOutput out;
@@ -71,17 +80,23 @@ ScenarioOutput run(ScenarioContext& ctx) {
       rlb::util::fmt(rho, 2) +
       ".\nBatch epochs are Poisson at rate rho*N / E[batch]; every row "
       "carries the same\nmean job rate, only the clumping changes.";
-  auto& table = out.add_table(
-      "main", {"batch", "geom delay", "geom p99", "fixed delay",
-               "fixed p99"});
+  std::vector<std::string> header{"batch", "geom delay", "geom p99",
+                                  "fixed delay", "fixed p99"};
+  if (adaptive) rlb::engine::add_adaptive_columns(header);
+  auto& table = out.add_table("main", header);
   for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
     std::vector<std::string> row{std::to_string(batch_sizes[b])};
+    auto report = rlb::sim::AdaptiveReport::row_identity();
     for (std::size_t k = 0; k < kKinds; ++k) {
       row.push_back(rlb::util::fmt(cells[b * kKinds + k].mean, 4));
       row.push_back(rlb::util::fmt(cells[b * kKinds + k].p99, 4));
+      report.combine(cells[b * kKinds + k].report);
     }
+    if (adaptive) rlb::engine::add_adaptive_cells(row, report);
     table.add_row(std::move(row));
   }
+  if (adaptive)
+    out.note(rlb::engine::adaptive_note("the two size-law columns"));
   out.postamble =
       "Reading: batching inflates delay well beyond the single-arrival "
       "model at equal\nload — geometric batches (occasionally huge) more "

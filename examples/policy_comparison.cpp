@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/adaptive_columns.h"
 #include "engine/scenario.h"
 #include "sim/cluster_sim.h"
 #include "util/table.h"
@@ -110,21 +111,18 @@ ScenarioOutput run(ScenarioContext& ctx) {
     // The stopping report per (rho, policy) cell: the target statistic
     // is the mean sojourn time; p99 rides along on whatever budget the
     // mean needed.
-    auto& report = out.add_table(
-        "adaptive", {"rho", "half_width", "jobs_used", "converged"});
+    std::vector<std::string> adaptive_header{"rho"};
+    rlb::engine::add_adaptive_columns(adaptive_header);
+    auto& report = out.add_table("adaptive", adaptive_header);
     for (std::size_t r = 0; r < rhos.size(); ++r) {
-      auto row = rlb::sim::AdaptiveReport::row_identity();
+      auto combined = rlb::sim::AdaptiveReport::row_identity();
       for (std::size_t t = 0; t < kPolicies; ++t)
-        row.combine(cells[r * kPolicies + t].report);
-      report.add_row({rlb::util::fmt(rhos[r], 2),
-                      rlb::util::fmt(row.half_width, 5),
-                      std::to_string(row.jobs_used),
-                      row.converged ? "1" : "0"});
+        combined.combine(cells[r * kPolicies + t].report);
+      std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
+      rlb::engine::add_adaptive_cells(row, combined);
+      report.add_row(std::move(row));
     }
-    out.note(
-        "Adaptive (--target-ci) stopping per rho row: worst pooled "
-        "half-width across\npolicies, total jobs spent, converged = 1 when "
-        "every policy met the target\n(docs/PRECISION.md).");
+    out.note(rlb::engine::adaptive_note("the five policies"));
   }
   out.postamble =
       "Reading: JIQ tracks JSQ while idle servers exist and falls back to "

@@ -1,0 +1,32 @@
+#include "engine/adaptive_columns.h"
+
+#include "util/table.h"
+
+namespace rlb::engine {
+
+void add_adaptive_columns(std::vector<std::string>& header) {
+  header.insert(header.end(), {"half_width", "jobs_used", "converged"});
+}
+
+void add_adaptive_cells(std::vector<std::string>& row,
+                        const sim::AdaptiveReport& report) {
+  row.push_back(util::fmt(report.half_width, 5));
+  row.push_back(std::to_string(report.jobs_used));
+  row.push_back(report.converged ? "1" : "0");
+}
+
+std::string adaptive_note(const std::string& subject) {
+  if (subject.empty())
+    return "Adaptive mode: half_width is the pooled CI half-width of the "
+           "row's target\nstatistic (at --confidence), jobs_used the "
+           "budget it burned, converged = 1 when\nit met --target-ci "
+           "before --max-jobs (docs/PRECISION.md).";
+  return "Adaptive mode: half_width is the worst pooled CI half-width "
+         "over " +
+         subject +
+         "\n(at --confidence), jobs_used their total budget, converged = "
+         "1 only when every\none met --target-ci before --max-jobs "
+         "(docs/PRECISION.md).";
+}
+
+}  // namespace rlb::engine

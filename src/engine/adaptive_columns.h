@@ -1,0 +1,38 @@
+// Shared rendering of the adaptive (--target-ci) stopping report.
+//
+// Every wired scenario surfaces the same three columns — half_width /
+// jobs_used / converged — either appended to its main table or as a
+// separate "adaptive" table. These helpers keep the column names,
+// number formatting and explanatory note identical across scenarios
+// (the per-scenario copies they replace had already started to drift in
+// wording), so baselines and downstream CSV consumers see one spelling.
+//
+// Aggregation across the several simulations a table row may span stays
+// at the call site via sim::AdaptiveReport::row_identity()/combine() —
+// the stride pattern is scenario-specific; the rendering is not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/replica.h"
+
+namespace rlb::engine {
+
+/// Append the three standard adaptive-report columns to `header`, in
+/// the canonical order: half_width, jobs_used, converged.
+void add_adaptive_columns(std::vector<std::string>& header);
+
+/// Append `report` to `row`, formatted the standard way (half_width
+/// with 5 decimals, jobs_used as an integer, converged as 0/1). Must
+/// mirror add_adaptive_columns' column order.
+void add_adaptive_cells(std::vector<std::string>& row,
+                        const sim::AdaptiveReport& report);
+
+/// The standard explanatory note for the adaptive columns. `subject`
+/// names what one table row aggregates (e.g. "the six simulated
+/// policies") for rows spanning several adaptive simulations; pass ""
+/// when each row is a single simulation.
+std::string adaptive_note(const std::string& subject = "");
+
+}  // namespace rlb::engine

@@ -262,7 +262,36 @@ void add_structure_mismatch(BaselineReport& report, const std::string& table,
       table, "", std::numeric_limits<std::size_t>::max(), expected, actual});
 }
 
+/// Split on commas, dropping empty parts; parts are returned verbatim
+/// (callers trim or parse as their own grammar requires). Shared by the
+/// two comma-list flag grammars in this file (--rtol/--atol column lists
+/// and --baseline-ignore).
+std::vector<std::string> comma_parts(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    std::string part =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!part.empty()) parts.push_back(std::move(part));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
 }  // namespace
+
+std::set<std::string> parse_ignore_columns(const std::string& spec) {
+  std::set<std::string> out;
+  for (std::string part : comma_parts(spec)) {
+    const auto first = part.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    out.insert(part.substr(first, part.find_last_not_of(" \t") - first + 1));
+  }
+  return out;
+}
 
 double ToleranceSpec::for_column(const std::string& column) const {
   const auto it = by_column.find(column);
@@ -273,27 +302,17 @@ ToleranceSpec ToleranceSpec::parse(const std::string& spec,
                                    double fallback) {
   ToleranceSpec out;
   out.default_value = fallback;
-  if (spec.empty()) return out;
-  std::size_t start = 0;
-  while (start <= spec.size()) {
-    const std::size_t comma = spec.find(',', start);
-    const std::string part =
-        spec.substr(start, comma == std::string::npos ? std::string::npos
-                                                      : comma - start);
-    if (!part.empty()) {
-      const std::size_t eq = part.find('=');
-      const std::string value_text =
-          eq == std::string::npos ? part : part.substr(eq + 1);
-      double value = 0.0;
-      RLB_REQUIRE(cell_as_number(value_text, value) && value >= 0.0,
-                  "bad tolerance '" + part + "'");
-      if (eq == std::string::npos)
-        out.default_value = value;
-      else
-        out.by_column[part.substr(0, eq)] = value;
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+  for (const std::string& part : comma_parts(spec)) {
+    const std::size_t eq = part.find('=');
+    const std::string value_text =
+        eq == std::string::npos ? part : part.substr(eq + 1);
+    double value = 0.0;
+    RLB_REQUIRE(cell_as_number(value_text, value) && value >= 0.0,
+                "bad tolerance '" + part + "'");
+    if (eq == std::string::npos)
+      out.default_value = value;
+    else
+      out.by_column[part.substr(0, eq)] = value;
   }
   return out;
 }

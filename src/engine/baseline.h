@@ -36,6 +36,14 @@ struct BaselineOptions {
   std::set<std::string> ignore_columns;  ///< e.g. wall-clock timing columns
 };
 
+/// Parse a --baseline-ignore value: a comma-separated list of column
+/// names (adaptive baselines typically skip several, e.g.
+/// "jobs_used,rounds"). Empty parts are dropped, surrounding whitespace
+/// is trimmed, and a name may match columns of any table — ignoring a
+/// column no table has is not an error (the flag is shared across
+/// scenarios with different schemas).
+std::set<std::string> parse_ignore_columns(const std::string& spec);
+
 struct BaselineMismatch {
   std::string table;
   std::string column;

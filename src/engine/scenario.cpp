@@ -30,6 +30,14 @@ AdaptiveSpec AdaptiveSpec::parse(const util::Cli& cli) {
   spec.warmup_jobs_set = cli.has("warmup-jobs");
   spec.warmup_jobs = job_count("warmup-jobs");
   spec.warmup_fraction = cli.get_double("warmup-fraction", 0.1);
+  const std::string planner = cli.get("planner", "geometric");
+  if (planner == "geometric")
+    spec.planner = sim::PlannerKind::kGeometric;
+  else if (planner == "variance")
+    spec.planner = sim::PlannerKind::kVariance;
+  else
+    throw std::invalid_argument(
+        "--planner must be 'geometric' or 'variance'");
   if (spec.target_ci < 0.0)
     throw std::invalid_argument("--target-ci must be positive");
   return spec;
@@ -54,6 +62,7 @@ sim::AdaptivePlan ScenarioContext::adaptive_plan(
   plan.warmup_jobs = adaptive_.warmup_jobs_set
                          ? adaptive_.warmup_jobs
                          : plan.initial_jobs / (10 * replicas);
+  plan.planner = adaptive_.planner;
   return plan;
 }
 
@@ -154,7 +163,12 @@ constexpr CommonFlag kCommonFlags[] = {
      "round-0 total jobs per cell in adaptive mode"},
     {"max-jobs", "32 x initial",
      "adaptive budget cap per cell; hitting it reports converged=0"},
-    {"growth-factor", "2", "round-over-round budget growth in adaptive mode"},
+    {"growth-factor", "2",
+     "round-over-round budget growth under --planner=geometric"},
+    {"planner", "geometric",
+     "adaptive round sizing: 'geometric' grows by --growth-factor, "
+     "'variance' predicts the needed budget from the observed half-width "
+     "(docs/PRECISION.md)"},
     {"warmup-policy", "fixed",
      "adaptive warmup: 'fixed' absolute per-replica discard, 'fraction' "
      "proportional"},

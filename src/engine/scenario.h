@@ -68,6 +68,10 @@ struct AdaptiveSpec {
   /// derived default the way an absent flag does.
   bool warmup_jobs_set = false;
   double warmup_fraction = 0.1;
+  /// Round-size planner (--planner=geometric|variance): geometric is the
+  /// fixed initial * growth^r schedule, variance sizes later rounds from
+  /// the observed half-width (sim::PlannerKind, docs/PRECISION.md).
+  sim::PlannerKind planner = sim::PlannerKind::kGeometric;
 
   [[nodiscard]] bool enabled() const { return target_ci > 0.0; }
 

@@ -19,6 +19,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -86,6 +88,27 @@ std::uint64_t replica_seed(std::uint64_t base, int replica);
 ///   biased when the absolute transient shrinks below the mixing time.
 enum class WarmupPolicy { kFixed, kFraction };
 
+/// Which RoundPlanner chooses the size of each adaptive round
+/// (--planner, docs/PRECISION.md):
+///
+/// - kGeometric: round r requests initial_jobs * growth_factor^r — the
+///   fixed schedule, blind to the statistics. Simple, but the last round
+///   overshoots the needed budget by up to the growth factor.
+/// - kVariance: rounds after the first are sized from the OBSERVED
+///   half-width: since hw ~ c/sqrt(jobs), the cumulative budget that
+///   reaches `target_ci` is predicted as
+///   jobs_used * (hw / target_ci)^2, inflated by a safety factor
+///   (planner_safety) because the variance estimate behind hw is itself
+///   noisy; the next round is the missing part of that prediction. Easy
+///   cells stop near the predicted budget instead of at the next power
+///   of the growth factor.
+///
+/// Both planners read only the plan and merged statistics, so either
+/// schedule is bit-identical across thread counts; round 0 is
+/// initial_jobs for both, so one-round runs match the fixed-budget path
+/// regardless of planner.
+enum class PlannerKind { kGeometric, kVariance };
+
 /// Sequential-stopping ("run until the answer is ±ε") configuration for
 /// run_replicas_adaptive. The run proceeds in ROUNDS: round r launches
 /// `replicas` fresh replicas with a per-replica budget of
@@ -107,12 +130,25 @@ struct AdaptivePlan {
   std::uint64_t warmup_jobs = 0;    ///< kFixed: absolute, per replica
   double warmup_fraction = 0.1;     ///< kFraction: of per-replica jobs
   std::uint64_t base_seed = 1;
+  PlannerKind planner = PlannerKind::kGeometric;
+  /// Variance planner only: inflate the predicted budget by this factor
+  /// (the half-width the prediction extrapolates is itself a noisy
+  /// estimate; undershooting costs an extra round, so predict high).
+  double planner_safety = 1.2;
 
   void validate() const;
 
   /// Total job budget requested for round `round` (before the max_jobs
   /// clamp): initial_jobs * growth_factor^round, saturating at max_jobs.
+  /// This is the GEOMETRIC schedule; run_replicas_adaptive consults the
+  /// plan's RoundPlanner (make_planner), which may size rounds from the
+  /// observed half-width instead.
   [[nodiscard]] std::uint64_t round_jobs(int round) const;
+
+  /// The smallest round total whose per-replica share outlives its
+  /// warmup — anything thinner would measure nothing and the runner
+  /// treats it as "budget exhausted".
+  [[nodiscard]] std::uint64_t min_round_jobs() const;
 
   /// Per-replica warmup for a replica running `jobs_per_replica` jobs,
   /// under this plan's warmup policy.
@@ -126,6 +162,28 @@ struct AdaptivePlan {
   /// batches.
   [[nodiscard]] std::uint64_t batch_size(std::uint64_t requested) const;
 };
+
+/// Chooses the total job budget of each adaptive round. Implementations
+/// MUST be pure functions of (plan, round, jobs_used, half_width) —
+/// never of timing, the thread count, or call history — so the round
+/// schedule, and with it every output bit, stays deterministic across
+/// --threads (docs/PRECISION.md's determinism guarantee).
+class RoundPlanner {
+ public:
+  virtual ~RoundPlanner() = default;
+
+  /// Job budget to request for round `round` (run_replicas_adaptive
+  /// clamps the request to the remaining max_jobs allowance).
+  /// `jobs_used` is the cumulative budget burned by earlier rounds
+  /// (warmup included) and `half_width` the pooled CI half-width after
+  /// the last merge — +infinity before round 0 or while fewer than two
+  /// batches completed.
+  [[nodiscard]] virtual std::uint64_t round_jobs(
+      int round, std::uint64_t jobs_used, double half_width) const = 0;
+};
+
+/// The planner selected by plan.planner (plan must outlive the result).
+std::unique_ptr<RoundPlanner> make_planner(const AdaptivePlan& plan);
 
 /// What the adaptive run did: exposed per cell as the half_width /
 /// jobs_used / converged scenario columns.
@@ -213,12 +271,17 @@ Result run_replicas_adaptive(const AdaptivePlan& plan,
   plan.validate();
   const auto count = static_cast<std::size_t>(plan.replicas);
   const auto replicas64 = static_cast<std::uint64_t>(plan.replicas);
+  const std::unique_ptr<RoundPlanner> planner = make_planner(plan);
   report = AdaptiveReport{};
   std::optional<Result> merged;
+  // The half-width the planner sizes the next round from; infinite until
+  // the first merge produces an interval.
+  double observed_hw = std::numeric_limits<double>::infinity();
   for (int round = 0;; ++round) {
     const std::uint64_t remaining = plan.max_jobs - report.jobs_used;
-    const std::uint64_t round_total =
-        std::min(plan.round_jobs(round), remaining);
+    const std::uint64_t round_total = std::min(
+        planner->round_jobs(round, report.jobs_used, observed_hw),
+        remaining);
     const std::uint64_t jobs_per_replica = round_total / replicas64;
     const std::uint64_t warmup = plan.warmup_for(jobs_per_replica);
     // The clamped tail of the budget may be too thin to measure anything;
@@ -242,6 +305,7 @@ Result run_replicas_adaptive(const AdaptivePlan& plan,
     report.rounds = round + 1;
     report.jobs_used += jobs_per_replica * replicas64;
     report.half_width = half_width(*merged);
+    observed_hw = report.half_width;
     if (report.half_width <= plan.target_ci) {
       report.converged = true;
       break;

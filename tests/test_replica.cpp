@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -301,6 +302,66 @@ TEST(AdaptivePlan, RoundBudgetsGrowGeometricallyAndSaturate) {
   EXPECT_EQ(plan.round_jobs(200), 1'000u);  // no overflow at huge rounds
 }
 
+TEST(AdaptivePlan, RejectsUndershootingSafetyFactor) {
+  AdaptivePlan plan = small_adaptive_plan();
+  plan.planner_safety = 0.9;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.planner_safety = 1.0;
+  plan.validate();
+}
+
+TEST(AdaptivePlan, MinRoundJobsCoversWarmupPolicy) {
+  AdaptivePlan plan = small_adaptive_plan();  // 2 replicas, warmup 10
+  EXPECT_EQ(plan.min_round_jobs(), 2u * 11);
+  plan.warmup_policy = WarmupPolicy::kFraction;
+  EXPECT_EQ(plan.min_round_jobs(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RoundPlanner
+// ---------------------------------------------------------------------------
+
+TEST(RoundPlanner, GeometricPlannerIgnoresObservedStatistics) {
+  const AdaptivePlan plan = small_adaptive_plan();
+  const auto planner = rlb::sim::make_planner(plan);
+  // Whatever the observed half-width or budget, the schedule is the
+  // plan's fixed initial * growth^r (committed baselines pin it).
+  for (int round : {0, 1, 2, 3, 4}) {
+    EXPECT_EQ(planner->round_jobs(round, 0, 1e9), plan.round_jobs(round));
+    EXPECT_EQ(planner->round_jobs(round, 999, 1e-9),
+              plan.round_jobs(round));
+  }
+}
+
+TEST(RoundPlanner, VariancePlannerPredictsFromTheHalfWidth) {
+  AdaptivePlan plan = small_adaptive_plan();  // target 0.5, initial 100
+  plan.planner = rlb::sim::PlannerKind::kVariance;
+  plan.planner_safety = 1.2;
+  plan.max_jobs = 100'000;
+  const auto planner = rlb::sim::make_planner(plan);
+
+  // Round 0 is always the initial budget (one-round runs must stay
+  // bit-identical with the fixed path regardless of planner).
+  EXPECT_EQ(planner->round_jobs(
+                0, 0, std::numeric_limits<double>::infinity()),
+            plan.initial_jobs);
+  // hw = 2x target after 1000 jobs: the cumulative budget that reaches
+  // the target is 1000 * 4 * 1.2 = 4800, so the next round asks for the
+  // missing 3800.
+  EXPECT_EQ(planner->round_jobs(1, 1'000, 1.0), 3'800u);
+  // No interval yet (fewer than two batches): geometric fallback.
+  EXPECT_EQ(planner->round_jobs(
+                1, 1'000, std::numeric_limits<double>::infinity()),
+            plan.round_jobs(1));
+  // A hair over target: the raw prediction (1.2 * 1.01^2 - 1 ~ 0.22x)
+  // still clears the viability floor.
+  EXPECT_GE(planner->round_jobs(1, 1'000, 0.505), plan.min_round_jobs());
+  // Tiny budgets floor at min_round_jobs so the request survives warmup.
+  EXPECT_EQ(planner->round_jobs(1, 10, 0.505), plan.min_round_jobs());
+  // Extreme half-widths saturate at max_jobs instead of overflowing.
+  EXPECT_EQ(planner->round_jobs(1, 50'000, 1e12), plan.max_jobs);
+}
+
 TEST(AdaptivePlan, WarmupPolicyFixedVsFraction) {
   AdaptivePlan plan = small_adaptive_plan();
   plan.warmup_jobs = 100;
@@ -381,6 +442,28 @@ TEST(RunReplicasAdaptive, ScheduleIsInvariantUnderTheBudget) {
   }
 }
 
+TEST(RunReplicasAdaptive, VariancePlannerScheduleIsDeterministic) {
+  AdaptivePlan plan = small_adaptive_plan();
+  plan.planner = rlb::sim::PlannerKind::kVariance;
+  AdaptiveReport serial_report;
+  const Log serial =
+      run_logged(plan, ThreadBudget::serial(), 6, serial_report);
+  EXPECT_TRUE(serial_report.converged);
+  for (int threads : {2, 4}) {
+    ThreadBudget budget(threads);
+    AdaptiveReport report;
+    const Log parallel = run_logged(plan, budget, 6, report);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].global, serial[i].global);
+      EXPECT_EQ(parallel[i].seed, serial[i].seed);
+      EXPECT_EQ(parallel[i].jobs, serial[i].jobs);
+    }
+    EXPECT_EQ(report.jobs_used, serial_report.jobs_used);
+    EXPECT_EQ(report.rounds, serial_report.rounds);
+  }
+}
+
 TEST(RunReplicasAdaptive, CapsAtMaxJobsAndReportsNotConverged) {
   const AdaptivePlan plan = small_adaptive_plan();
   AdaptiveReport report;
@@ -415,25 +498,60 @@ TEST(AdaptiveSim, OneRoundRunMatchesFixedBudgetBitForBit) {
   // A one-round adaptive run has the same replica shape, seeds, warmup
   // and batch size as the fixed-budget path — the outputs must be
   // bit-identical, which pins the "adaptive is a superset" contract.
+  // Both planners request the same round 0, so the identity holds for
+  // either.
   const auto cfg = fast_cfg(4, 200'000);
   const auto fixed = simulate_sqd_fast(cfg);
 
+  for (const auto kind : {rlb::sim::PlannerKind::kGeometric,
+                          rlb::sim::PlannerKind::kVariance}) {
+    AdaptivePlan plan;
+    plan.replicas = 4;
+    plan.target_ci = 100.0;  // trivially met after round 0
+    plan.initial_jobs = cfg.jobs;
+    plan.max_jobs = 2 * cfg.jobs;
+    plan.warmup_jobs = cfg.warmup / 4;  // what ReplicaPlan::split would use
+    plan.base_seed = cfg.seed;
+    plan.planner = kind;
+    const auto adaptive =
+        simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+
+    EXPECT_TRUE(adaptive.adaptive.converged);
+    EXPECT_EQ(adaptive.adaptive.rounds, 1);
+    EXPECT_EQ(adaptive.adaptive.jobs_used, cfg.jobs);
+    EXPECT_DOUBLE_EQ(adaptive.mean_delay, fixed.mean_delay);
+    EXPECT_DOUBLE_EQ(adaptive.ci95_delay, fixed.ci95_delay);
+    EXPECT_EQ(adaptive.jobs_measured, fixed.jobs_measured);
+  }
+}
+
+TEST(AdaptiveSim, VariancePlannerConvergesWithNoMoreJobsThanGeometric) {
+  // The planner-efficiency contract on a seeded, known-variance cell:
+  // the variance planner jumps to (near) the predicted budget instead of
+  // walking the powers of the growth factor, so it must certify the same
+  // target with no more total jobs than the geometric schedule — and in
+  // no more rounds.
+  const auto cfg = fast_cfg(2, 400'000);
   AdaptivePlan plan;
-  plan.replicas = 4;
-  plan.target_ci = 100.0;  // trivially met after round 0
-  plan.initial_jobs = cfg.jobs;
-  plan.max_jobs = 2 * cfg.jobs;
-  plan.warmup_jobs = cfg.warmup / 4;  // what ReplicaPlan::split would use
+  plan.replicas = 2;
+  plan.target_ci = 0.03;  // needs several geometric doublings
+  plan.initial_jobs = 20'000;
+  plan.max_jobs = 128 * 20'000;
+  plan.warmup_jobs = 1'000;
   plan.base_seed = cfg.seed;
-  const auto adaptive =
+
+  plan.planner = rlb::sim::PlannerKind::kGeometric;
+  const auto geometric =
+      simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
+  plan.planner = rlb::sim::PlannerKind::kVariance;
+  const auto variance =
       simulate_sqd_fast_adaptive(cfg, plan, ThreadBudget::serial());
 
-  EXPECT_TRUE(adaptive.adaptive.converged);
-  EXPECT_EQ(adaptive.adaptive.rounds, 1);
-  EXPECT_EQ(adaptive.adaptive.jobs_used, cfg.jobs);
-  EXPECT_DOUBLE_EQ(adaptive.mean_delay, fixed.mean_delay);
-  EXPECT_DOUBLE_EQ(adaptive.ci95_delay, fixed.ci95_delay);
-  EXPECT_EQ(adaptive.jobs_measured, fixed.jobs_measured);
+  ASSERT_TRUE(geometric.adaptive.converged);
+  ASSERT_TRUE(variance.adaptive.converged);
+  EXPECT_LE(variance.adaptive.half_width, plan.target_ci);
+  EXPECT_LE(variance.adaptive.jobs_used, geometric.adaptive.jobs_used);
+  EXPECT_LE(variance.adaptive.rounds, geometric.adaptive.rounds);
 }
 
 TEST(AdaptiveSim, ConvergesUnderTargetOnAnEasyCell) {

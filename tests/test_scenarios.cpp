@@ -93,6 +93,52 @@ TEST(Scenarios, AdaptiveModeIsThreadCountInvariantAndReportsColumns) {
     EXPECT_NE(out.find(column), std::string::npos) << column;
 }
 
+/// The five scenarios PR 5 wired into --target-ci, with budgets small
+/// enough for ~seconds-long runs. Together with power_of_d /
+/// policy_comparison / tail_distribution / hetero_fleet_bounds this
+/// makes all nine sweep scenarios adaptive-capable.
+std::vector<QuickScenario> newly_wired_adaptive() {
+  const std::vector<std::string> knobs{"--target-ci=0.2",
+                                       "--max-jobs=60000"};
+  std::vector<QuickScenario> scenarios{
+      {"fig09_relative_error", {"--jobs=20000", "--rho=0.75"}},
+      {"fig10_delay_vs_utilization", {"--jobs=20000", "--panel=a"}},
+      {"sigma_gi", {"--jobs=20000"}},
+      {"waiting_profile", {"--jobs=20000"}},
+      {"batch_arrivals", {"--jobs=20000"}},
+  };
+  for (auto& s : scenarios)
+    s.args.insert(s.args.end(), knobs.begin(), knobs.end());
+  return scenarios;
+}
+
+TEST(Scenarios, NewlyWiredAdaptiveScenariosAreThreadCountInvariant) {
+  // The acceptance contract for the five scenarios wired in this PR:
+  // with --target-ci set, 1-thread and 4-thread runs are bit-identical
+  // and the adaptive columns appear.
+  for (const auto& s : newly_wired_adaptive()) {
+    const std::string one = run_to_json(s.name, s.args, 1, 2);
+    const std::string four = run_to_json(s.name, s.args, 4, 2);
+    EXPECT_EQ(one, four) << s.name;
+    for (const char* column : {"half_width", "jobs_used", "converged"})
+      EXPECT_NE(one.find(column), std::string::npos)
+          << s.name << " lacks " << column;
+  }
+}
+
+TEST(Scenarios, VariancePlannerIsThreadCountInvariant) {
+  // --planner=variance sizes rounds from merged statistics only, so its
+  // schedule must be just as thread-count invariant as the geometric
+  // default.
+  for (const auto& base : newly_wired_adaptive()) {
+    auto args = base.args;
+    args.push_back("--planner=variance");
+    const std::string one = run_to_json(base.name, args, 1, 2);
+    const std::string four = run_to_json(base.name, args, 4, 2);
+    EXPECT_EQ(one, four) << base.name;
+  }
+}
+
 TEST(Scenarios, AdaptiveBoundScenarioIsThreadCountInvariant) {
   // hetero_fleet_bounds drives both bound-model simulators through the
   // adaptive path (CTMC jump chain + GI event simulation).
@@ -118,7 +164,8 @@ TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {
   EXPECT_NE(catalog.find("## Common flags"), std::string::npos);
   for (const char* flag :
        {"`--threads`", "`--replicas`", "`--baseline`", "`--target-ci`",
-        "`--confidence`", "`--max-jobs`", "`--warmup-policy`"})
+        "`--confidence`", "`--max-jobs`", "`--warmup-policy`",
+        "`--planner`"})
     EXPECT_NE(catalog.find(flag), std::string::npos) << flag;
 }
 

@@ -7,7 +7,8 @@
 //   rlb_run --describe=power_of_d          parameter schema for one
 //   rlb_run --scenario=power_of_d          run it (parallel by default)
 //           [--threads=8] [--replicas=4] [--csv=out.csv] [--json=out.json]
-//           [--target-ci=0.01 [--confidence=0.95] [--initial-jobs=N]
+//           [--target-ci=0.01 [--confidence=0.95]
+//            [--planner=geometric|variance] [--initial-jobs=N]
 //            [--max-jobs=N] [--growth-factor=2]
 //            [--warmup-policy=fixed|fraction] [--warmup-jobs=N]
 //            [--warmup-fraction=0.1]]
@@ -36,7 +37,6 @@
 // drift exits with status 3.
 #include <exception>
 #include <iostream>
-#include <sstream>
 
 #include "engine/baseline.h"
 #include "engine/scenario.h"
@@ -92,10 +92,11 @@ int main(int argc, char** argv) {
       std::cerr << "usage: rlb_run --scenario=<name> [--threads=N] "
                    "[--replicas=R] [--csv=path] [--json=path]\n"
                    "       [--target-ci=eps [--confidence=p] "
-                   "[--initial-jobs=n] [--max-jobs=n]\n"
-                   "        [--growth-factor=g] "
-                   "[--warmup-policy=fixed|fraction] [--warmup-jobs=n]\n"
-                   "        [--warmup-fraction=f]]\n"
+                   "[--planner=geometric|variance]\n"
+                   "        [--initial-jobs=n] [--max-jobs=n] "
+                   "[--growth-factor=g]\n"
+                   "        [--warmup-policy=fixed|fraction] "
+                   "[--warmup-jobs=n] [--warmup-fraction=f]]\n"
                    "       [--baseline=ref.json [--rtol=tol] [--atol=tol] "
                    "[--baseline-ignore=cols]]\n"
                    "       [scenario flags]\n"
@@ -123,12 +124,8 @@ int main(int argc, char** argv) {
         rlb::engine::ToleranceSpec::parse(cli.get("rtol", ""), 1e-9);
     baseline_opts.atol =
         rlb::engine::ToleranceSpec::parse(cli.get("atol", ""), 0.0);
-    {
-      std::istringstream cols(cli.get("baseline-ignore", ""));
-      std::string col;
-      while (std::getline(cols, col, ','))
-        if (!col.empty()) baseline_opts.ignore_columns.insert(col);
-    }
+    baseline_opts.ignore_columns =
+        rlb::engine::parse_ignore_columns(cli.get("baseline-ignore", ""));
     // Read the baseline before the run so a bad path fails fast.
     std::string baseline_json;
     if (!baseline_path.empty())
