@@ -1,0 +1,221 @@
+// Scenario "fleet_scaling" — the compressed-state engine at fleet scale:
+// sweep the server count N geometrically (default 10^3 .. 10^6) at fixed
+// load rho and measure the paper's policies through the compact
+// histogram engine (sim/compact_cluster.h). The point of the table is
+// the COST column: with --time=1 each cell reports wall-clock ns per
+// job, which stays ~flat in N for sq(d), jiq and histogram-jsq because
+// every per-event operation on the compact engine is O(1). The legacy
+// per-server engine pays O(N) per idle-server arrival, which is exactly
+// what locks it out of the million-server regime.
+//
+// A second table cross-checks the two engines at small N: the same
+// seeds through engine=legacy and engine=compact must agree BIT-FOR-BIT
+// (the equivalence contract; tests/test_compact_cluster.cpp pins it per
+// policy, this table demonstrates it end to end).
+//
+// Timing note: the ns/job column (--time=1) measures wall-clock and is
+// therefore NOT deterministic and NOT thread-invariant; use
+// --threads=1 --time=1 for stable measurements (docs/FLEET_SCALING.md
+// commits such a run). The default --time=0 output is fully
+// deterministic like every other scenario.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "sim/cluster_sim.h"
+#include "util/require.h"
+#include "util/table.h"
+
+namespace {
+
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+
+constexpr std::size_t kPolicies = 3;  // sq(d), jiq, jsq-h
+
+std::unique_ptr<rlb::sim::Policy> make_policy(std::size_t task, int n, int d) {
+  using namespace rlb::sim;
+  switch (task) {
+    case 0:
+      return std::make_unique<SqdPolicy>(n, d);
+    case 1:
+      return std::make_unique<JiqPolicy>(n);
+    default:
+      return std::make_unique<HistogramJsqPolicy>();
+  }
+}
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int nmin = static_cast<int>(ctx.cli().get_int("nmin", 1'000));
+  const int nmax = static_cast<int>(ctx.cli().get_int("nmax", 1'000'000));
+  const int nstep = static_cast<int>(ctx.cli().get_int("nstep", 10));
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const double rho = ctx.cli().get_double("rho", 0.90);
+  const auto jobs_per_server =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs-per-server", 20));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 97'531));
+  const bool time = ctx.cli().get_int("time", 0) != 0;
+  const int cross_n = static_cast<int>(ctx.cli().get_int("crosscheck-n", 256));
+  const auto cross_jobs = static_cast<std::uint64_t>(
+      ctx.cli().get_int("crosscheck-jobs", 100'000));
+
+  RLB_REQUIRE(nmin >= 1 && nmax >= nmin, "need 1 <= nmin <= nmax");
+  RLB_REQUIRE(nstep >= 2, "nstep is a multiplier; need nstep >= 2");
+  RLB_REQUIRE(rho > 0.0 && rho < 1.0, "need 0 < rho < 1");
+
+  using namespace rlb::sim;
+  std::vector<int> fleet_sizes;
+  for (std::int64_t n = nmin; n <= nmax;
+       n *= nstep)  // geometric sweep; int64 so nmax * nstep cannot wrap
+    fleet_sizes.push_back(static_cast<int>(n));
+
+  struct Cell {
+    double delay = 0.0;
+    double ns_per_job = 0.0;
+  };
+  const auto cells = ctx.map<Cell>(
+      fleet_sizes.size() * kPolicies, [&](std::size_t i) {
+        const std::size_t r = i / kPolicies;
+        const int n = fleet_sizes[r];
+        ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs_per_server * static_cast<std::uint64_t>(n);
+        cfg.warmup = cfg.jobs / 10;
+        // One seed per fleet size: policy columns share random streams.
+        cfg.seed = rlb::engine::cell_seed(seed, r);
+        cfg.replicas = ctx.replicas();
+        const auto arr = make_exponential(rho * n);
+        const auto svc = make_exponential(1.0);
+        const auto policy = make_policy(i % kPolicies, n, d);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res =
+            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            static_cast<double>(cfg.jobs);
+        return Cell{res.mean_sojourn, ns};
+      });
+
+  ScenarioOutput out;
+  out.preamble =
+      "Fleet-size scaling on the compact histogram engine, rho = " +
+      rlb::util::fmt(rho, 2) + ", Poisson arrivals, Exp(1) service, " +
+      std::to_string(jobs_per_server) +
+      " jobs per server per cell.\nPolicies: sq(" + std::to_string(d) +
+      "), jiq (random fallback), jsq-h (histogram JSQ, O(1) dispatch).";
+
+  std::vector<std::string> header{"n", "jobs"};
+  const std::vector<std::string> policy_names{
+      "sq(" + std::to_string(d) + ")", "jiq", "jsq-h"};
+  for (const auto& p : policy_names) header.push_back(p);
+  if (time)
+    for (const auto& p : policy_names) header.push_back(p + " ns/job");
+  auto& scaling = out.add_table("scaling", header);
+  for (std::size_t r = 0; r < fleet_sizes.size(); ++r) {
+    std::vector<std::string> row{
+        std::to_string(fleet_sizes[r]),
+        std::to_string(jobs_per_server *
+                       static_cast<std::uint64_t>(fleet_sizes[r]))};
+    for (std::size_t t = 0; t < kPolicies; ++t)
+      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].delay, 4));
+    if (time)
+      for (std::size_t t = 0; t < kPolicies; ++t)
+        row.push_back(
+            rlb::util::fmt(cells[r * kPolicies + t].ns_per_job, 1));
+    scaling.add_row(std::move(row));
+  }
+  out.note(time ? "Mean sojourn time per policy, then wall-clock ns per job "
+                  "(flat in n on the compact engine; non-deterministic, "
+                  "use --threads=1)."
+                : "Mean sojourn time per policy; pass --time=1 for "
+                  "wall-clock ns/job columns.");
+
+  // Engine cross-check at small N: legacy and compact must agree exactly
+  // for every policy that carries the bit-identity contract. (jsq-h is
+  // excluded on purpose: it is statistically equivalent to jsq but
+  // consumes a different random stream, so its sample paths differ.)
+  const auto make_check_policy = [&](std::size_t t) -> std::unique_ptr<Policy> {
+    switch (t) {
+      case 0:
+        return std::make_unique<SqdPolicy>(cross_n, d);
+      case 1:
+        return std::make_unique<JiqPolicy>(cross_n);
+      case 2:
+        return std::make_unique<JsqPolicy>();
+      default:
+        return std::make_unique<JbtPolicy>(cross_n, d, 3);
+    }
+  };
+  constexpr std::size_t kCheckPolicies = 4;
+  struct Check {
+    std::string policy;
+    double legacy = 0.0;
+    double compact = 0.0;
+    bool identical = false;
+  };
+  const auto checks = ctx.map<Check>(kCheckPolicies, [&](std::size_t t) {
+    ClusterConfig cfg;
+    cfg.servers = cross_n;
+    cfg.jobs = cross_jobs;
+    cfg.warmup = cross_jobs / 10;
+    cfg.seed = rlb::engine::cell_seed(seed, 1'000 + t);
+    cfg.replicas = ctx.replicas();
+    const auto arr = make_exponential(rho * cross_n);
+    const auto svc = make_exponential(1.0);
+    const auto policy = make_check_policy(t);
+    cfg.engine = ClusterEngine::kLegacy;
+    const auto legacy =
+        simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+    cfg.engine = ClusterEngine::kCompact;
+    const auto compact =
+        simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+    const bool same = legacy.mean_sojourn == compact.mean_sojourn &&
+                      legacy.mean_wait == compact.mean_wait &&
+                      legacy.p99_sojourn == compact.p99_sojourn &&
+                      legacy.utilization == compact.utilization &&
+                      legacy.sim_time == compact.sim_time;
+    return Check{policy->name(), legacy.mean_sojourn, compact.mean_sojourn,
+                 same};
+  });
+  auto& cross = out.add_table(
+      "crosscheck", {"policy", "legacy delay", "compact delay", "identical"});
+  for (const auto& c : checks)
+    cross.add_row({c.policy, rlb::util::fmt(c.legacy, 6),
+                   rlb::util::fmt(c.compact, 6),
+                   c.identical ? "yes" : "no"});
+  out.note("Same seeds through engine=legacy and engine=compact at n = " +
+           std::to_string(cross_n) +
+           "; every column must match bit-for-bit.");
+
+  out.postamble =
+      "Reading: delay per policy is flat in n (mean-field regime: the "
+      "fleet's behavior\nconverges as n grows), and with --time=1 the "
+      "ns/job columns stay ~flat too — the\ncompact engine's per-event "
+      "cost does not grow with the fleet.";
+  return out;
+}
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "fleet_scaling",
+    "Compact-engine fleet sweep to n = 10^6: delay and per-job cost vs "
+    "fleet size, plus a legacy-vs-compact bit-identity cross-check",
+    {{"nmin", "smallest fleet size", "1000"},
+     {"nmax", "largest fleet size", "1000000"},
+     {"nstep", "fleet-size multiplier between rows", "10"},
+     {"d", "polled servers for sq(d)", "2"},
+     {"rho", "offered load per server", "0.90"},
+     {"jobs-per-server", "simulated jobs per server per cell", "20"},
+     {"seed", "base RNG seed; per-row seeds are derived from it", "97531"},
+     {"time", "1: add wall-clock ns/job columns (non-deterministic)", "0"},
+     {"crosscheck-n", "fleet size for the engine cross-check", "256"},
+     {"crosscheck-jobs", "jobs for the engine cross-check", "100000"}},
+    run}};
+
+}  // namespace

@@ -1,12 +1,25 @@
 // Experiment E12 — microbenchmarks (google-benchmark) for the numerical
 // kernels and simulators: LU solve, logarithmic reduction, QBD boundary
-// solve, fast simulator throughput, DES throughput.
+// solve, fast simulator throughput, and the cluster-DES hot paths the
+// compact engine rebuilt — legacy vs compact event loop, calendar queue
+// vs binary heap, histogram-directory sampling, and replica-stats
+// merging. CI runs this binary with --benchmark_format=json and uploads
+// the result as the BENCH_6.json artifact; baselines/BENCH_6.json is a
+// committed reference run (numbers are machine-specific — compare
+// shapes, not absolutes).
 #include <benchmark/benchmark.h>
+
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "linalg/lu.h"
 #include "qbd/logred.h"
 #include "qbd/solver.h"
+#include "sim/calendar_queue.h"
+#include "sim/cluster_accum.h"
 #include "sim/cluster_sim.h"
+#include "sim/compact_cluster.h"
 #include "sim/fast_sqd.h"
 #include "sim/rng.h"
 #include "sqd/blocks_builder.h"
@@ -83,12 +96,16 @@ void BM_FastSimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_FastSimulatorThroughput)->Arg(10)->Arg(100);
 
-void BM_ClusterDesThroughput(benchmark::State& state) {
+/// Legacy vs compact cluster DES on the same workload: items/s is jobs
+/// per second, so the legacy engine's O(N) per-idle-arrival cost shows
+/// up as falling throughput with n while the compact engine stays flat.
+void cluster_throughput(benchmark::State& state, rlb::sim::ClusterEngine e) {
   const int n = static_cast<int>(state.range(0));
   rlb::sim::ClusterConfig cfg;
   cfg.servers = n;
   cfg.jobs = 100'000;
   cfg.warmup = 1'000;
+  cfg.engine = e;
   rlb::sim::SqdPolicy policy(n, 2);
   const auto arr = rlb::sim::make_exponential(0.9 * n);
   const auto svc = rlb::sim::make_exponential(1.0);
@@ -99,7 +116,20 @@ void BM_ClusterDesThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(cfg.jobs));
 }
-BENCHMARK(BM_ClusterDesThroughput)->Arg(10)->Arg(100);
+
+void BM_ClusterDesThroughput(benchmark::State& state) {
+  cluster_throughput(state, rlb::sim::ClusterEngine::kLegacy);
+}
+BENCHMARK(BM_ClusterDesThroughput)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CompactClusterThroughput(benchmark::State& state) {
+  cluster_throughput(state, rlb::sim::ClusterEngine::kCompact);
+}
+BENCHMARK(BM_CompactClusterThroughput)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
 
 void BM_DistinctSampling(benchmark::State& state) {
   const int n = 250;
@@ -113,6 +143,85 @@ void BM_DistinctSampling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DistinctSampling)->Arg(2)->Arg(10)->Arg(50);
+
+/// The hold-model event-queue pattern the cluster engines execute: pop
+/// the minimum, push a later event, queue size steady at `n`. O(1)
+/// amortized for the calendar, O(log n) for the heap.
+void BM_CalendarQueueHold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(7);
+  rlb::sim::CalendarQueue cq;
+  for (int i = 0; i < n; ++i)
+    cq.push(rng.next_double() * n, static_cast<std::int32_t>(i));
+  for (auto _ : state) {
+    const auto [t, id] = cq.pop();
+    cq.push(t + 1.0 + rng.next_double(), id);
+    benchmark::DoNotOptimize(cq.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalendarQueueHold)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_BinaryHeapHold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(7);
+  using Event = std::pair<double, std::int32_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i)
+    heap.emplace(rng.next_double() * n, static_cast<std::int32_t>(i));
+  for (auto _ : state) {
+    const auto [t, id] = heap.top();
+    heap.pop();
+    heap.emplace(t + 1.0 + rng.next_double(), id);
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinaryHeapHold)->Arg(100)->Arg(10000)->Arg(1000000);
+
+/// The compact engine's per-event state update: one level move plus one
+/// uniform within-level sample, independent of the fleet size.
+void BM_LevelDirectoryStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(11);
+  rlb::sim::LevelDirectory dir(n);
+  for (auto _ : state) {
+    const int s = dir.sample_at_level(0, rng);
+    dir.increment(s);
+    dir.decrement(s);
+    benchmark::DoNotOptimize(dir.idle_head());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LevelDirectoryStep)->Arg(100)->Arg(10000)->Arg(1000000);
+
+/// Replica-merge cost: the per-round serial section of every parallel
+/// run (stats.h moments + batch means + quantile reservoirs).
+void BM_ClusterAccumMerge(benchmark::State& state) {
+  const int samples = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(13);
+  rlb::sim::ClusterAccum a, b;
+  a.sojourn_ci = rlb::sim::BatchMeans(64);
+  b.sojourn_ci = rlb::sim::BatchMeans(64);
+  a.sojourn_quantiles = rlb::sim::ReservoirQuantiles(100'000, 1);
+  b.sojourn_quantiles = rlb::sim::ReservoirQuantiles(100'000, 2);
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    a.sojourn_stats.add(x);
+    a.sojourn_ci.add(x);
+    a.sojourn_quantiles.add(x);
+    b.sojourn_stats.add(y);
+    b.sojourn_ci.add(y);
+    b.sojourn_quantiles.add(y);
+  }
+  for (auto _ : state) {
+    rlb::sim::ClusterAccum into = a;
+    into.merge(b);
+    benchmark::DoNotOptimize(into.sojourn_stats.count());
+  }
+}
+BENCHMARK(BM_ClusterAccumMerge)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

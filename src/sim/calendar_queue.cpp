@@ -1,0 +1,146 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace rlb::sim {
+
+namespace {
+
+/// The pop order: strictly increasing (time, id), matching the legacy
+/// engine's std::greater<> heap over std::pair<double, int>.
+bool event_less(double at, std::int32_t aid, double bt, std::int32_t bid) {
+  if (at != bt) return at < bt;
+  return aid < bid;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(double bucket_width, std::size_t buckets) {
+  RLB_REQUIRE(bucket_width > 0.0, "bucket width must be positive");
+  RLB_REQUIRE(buckets >= 1, "need at least one bucket");
+  width_ = bucket_width;
+  buckets_.resize(buckets);
+}
+
+double CalendarQueue::abs_bucket(double time) const {
+  return std::floor(time / width_);
+}
+
+std::size_t CalendarQueue::slot_of(double abs_bucket) const {
+  return static_cast<std::size_t>(
+      std::fmod(abs_bucket, static_cast<double>(buckets_.size())));
+}
+
+void CalendarQueue::push(double time, std::int32_t id) {
+  RLB_REQUIRE(time >= 0.0 && std::isfinite(time),
+              "event times must be finite and non-negative");
+  if (size_ + 1 > 2 * buckets_.size()) rebuild(2 * buckets_.size());
+
+  auto& bucket = buckets_[slot_of(abs_bucket(time))];
+  // Sorted descending by (time, id): back() is the bucket minimum and
+  // pop_back removes it in O(1).
+  const auto it = std::upper_bound(
+      bucket.begin(), bucket.end(), Event{time, id},
+      [](const Event& a, const Event& b) {
+        return event_less(b.time, b.id, a.time, a.id);  // descending
+      });
+  bucket.insert(it, Event{time, id});
+  ++size_;
+
+  // An event behind the scan cursor would otherwise wait a whole year to
+  // be seen; pull the cursor back to it.
+  const double ab = abs_bucket(time);
+  if (ab < cursor_bucket_) {
+    cursor_bucket_ = ab;
+    cursor_ = slot_of(ab);
+  }
+}
+
+const CalendarQueue::Event& CalendarQueue::find_min() {
+  RLB_ASSERT(size_ > 0, "find_min on an empty calendar");
+  // Scan at most one full year (every slot once): a slot's minimum event
+  // is due exactly when its absolute bucket number matches the cursor's
+  // — the same floor(time / width) the push used, so no edge-rounding
+  // drift between insertion and retrieval is possible.
+  for (std::size_t scanned = 0; scanned < buckets_.size(); ++scanned) {
+    const auto& bucket = buckets_[cursor_];
+    if (!bucket.empty() && abs_bucket(bucket.back().time) == cursor_bucket_)
+      return bucket.back();
+    cursor_ = cursor_ + 1 == buckets_.size() ? 0 : cursor_ + 1;
+    cursor_bucket_ += 1.0;
+  }
+  // A whole year with nothing due: every remaining event is far in the
+  // future. Jump straight to the global minimum.
+  reposition();
+  return buckets_[cursor_].back();
+}
+
+void CalendarQueue::reposition() {
+  const Event* best = nullptr;
+  std::size_t best_slot = 0;
+  for (std::size_t slot = 0; slot < buckets_.size(); ++slot) {
+    const auto& bucket = buckets_[slot];
+    if (bucket.empty()) continue;
+    const Event& candidate = bucket.back();
+    if (best == nullptr ||
+        event_less(candidate.time, candidate.id, best->time, best->id)) {
+      best = &candidate;
+      best_slot = slot;
+    }
+  }
+  RLB_ASSERT(best != nullptr, "reposition on an empty calendar");
+  cursor_ = best_slot;
+  cursor_bucket_ = abs_bucket(best->time);
+}
+
+std::pair<double, std::int32_t> CalendarQueue::top() {
+  RLB_REQUIRE(size_ > 0, "top on an empty calendar queue");
+  const Event& event = find_min();
+  return {event.time, event.id};
+}
+
+std::pair<double, std::int32_t> CalendarQueue::pop() {
+  RLB_REQUIRE(size_ > 0, "pop on an empty calendar queue");
+  const Event event = find_min();
+  buckets_[cursor_].pop_back();
+  --size_;
+  if (buckets_.size() > 16 && size_ < buckets_.size() / 4)
+    rebuild(buckets_.size() / 2);
+  return {event.time, event.id};
+}
+
+void CalendarQueue::rebuild(std::size_t buckets) {
+  std::vector<Event> events;
+  events.reserve(size_);
+  for (auto& bucket : buckets_)
+    events.insert(events.end(), bucket.begin(), bucket.end());
+
+  // Adapt the width so the events in flight spread over ~3 buckets'
+  // worth of span each: O(1) expected events per bucket in the active
+  // window, the property that makes push and pop O(1) amortized. Driven
+  // only by the queued events — never by wall-clock — so rebuilds are
+  // deterministic.
+  if (events.size() >= 2) {
+    double lo = events.front().time;
+    double hi = events.front().time;
+    for (const Event& e : events) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+    const double width =
+        3.0 * (hi - lo) / static_cast<double>(events.size());
+    if (width > 0.0 && std::isfinite(width)) width_ = width;
+  }
+
+  buckets_.assign(buckets, {});
+  size_ = 0;
+  cursor_ = 0;
+  cursor_bucket_ = 0.0;
+  for (const Event& e : events) push(e.time, e.id);
+  if (size_ > 0) reposition();
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,72 @@
+// Calendar (bucketed) event queue: O(1) amortized schedule/pop versus the
+// O(log n) binary heap the legacy cluster engine uses. Events are
+// (time, id) pairs hashed into time buckets of adaptive width; pop scans
+// the current "year" of buckets in time order, so with the width resized
+// to keep a handful of events per bucket both operations touch O(1)
+// buckets on average (Brown's calendar queue, CACM 1988).
+//
+// Determinism contract: pop order is the strict total order by
+// (time, id) — exactly the ordering std::priority_queue<std::pair<double,
+// int>, ..., std::greater<>> gives the legacy engine — and resizing is
+// driven purely by element counts, never by timing. The compact cluster
+// engine relies on this to stay bit-identical with the legacy DES.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rlb::sim {
+
+class CalendarQueue {
+ public:
+  /// `bucket_width` and `buckets` seed the calendar before the first
+  /// resize; both adapt automatically as events accumulate.
+  explicit CalendarQueue(double bucket_width = 1.0, std::size_t buckets = 16);
+
+  void push(double time, std::int32_t id);
+
+  /// Smallest event by (time, id). Requires !empty().
+  [[nodiscard]] std::pair<double, std::int32_t> top();
+
+  /// Removes and returns the smallest event by (time, id).
+  std::pair<double, std::int32_t> pop();
+
+  /// top().first — the next event time. Requires !empty().
+  [[nodiscard]] double min_time() { return top().first; }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Number of buckets currently allocated (exposed for tests and the
+  /// microbenchmarks; resizing doubles/halves it with the event count).
+  [[nodiscard]] std::size_t buckets() const { return buckets_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::int32_t id;
+  };
+
+  /// Absolute (un-wrapped) bucket number of a time; a double holding an
+  /// integer so far-future events cannot overflow an integer type.
+  [[nodiscard]] double abs_bucket(double time) const;
+  [[nodiscard]] std::size_t slot_of(double abs_bucket) const;
+  void rebuild(std::size_t buckets);
+  /// Point the scan cursor at the bucket holding the global minimum
+  /// (direct search over all buckets; used after rebuilds and when a
+  /// whole year of buckets turns up empty).
+  void reposition();
+  /// Locate the smallest event by (time, id); leaves the cursor on its
+  /// bucket so pop can remove it. Requires size_ > 0.
+  const Event& find_min();
+
+  std::vector<std::vector<Event>> buckets_;  ///< each sorted descending
+  double width_;
+  std::size_t cursor_ = 0;      ///< ring slot the scan is standing on
+  double cursor_bucket_ = 0.0;  ///< absolute bucket number of cursor_
+  std::size_t size_ = 0;
+};
+
+}  // namespace rlb::sim

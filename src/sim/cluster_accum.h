@@ -1,0 +1,35 @@
+// Raw per-replica statistics of one cluster-DES replica, shared by the
+// legacy per-server engine (cluster_sim.cpp) and the compact
+// histogram-state engine (compact_cluster.*). Replica accumulators are
+// merged in replica-index order before any derived quantity
+// (utilization, quantiles, CIs) is computed, which is what keeps results
+// bit-identical for every thread budget.
+#pragma once
+
+#include "sim/stats.h"
+
+namespace rlb::sim {
+
+struct ClusterAccum {
+  StreamingMoments sojourn_stats;
+  StreamingMoments wait_stats;
+  BatchMeans sojourn_ci{1};
+  ReservoirQuantiles sojourn_quantiles{1};
+  double area_jobs = 0.0;  // integral of total jobs over measured window
+  double busy_area = 0.0;  // integral of busy servers
+  double window = 0.0;     // measured-window length
+  double sim_time = 0.0;
+
+  void merge(const ClusterAccum& other) {
+    sojourn_stats.merge(other.sojourn_stats);
+    wait_stats.merge(other.wait_stats);
+    sojourn_ci.merge(other.sojourn_ci);
+    sojourn_quantiles.merge(other.sojourn_quantiles);
+    area_jobs += other.area_jobs;
+    busy_area += other.busy_area;
+    window += other.window;
+    sim_time += other.sim_time;
+  }
+};
+
+}  // namespace rlb::sim

@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "sim/cluster_accum.h"
+#include "sim/compact_cluster.h"
 #include "sim/replica.h"
 #include "sim/stats.h"
 #include "util/require.h"
@@ -17,30 +19,6 @@ struct Job {
   std::uint64_t index = 0;
   double arrival_time = 0.0;
   double service_time = 0.0;
-};
-
-/// Raw per-replica statistics; merged in replica-index order before any
-/// derived quantity (utilization, quantiles, CIs) is computed.
-struct Accum {
-  StreamingMoments sojourn_stats;
-  StreamingMoments wait_stats;
-  BatchMeans sojourn_ci{1};
-  ReservoirQuantiles sojourn_quantiles{1};
-  double area_jobs = 0.0;  // integral of total jobs over measured window
-  double busy_area = 0.0;  // integral of busy servers
-  double window = 0.0;     // measured-window length
-  double sim_time = 0.0;
-
-  void merge(const Accum& other) {
-    sojourn_stats.merge(other.sojourn_stats);
-    wait_stats.merge(other.wait_stats);
-    sojourn_ci.merge(other.sojourn_ci);
-    sojourn_quantiles.merge(other.sojourn_quantiles);
-    area_jobs += other.area_jobs;
-    busy_area += other.busy_area;
-    window += other.window;
-    sim_time += other.sim_time;
-  }
 };
 
 /// One replica's event loop: `jobs` arrivals with `warmup` discarded,
@@ -87,11 +65,11 @@ class Engine final : public ClusterState {
 
   int idle_server(int i) const override { return idle_queue_[i]; }
 
-  Accum run() {
-    Accum acc;
+  ClusterAccum run() {
+    ClusterAccum acc;
     acc.sojourn_ci = BatchMeans(batch_);
-    acc.sojourn_quantiles =
-        ReservoirQuantiles(100'000, seed_ ^ 0xabcdefull);
+    acc.sojourn_quantiles = ReservoirQuantiles(
+        cfg_.quantile_reservoir, seed_ ^ cfg_.quantile_seed_salt);
 
     double next_arrival = arrivals_.next(rng_);
     std::uint64_t arrivals = 0;
@@ -202,7 +180,7 @@ class Engine final : public ClusterState {
   int busy_servers_ = 0;
 };
 
-void validate_config(const ClusterConfig& cfg) {
+void validate_config(const ClusterConfig& cfg, const Policy& policy) {
   RLB_REQUIRE(cfg.servers >= 1, "need at least one server");
   RLB_REQUIRE(cfg.server_speeds.empty() ||
                   cfg.server_speeds.size() ==
@@ -210,24 +188,48 @@ void validate_config(const ClusterConfig& cfg) {
               "server_speeds must be empty or one entry per server");
   for (double sp : cfg.server_speeds)
     RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
+  RLB_REQUIRE(cfg.quantile_reservoir >= 1,
+              "quantile reservoir needs capacity >= 1");
+  RLB_REQUIRE(cfg.engine != ClusterEngine::kCompact || policy.symmetric(),
+              "the compact engine only runs symmetric policies; use "
+              "kLegacy or kAuto for identity-aware policies");
+}
+
+/// True when this run should execute on the compact histogram engine.
+bool use_compact_engine(const ClusterConfig& cfg, const Policy& policy) {
+  switch (cfg.engine) {
+    case ClusterEngine::kLegacy:
+      return false;
+    case ClusterEngine::kCompact:
+      return true;
+    case ClusterEngine::kAuto:
+      return policy.symmetric();
+  }
+  return false;
 }
 
 /// One replica: fresh clones of the mutable policy / arrival state, so a
 /// single replica matches the legacy reset()-then-run.
-Accum run_one_replica(const ClusterConfig& cfg, Policy& policy,
-                      ArrivalProcess& arrivals, const Distribution& service,
-                      std::uint64_t jobs, std::uint64_t warmup,
-                      std::uint64_t batch, std::uint64_t seed) {
+ClusterAccum run_one_replica(const ClusterConfig& cfg, Policy& policy,
+                             ArrivalProcess& arrivals,
+                             const Distribution& service, std::uint64_t jobs,
+                             std::uint64_t warmup, std::uint64_t batch,
+                             std::uint64_t seed) {
   const auto replica_policy = policy.clone();
   const auto replica_arrivals = arrivals.clone();
   replica_policy->reset();
   replica_arrivals->reset();
+  if (use_compact_engine(cfg, policy)) {
+    CompactClusterEngine engine(cfg, jobs, warmup, batch, seed,
+                                *replica_policy, *replica_arrivals, service);
+    return engine.run();
+  }
   Engine engine(cfg, jobs, warmup, batch, seed, *replica_policy,
                 *replica_arrivals, service);
   return engine.run();
 }
 
-ClusterResult assemble(const ClusterConfig& cfg, const Accum& acc) {
+ClusterResult assemble(const ClusterConfig& cfg, const ClusterAccum& acc) {
   ClusterResult out;
   out.mean_sojourn = acc.sojourn_stats.mean();
   out.mean_wait = acc.wait_stats.mean();
@@ -274,19 +276,19 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                ArrivalProcess& arrivals,
                                const Distribution& service,
                                util::ThreadBudget& budget) {
-  validate_config(cfg);
+  validate_config(cfg, policy);
   const ReplicaPlan plan =
       ReplicaPlan::split(cfg.replicas, cfg.jobs, cfg.warmup, cfg.seed);
   const std::uint64_t batch = plan.batch_size(cfg.batch_size);
 
-  const Accum acc = run_replicas<Accum>(
+  const ClusterAccum acc = run_replicas<ClusterAccum>(
       plan, budget,
       [&](int /*replica*/, std::uint64_t seed) {
         return run_one_replica(cfg, policy, arrivals, service,
                                plan.jobs_per_replica, plan.warmup, batch,
                                seed);
       },
-      [](Accum& into, const Accum& from) { into.merge(from); });
+      [](ClusterAccum& into, const ClusterAccum& from) { into.merge(from); });
 
   return assemble(cfg, acc);
 }
@@ -308,20 +310,20 @@ ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
                                         const Distribution& service,
                                         const AdaptivePlan& plan,
                                         util::ThreadBudget& budget) {
-  validate_config(cfg);
+  validate_config(cfg, policy);
   plan.validate();
   const std::uint64_t batch = plan.batch_size(cfg.batch_size);
 
   AdaptiveReport report;
-  const Accum acc = run_replicas_adaptive<Accum>(
+  const ClusterAccum acc = run_replicas_adaptive<ClusterAccum>(
       plan, budget,
       [&](int /*global_replica*/, std::uint64_t seed, std::uint64_t jobs,
           std::uint64_t warmup) {
         return run_one_replica(cfg, policy, arrivals, service, jobs,
                                warmup, batch, seed);
       },
-      [](Accum& into, const Accum& from) { into.merge(from); },
-      [&](const Accum& merged) {
+      [](ClusterAccum& into, const ClusterAccum& from) { into.merge(from); },
+      [&](const ClusterAccum& merged) {
         return merged.sojourn_ci.half_width_or_infinity(plan.confidence);
       },
       report);

@@ -4,6 +4,7 @@
 // distributions (unlike the fast jump-chain simulator).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,20 @@
 #include "util/thread_budget.h"
 
 namespace rlb::sim {
+
+/// Which event-loop engine executes each replica.
+///
+/// Both engines are bit-identical for symmetric policies (same seeds ->
+/// same numbers, pinned by tests/test_compact_cluster.cpp); they differ
+/// only in cost. Legacy keeps per-server job deques and pays O(N) for an
+/// arrival to an idle server; compact keeps the queue-length histogram
+/// (sim/compact_cluster.h) and pays O(1) per event, which is what makes
+/// N = 10^6 fleets simulable (the fleet_scaling scenario).
+enum class ClusterEngine {
+  kAuto,     ///< compact when policy.symmetric(), legacy otherwise
+  kLegacy,   ///< per-server state; required by identity-aware policies
+  kCompact,  ///< histogram state; rejects non-symmetric policies
+};
 
 struct ClusterConfig {
   int servers = 1;
@@ -35,6 +50,17 @@ struct ClusterConfig {
   /// setting of Mukhopadhyay et al. / Izagirre & Makowski, supported here
   /// for the example studies.
   std::vector<double> server_speeds;
+
+  /// Engine selection; kAuto picks per policy and is right for almost
+  /// every caller. kCompact with a non-symmetric policy is rejected.
+  ClusterEngine engine = ClusterEngine::kAuto;
+
+  /// Sojourn-quantile reservoir: capacity of the per-replica sample
+  /// (ReservoirQuantiles) and the salt XOR-ed into the replica seed for
+  /// the reservoir's own RNG, keeping its draws decoupled from the
+  /// simulation stream. Defaults reproduce the committed baselines.
+  std::size_t quantile_reservoir = 100'000;
+  std::uint64_t quantile_seed_salt = 0xabcdefull;
 };
 
 struct ClusterResult {

@@ -1,5 +1,7 @@
 #include "sim/policy.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "util/require.h"
@@ -11,15 +13,19 @@ namespace {
 /// Shortest queue among the polled servers, ties broken uniformly
 /// (reservoir style: one uniform_int draw per tie encountered). Shared by
 /// SqdPolicy and JbtPolicy's shortest fallback so their tie-breaking —
-/// and RNG consumption — can never diverge.
-int shortest_polled(const ClusterState& cluster,
-                    const std::vector<int>& polled, Rng& rng) {
+/// and RNG consumption — can never diverge. Templated on the
+/// queue-length accessor so the ClusterState and QueueHistogramView
+/// paths run the exact same draws (the bit-identity contract between
+/// the legacy and compact engines).
+template <typename LenFn>
+int shortest_polled_by(const std::vector<int>& polled, Rng& rng,
+                       LenFn&& len_of) {
   int best = polled[0];
-  int best_len = cluster.queue_length(best);
+  int best_len = len_of(best);
   int ties = 1;
   for (std::size_t i = 1; i < polled.size(); ++i) {
     const int s = polled[i];
-    const int len = cluster.queue_length(s);
+    const int len = len_of(s);
     if (len < best_len) {
       best = s;
       best_len = len;
@@ -32,7 +38,51 @@ int shortest_polled(const ClusterState& cluster,
   return best;
 }
 
+int shortest_polled(const ClusterState& cluster,
+                    const std::vector<int>& polled, Rng& rng) {
+  return shortest_polled_by(
+      polled, rng, [&](int s) { return cluster.queue_length(s); });
+}
+
+/// JSQ's full scan with the same reservoir tie-breaking, templated the
+/// same way.
+template <typename LenFn>
+int jsq_scan_by(int servers, Rng& rng, LenFn&& len_of) {
+  int best = 0;
+  int best_len = len_of(0);
+  int ties = 1;
+  for (int s = 1; s < servers; ++s) {
+    const int len = len_of(s);
+    if (len < best_len) {
+      best = s;
+      best_len = len;
+      ties = 1;
+    } else if (len == best_len) {
+      ++ties;
+      if (rng.uniform_int(ties) == 0) best = s;
+    }
+  }
+  return best;
+}
+
+/// The minimum occupied queue length of a histogram view: 0 when any
+/// server is idle, else the smallest level with a nonzero count. O(1)
+/// expected — queue lengths are tiny under any stable load.
+int min_occupied_level(const QueueHistogramView& view) {
+  if (view.idle_count() > 0) return 0;
+  for (int k = 1; k <= view.max_level(); ++k)
+    if (view.count_at(k) > 0) return k;
+  return view.max_level();
+}
+
 }  // namespace
+
+int Policy::select_symmetric(const QueueHistogramView&, Rng&) {
+  RLB_ASSERT(false, "policy '" + name() +
+                        "' has no symmetric dispatch (symmetric() is "
+                        "false); run it on the legacy engine");
+  return -1;
+}
 
 int ClusterState::idle_servers() const {
   int idle = 0;
@@ -60,24 +110,47 @@ int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
   return shortest_polled(cluster, polled_, rng);
 }
 
+int SqdPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
+  sampler_.sample(d_, rng, polled_);
+  return shortest_polled_by(polled_, rng,
+                            [&](int s) { return view.level_of(s); });
+}
+
 std::string SqdPolicy::name() const { return "sq(" + std::to_string(d_) + ")"; }
 
 int JsqPolicy::select(const ClusterState& cluster, Rng& rng) {
-  int best = 0;
-  int best_len = cluster.queue_length(0);
-  int ties = 1;
-  for (int s = 1; s < cluster.servers(); ++s) {
-    const int len = cluster.queue_length(s);
-    if (len < best_len) {
-      best = s;
-      best_len = len;
-      ties = 1;
-    } else if (len == best_len) {
-      ++ties;
-      if (rng.uniform_int(ties) == 0) best = s;
-    }
+  return jsq_scan_by(cluster.servers(), rng,
+                     [&](int s) { return cluster.queue_length(s); });
+}
+
+int JsqPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
+  return jsq_scan_by(view.servers(), rng,
+                     [&](int s) { return view.level_of(s); });
+}
+
+int HistogramJsqPolicy::select(const ClusterState& cluster, Rng& rng) {
+  // Legacy-engine path: same distribution as select_symmetric (uniform
+  // among the servers at the minimum queue length) computed by scan —
+  // min level, count of minima, then the j-th minimum with one draw.
+  int min_len = cluster.queue_length(0);
+  for (int s = 1; s < cluster.servers(); ++s)
+    min_len = std::min(min_len, cluster.queue_length(s));
+  int minima = 0;
+  for (int s = 0; s < cluster.servers(); ++s)
+    if (cluster.queue_length(s) == min_len) ++minima;
+  auto j = rng.uniform_int(static_cast<std::uint64_t>(minima));
+  for (int s = 0; s < cluster.servers(); ++s) {
+    if (cluster.queue_length(s) != min_len) continue;
+    if (j == 0) return s;
+    --j;
   }
-  return best;
+  RLB_ASSERT(false, "histogram-jsq scan lost its minimum");
+  return -1;
+}
+
+int HistogramJsqPolicy::select_symmetric(const QueueHistogramView& view,
+                                         Rng& rng) {
+  return view.sample_at_level(min_occupied_level(view), rng);
 }
 
 int RoundRobinPolicy::select(const ClusterState& cluster, Rng&) {
@@ -91,6 +164,11 @@ JiqPolicy::JiqPolicy(int n, int fallback_d) : fallback_(n, fallback_d) {}
 int JiqPolicy::select(const ClusterState& cluster, Rng& rng) {
   if (cluster.idle_servers() > 0) return cluster.idle_server(0);
   return fallback_.select(cluster, rng);
+}
+
+int JiqPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
+  if (view.idle_count() > 0) return view.idle_head();
+  return fallback_.select_symmetric(view, rng);
 }
 
 std::string JiqPolicy::name() const {
@@ -113,6 +191,19 @@ int JbtPolicy::select(const ClusterState& cluster, Rng& rng) {
   if (fallback_ == Fallback::Random)
     return polled_[rng.uniform_int(polled_.size())];
   return shortest_polled(cluster, polled_, rng);
+}
+
+int JbtPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
+  sampler_.sample(d_, rng, polled_);
+  below_.clear();
+  for (int s : polled_)
+    if (view.level_of(s) < threshold_) below_.push_back(s);
+  if (!below_.empty())
+    return below_[rng.uniform_int(below_.size())];
+  if (fallback_ == Fallback::Random)
+    return polled_[rng.uniform_int(polled_.size())];
+  return shortest_polled_by(polled_, rng,
+                            [&](int s) { return view.level_of(s); });
 }
 
 std::string JbtPolicy::name() const {

@@ -36,6 +36,60 @@ class ClusterState {
   [[nodiscard]] virtual int idle_server(int i) const;
 };
 
+/// Compressed cluster state for SYMMETRIC (exchangeable) policies: the
+/// queue-length histogram — how many servers sit at each queue length —
+/// instead of per-server queues. This is the mean-field representation
+/// (the fraction of servers with >= k jobs is the paper's s_k), and it is
+/// what lets the compact engine keep the per-job dispatch cost
+/// independent of the fleet size N.
+///
+/// Server indices still appear in the interface, but only as opaque,
+/// exchangeable handles: `level_of` exists so sampling policies (SQ(d),
+/// JBT) can poll the levels of d uniformly drawn handles with exactly the
+/// legacy engine's random streams, and `sample_at_level` draws a uniform
+/// handle among the servers at one level in O(1). Nothing else about a
+/// server — remaining work, job identities, position — is visible, which
+/// is precisely why the engine behind this view can compress its state.
+///
+/// Every aggregate query is O(1); `level_of` and `sample_at_level` are
+/// O(1) as well (the engine keeps a by-level directory).
+class QueueHistogramView {
+ public:
+  virtual ~QueueHistogramView() = default;
+
+  [[nodiscard]] virtual int servers() const = 0;
+
+  /// Largest queue length currently held by any server (0 when all idle).
+  [[nodiscard]] virtual int max_level() const = 0;
+
+  /// Number of servers with queue length EXACTLY `level`; 0 for levels
+  /// above max_level().
+  [[nodiscard]] virtual int count_at(int level) const = 0;
+
+  /// Number of idle servers, == count_at(0), in O(1).
+  [[nodiscard]] virtual int idle_count() const = 0;
+
+  /// The idle server that has been idle the longest, -1 when none.
+  ///
+  /// Ordering contract (identical to ClusterState::idle_server(0), which
+  /// this replaces on the compressed path): the dispatcher's I-queue is
+  /// first-idle-first-out — servers enter at the tail the moment their
+  /// queue empties and leave when a job is dispatched to them — and at
+  /// time zero, when every server is idle, the queue holds the servers
+  /// in server-index order. JIQ's "join the longest-idle server" is
+  /// therefore bit-identical across the legacy and compact engines.
+  [[nodiscard]] virtual int idle_head() const = 0;
+
+  /// Queue length of one server handle, O(1).
+  [[nodiscard]] virtual int level_of(int server) const = 0;
+
+  /// A uniformly random server among the count_at(level) servers at
+  /// `level` (which must be > 0 servers), consuming exactly one
+  /// uniform_int draw. O(1): this is the histogram's replacement for
+  /// "scan all N servers and tie-break among the minima".
+  [[nodiscard]] virtual int sample_at_level(int level, Rng& rng) const = 0;
+};
+
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -46,6 +100,22 @@ class Policy {
   /// An independent copy for parallel simulation replicas (each replica
   /// must own its mutable policy state).
   [[nodiscard]] virtual std::unique_ptr<Policy> clone() const = 0;
+
+  /// Capability flag: true when the policy's decision depends on the
+  /// cluster only through exchangeable queue-length information, i.e. it
+  /// implements select_symmetric. Symmetric policies are eligible for the
+  /// compact (histogram-state) engine; identity-aware policies
+  /// (round-robin, least-work-left) return false and keep the legacy
+  /// per-server ClusterState path.
+  [[nodiscard]] virtual bool symmetric() const { return false; }
+
+  /// Choose the server for an arriving job from compressed state. Only
+  /// called when symmetric() is true; the default throws. For the
+  /// paper's policies the implementation consumes the SAME random draws
+  /// as select() on an identical cluster, so a simulation is
+  /// bit-identical on either engine (the equivalence tests pin this).
+  [[nodiscard]] virtual int select_symmetric(const QueueHistogramView& view,
+                                             Rng& rng);
 };
 
 /// SQ(d): poll d distinct servers uniformly, join the shortest polled queue
@@ -54,6 +124,8 @@ class SqdPolicy final : public Policy {
  public:
   SqdPolicy(int n, int d);
   int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<SqdPolicy>(*this);
@@ -66,12 +138,36 @@ class SqdPolicy final : public Policy {
 };
 
 /// JSQ = SQ(N), implemented with a full scan (no sampling overhead).
+/// select_symmetric runs the same scan over levels — bit-identical with
+/// the legacy path but still O(N) per arrival (JSQ inherently consumes
+/// full-fleet information). For O(1) JSQ dispatch at fleet scale, use
+/// HistogramJsqPolicy.
 class JsqPolicy final : public Policy {
  public:
   int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "jsq"; }
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JsqPolicy>(*this);
+  }
+};
+
+/// JSQ through the histogram: join a uniformly random server among those
+/// at the minimum occupied queue length, in O(1) via
+/// QueueHistogramView::sample_at_level. The selected server is
+/// distributed EXACTLY like JsqPolicy's scan (uniform among the minima),
+/// but with one RNG draw instead of one per tie — so the two are
+/// statistically interchangeable while their sample paths differ. This is
+/// the policy that makes JSQ feasible at N = 10^6 in fleet_scaling.
+class HistogramJsqPolicy final : public Policy {
+ public:
+  int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "jsq-h"; }
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<HistogramJsqPolicy>(*this);
   }
 };
 
@@ -97,6 +193,8 @@ class JiqPolicy final : public Policy {
  public:
   explicit JiqPolicy(int n, int fallback_d = 1);
   int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JiqPolicy>(*this);
@@ -120,6 +218,8 @@ class JbtPolicy final : public Policy {
   JbtPolicy(int n, int d, int threshold,
             Fallback fallback = Fallback::Shortest);
   int select(const ClusterState& cluster, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JbtPolicy>(*this);

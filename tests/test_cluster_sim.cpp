@@ -323,6 +323,39 @@ TEST(ClusterSim, BatchArrivalsInflateDelayAtEqualLoad) {
   EXPECT_GT(batch_r.mean_sojourn, 1.2 * plain_r.mean_sojourn);
 }
 
+TEST(ClusterSim, QuantileKnobsTouchOnlyTheQuantiles) {
+  // The reservoir's capacity and seed salt (hoisted ClusterConfig knobs)
+  // feed a SEPARATE RNG: changing them must leave every non-quantile
+  // statistic bit-identical.
+  ClusterConfig base = quick_config(4, 120'000);
+  SqdPolicy policy(4, 2);
+  const auto arr = make_exponential(0.9 * 4);
+  const auto svc = make_exponential(1.0);
+  const auto ref = simulate_cluster(base, policy, *arr, *svc);
+
+  ClusterConfig salted = base;
+  salted.quantile_seed_salt = 0x1234'5678ull;
+  const auto r1 = simulate_cluster(salted, policy, *arr, *svc);
+  ClusterConfig small = base;
+  small.quantile_reservoir = 500;  // heavy reservoir subsampling
+  const auto r2 = simulate_cluster(small, policy, *arr, *svc);
+
+  for (const auto& r : {r1, r2}) {
+    EXPECT_DOUBLE_EQ(r.mean_sojourn, ref.mean_sojourn);
+    EXPECT_DOUBLE_EQ(r.mean_wait, ref.mean_wait);
+    EXPECT_DOUBLE_EQ(r.ci95_sojourn, ref.ci95_sojourn);
+    EXPECT_DOUBLE_EQ(r.utilization, ref.utilization);
+    EXPECT_DOUBLE_EQ(r.sim_time, ref.sim_time);
+    // Quantiles still estimate the same distribution.
+    EXPECT_NEAR(r.p99_sojourn, ref.p99_sojourn, 0.25 * ref.p99_sojourn);
+  }
+
+  ClusterConfig bad = base;
+  bad.quantile_reservoir = 0;
+  EXPECT_THROW(simulate_cluster(bad, policy, *arr, *svc),
+               std::invalid_argument);
+}
+
 TEST(ClusterSim, NewPoliciesAreReplicaAndBudgetInvariant) {
   // The PR-2 contract extended to the new policies: for a fixed replica
   // count the thread budget never changes the output.

@@ -1,0 +1,280 @@
+#include "sim/compact_cluster.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.h"
+#include "util/thread_budget.h"
+
+namespace {
+
+using namespace rlb::sim;
+
+// ---------------------------------------------------------------------------
+// LevelDirectory
+
+TEST(LevelDirectory, StartsAllIdleInServerIndexOrder) {
+  LevelDirectory dir(4);
+  EXPECT_EQ(dir.servers(), 4);
+  EXPECT_EQ(dir.max_level(), 0);
+  EXPECT_EQ(dir.count_at(0), 4);
+  EXPECT_EQ(dir.count_at(1), 0);
+  EXPECT_EQ(dir.idle_count(), 4);
+  EXPECT_EQ(dir.idle_head(), 0);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(dir.level_of(s), 0);
+}
+
+TEST(LevelDirectory, TracksLevelsThroughIncrementDecrement) {
+  LevelDirectory dir(3);
+  dir.increment(1);
+  dir.increment(1);
+  dir.increment(2);
+  EXPECT_EQ(dir.level_of(0), 0);
+  EXPECT_EQ(dir.level_of(1), 2);
+  EXPECT_EQ(dir.level_of(2), 1);
+  EXPECT_EQ(dir.max_level(), 2);
+  EXPECT_EQ(dir.count_at(0), 1);
+  EXPECT_EQ(dir.count_at(1), 1);
+  EXPECT_EQ(dir.count_at(2), 1);
+  EXPECT_EQ(dir.idle_count(), 1);
+
+  dir.decrement(1);
+  EXPECT_EQ(dir.level_of(1), 1);
+  EXPECT_EQ(dir.max_level(), 1);
+  EXPECT_EQ(dir.count_at(1), 2);
+  dir.decrement(1);
+  dir.decrement(2);
+  EXPECT_EQ(dir.max_level(), 0);
+  EXPECT_EQ(dir.idle_count(), 3);
+}
+
+TEST(LevelDirectory, IdleFifoIsFirstIdleFirstOut) {
+  // Busy up 0..3 then idle them in the order 2, 0, 3, 1: the FIFO head
+  // must walk that order, matching the legacy I-queue contract.
+  LevelDirectory dir(4);
+  for (int s = 0; s < 4; ++s) dir.increment(s);
+  EXPECT_EQ(dir.idle_count(), 0);
+  EXPECT_EQ(dir.idle_head(), -1);
+  for (int s : {2, 0, 3, 1}) dir.decrement(s);
+  EXPECT_EQ(dir.idle_head(), 2);
+  dir.increment(2);
+  EXPECT_EQ(dir.idle_head(), 0);
+  dir.increment(0);
+  EXPECT_EQ(dir.idle_head(), 3);
+  // O(1) removal from the middle: retire 1 (the tail), head unchanged.
+  dir.increment(1);
+  EXPECT_EQ(dir.idle_head(), 3);
+  dir.increment(3);
+  EXPECT_EQ(dir.idle_head(), -1);
+}
+
+TEST(LevelDirectory, BlocksPartitionTheServers) {
+  LevelDirectory dir(6);
+  Rng rng(7);
+  for (int step = 0; step < 2'000; ++step) {
+    const int s = static_cast<int>(rng.uniform_int(6));
+    if (dir.level_of(s) == 0 || rng.uniform_int(2) == 0)
+      dir.increment(s);
+    else
+      dir.decrement(s);
+    // Invariants: counts sum to n, every server is inside its block.
+    int total = 0;
+    for (int k = 0; k <= dir.max_level(); ++k) total += dir.count_at(k);
+    ASSERT_EQ(total, 6);
+    for (int v = 0; v < 6; ++v) {
+      const int k = dir.level_of(v);
+      bool found = false;
+      for (int i = 0; i < dir.count_at(k); ++i)
+        if (dir.at(k, i) == v) found = true;
+      ASSERT_TRUE(found) << "server " << v << " missing from level " << k;
+    }
+  }
+}
+
+TEST(LevelDirectory, SampleAtLevelHitsEveryMember) {
+  LevelDirectory dir(8);
+  for (int s : {1, 3, 6}) dir.increment(s);
+  Rng rng(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 3'000; ++i) ++hits[dir.sample_at_level(1, rng)];
+  for (int s = 0; s < 8; ++s) {
+    if (s == 1 || s == 3 || s == 6)
+      EXPECT_GT(hits[s], 800);  // ~1000 each
+    else
+      EXPECT_EQ(hits[s], 0);
+  }
+  EXPECT_THROW(static_cast<void>(dir.sample_at_level(2, rng)),
+               std::invalid_argument);
+}
+
+TEST(LevelDirectory, RejectsBadOperations) {
+  LevelDirectory dir(2);
+  EXPECT_THROW(dir.decrement(0), std::invalid_argument);
+  EXPECT_THROW(LevelDirectory(0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(dir.count_at(-1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: compact must be bit-identical to legacy.
+
+ClusterResult run_with_engine(ClusterEngine engine, Policy& policy, int n,
+                              int replicas = 1, int threads = 1,
+                              std::uint64_t jobs = 60'000) {
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = 4242;
+  cfg.replicas = replicas;
+  cfg.engine = engine;
+  const auto arr = make_exponential(0.9 * n);
+  const auto svc = make_exponential(1.0);
+  rlb::util::ThreadBudget budget(threads);
+  return simulate_cluster(cfg, policy, *arr, *svc, budget);
+}
+
+void expect_identical(const ClusterResult& a, const ClusterResult& b,
+                      const std::string& label) {
+  EXPECT_DOUBLE_EQ(a.mean_sojourn, b.mean_sojourn) << label;
+  EXPECT_DOUBLE_EQ(a.mean_wait, b.mean_wait) << label;
+  EXPECT_DOUBLE_EQ(a.ci95_sojourn, b.ci95_sojourn) << label;
+  EXPECT_DOUBLE_EQ(a.mean_jobs_in_system, b.mean_jobs_in_system) << label;
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization) << label;
+  EXPECT_DOUBLE_EQ(a.p50_sojourn, b.p50_sojourn) << label;
+  EXPECT_DOUBLE_EQ(a.p95_sojourn, b.p95_sojourn) << label;
+  EXPECT_DOUBLE_EQ(a.p99_sojourn, b.p99_sojourn) << label;
+  EXPECT_EQ(a.jobs_measured, b.jobs_measured) << label;
+  EXPECT_DOUBLE_EQ(a.sim_time, b.sim_time) << label;
+}
+
+std::vector<std::unique_ptr<Policy>> symmetric_policies(int n) {
+  std::vector<std::unique_ptr<Policy>> out;
+  out.push_back(std::make_unique<SqdPolicy>(n, 1));
+  out.push_back(std::make_unique<SqdPolicy>(n, 2));
+  out.push_back(std::make_unique<JsqPolicy>());
+  out.push_back(std::make_unique<JiqPolicy>(n));
+  out.push_back(std::make_unique<JbtPolicy>(n, 2, 3));
+  out.push_back(
+      std::make_unique<JbtPolicy>(n, 2, 3, JbtPolicy::Fallback::Random));
+  return out;
+}
+
+TEST(CompactCluster, BitIdenticalToLegacyForSymmetricPolicies) {
+  const int n = 8;
+  for (const auto& policy : symmetric_policies(n)) {
+    const auto legacy = run_with_engine(ClusterEngine::kLegacy, *policy, n);
+    const auto compact = run_with_engine(ClusterEngine::kCompact, *policy, n);
+    expect_identical(legacy, compact, policy->name());
+  }
+}
+
+TEST(CompactCluster, BitIdenticalAcrossReplicasAndThreads) {
+  const int n = 6;
+  for (const auto& policy : symmetric_policies(n)) {
+    const auto legacy =
+        run_with_engine(ClusterEngine::kLegacy, *policy, n, 3, 1);
+    const auto compact =
+        run_with_engine(ClusterEngine::kCompact, *policy, n, 3, 4);
+    expect_identical(legacy, compact, policy->name() + " r=3");
+  }
+}
+
+TEST(CompactCluster, BitIdenticalWithHeterogeneousSpeeds) {
+  // Speeds shape service times identically on both engines (the policy's
+  // information is still exchangeable queue lengths).
+  const int n = 4;
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = 50'000;
+  cfg.warmup = 5'000;
+  cfg.seed = 777;
+  cfg.server_speeds = {2.0, 1.0, 1.0, 0.5};
+  const auto arr = make_exponential(0.8 * n);
+  const auto svc = make_exponential(1.0);
+  SqdPolicy policy(n, 2);
+  cfg.engine = ClusterEngine::kLegacy;
+  const auto legacy = simulate_cluster(cfg, policy, *arr, *svc);
+  cfg.engine = ClusterEngine::kCompact;
+  const auto compact = simulate_cluster(cfg, policy, *arr, *svc);
+  expect_identical(legacy, compact, "sq(2) hetero");
+}
+
+TEST(CompactCluster, BitIdenticalOnTheAdaptivePath) {
+  const int n = 5;
+  const auto arr = make_exponential(0.85 * n);
+  const auto svc = make_exponential(1.0);
+  AdaptivePlan plan;
+  plan.replicas = 2;
+  plan.target_ci = 0.05;
+  plan.initial_jobs = 20'000;
+  plan.max_jobs = 160'000;
+  plan.warmup_jobs = 1'000;
+  plan.base_seed = 99;
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.seed = 99;
+  JiqPolicy policy(n);
+  cfg.engine = ClusterEngine::kLegacy;
+  const auto legacy = simulate_cluster_adaptive(
+      cfg, policy, *arr, *svc, plan, rlb::util::ThreadBudget::serial());
+  cfg.engine = ClusterEngine::kCompact;
+  rlb::util::ThreadBudget budget(4);
+  const auto compact =
+      simulate_cluster_adaptive(cfg, policy, *arr, *svc, plan, budget);
+  expect_identical(legacy, compact, "jiq adaptive");
+  EXPECT_EQ(legacy.adaptive.jobs_used, compact.adaptive.jobs_used);
+  EXPECT_EQ(legacy.adaptive.rounds, compact.adaptive.rounds);
+  EXPECT_DOUBLE_EQ(legacy.adaptive.half_width, compact.adaptive.half_width);
+}
+
+TEST(CompactCluster, AutoSelectsCompactForSymmetricPolicies) {
+  // kAuto must equal kCompact for a symmetric policy and kLegacy for an
+  // identity-aware one (round-robin still runs, on the legacy engine).
+  const int n = 6;
+  SqdPolicy sqd(n, 2);
+  const auto auto_r = run_with_engine(ClusterEngine::kAuto, sqd, n);
+  const auto compact_r = run_with_engine(ClusterEngine::kCompact, sqd, n);
+  expect_identical(auto_r, compact_r, "sq(2) auto==compact");
+
+  RoundRobinPolicy rr;
+  const auto rr_auto = run_with_engine(ClusterEngine::kAuto, rr, n);
+  const auto rr_legacy = run_with_engine(ClusterEngine::kLegacy, rr, n);
+  expect_identical(rr_auto, rr_legacy, "round-robin auto==legacy");
+}
+
+TEST(CompactCluster, CompactEngineRejectsNonSymmetricPolicies) {
+  RoundRobinPolicy rr;
+  LeastWorkLeftPolicy lwl;
+  EXPECT_THROW(run_with_engine(ClusterEngine::kCompact, rr, 4),
+               std::invalid_argument);
+  EXPECT_THROW(run_with_engine(ClusterEngine::kCompact, lwl, 4),
+               std::invalid_argument);
+}
+
+TEST(CompactCluster, HistogramJsqMatchesJsqStatistically) {
+  // jsq-h draws a uniform minimum-level server in O(1); same distribution
+  // as the jsq scan, different stream. Means must agree within CIs.
+  const int n = 8;
+  JsqPolicy jsq;
+  HistogramJsqPolicy jsqh;
+  const auto a =
+      run_with_engine(ClusterEngine::kCompact, jsq, n, 1, 1, 300'000);
+  const auto b =
+      run_with_engine(ClusterEngine::kCompact, jsqh, n, 1, 1, 300'000);
+  EXPECT_NEAR(a.mean_sojourn, b.mean_sojourn,
+              3.0 * (a.ci95_sojourn + b.ci95_sojourn) + 0.01);
+  // And jsq-h itself is engine-bit-identical (its two paths share the
+  // distribution but the ENGINE contract is about one policy run twice).
+  const auto legacy_h =
+      run_with_engine(ClusterEngine::kLegacy, jsqh, n, 1, 1, 60'000);
+  const auto compact_h =
+      run_with_engine(ClusterEngine::kCompact, jsqh, n, 1, 1, 60'000);
+  EXPECT_NEAR(legacy_h.mean_sojourn, compact_h.mean_sojourn,
+              3.0 * (legacy_h.ci95_sojourn + compact_h.ci95_sojourn) + 0.01);
+}
+
+}  // namespace

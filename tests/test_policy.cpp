@@ -1,5 +1,9 @@
 #include "sim/policy.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -95,6 +99,7 @@ TEST(LeastWorkLeftPolicy, PicksSmallestWorkload) {
 TEST(PolicyNames, Informative) {
   EXPECT_EQ(SqdPolicy(4, 2).name(), "sq(2)");
   EXPECT_EQ(JsqPolicy().name(), "jsq");
+  EXPECT_EQ(HistogramJsqPolicy().name(), "jsq-h");
   EXPECT_EQ(RoundRobinPolicy().name(), "round-robin");
   EXPECT_EQ(LeastWorkLeftPolicy().name(), "least-work");
   EXPECT_EQ(JiqPolicy(4).name(), "jiq/sq(1)");
@@ -114,7 +119,8 @@ TEST(ClusterStateView, DefaultIdleScanUsesIndexOrder) {
   EXPECT_EQ(cluster.idle_server(0), 1);
   EXPECT_EQ(cluster.idle_server(1), 3);
   EXPECT_EQ(cluster.idle_server(2), 4);
-  EXPECT_THROW(cluster.idle_server(3), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cluster.idle_server(3)),
+               std::invalid_argument);
 }
 
 TEST(JiqPolicy, AlwaysJoinsAnIdleServerWhenOneExists) {
@@ -198,6 +204,122 @@ TEST(JbtPolicy, ValidatesParameters) {
   EXPECT_THROW(JbtPolicy(3, 0, 1), std::invalid_argument);
   EXPECT_THROW(JbtPolicy(3, 4, 1), std::invalid_argument);
   EXPECT_THROW(JbtPolicy(3, 2, -1), std::invalid_argument);
+}
+
+/// Test double for the compressed-state view: levels given directly;
+/// idle FIFO and within-level sampling use server-index order.
+class FakeHistogramView final : public QueueHistogramView {
+ public:
+  explicit FakeHistogramView(std::vector<int> levels)
+      : levels_(std::move(levels)) {}
+  int servers() const override { return static_cast<int>(levels_.size()); }
+  int max_level() const override {
+    int m = 0;
+    for (int l : levels_) m = std::max(m, l);
+    return m;
+  }
+  int count_at(int level) const override {
+    int c = 0;
+    for (int l : levels_)
+      if (l == level) ++c;
+    return c;
+  }
+  int idle_count() const override { return count_at(0); }
+  int idle_head() const override {
+    for (int s = 0; s < servers(); ++s)
+      if (levels_[s] == 0) return s;
+    return -1;
+  }
+  int level_of(int server) const override { return levels_[server]; }
+  int sample_at_level(int level, Rng& rng) const override {
+    auto j = rng.uniform_int(static_cast<std::uint64_t>(count_at(level)));
+    for (int s = 0; s < servers(); ++s) {
+      if (levels_[s] != level) continue;
+      if (j == 0) return s;
+      --j;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<int> levels_;
+};
+
+TEST(SymmetricDispatch, CapabilityFlagsMatchTheEngineContract) {
+  EXPECT_TRUE(SqdPolicy(4, 2).symmetric());
+  EXPECT_TRUE(JsqPolicy().symmetric());
+  EXPECT_TRUE(HistogramJsqPolicy().symmetric());
+  EXPECT_TRUE(JiqPolicy(4).symmetric());
+  EXPECT_TRUE(JbtPolicy(4, 2, 3).symmetric());
+  EXPECT_FALSE(RoundRobinPolicy().symmetric());
+  EXPECT_FALSE(LeastWorkLeftPolicy().symmetric());
+}
+
+TEST(SymmetricDispatch, DefaultSelectSymmetricRefusesToRun) {
+  RoundRobinPolicy policy;
+  FakeHistogramView view({0, 0});
+  Rng rng(1);
+  EXPECT_THROW((void)policy.select_symmetric(view, rng), std::logic_error);
+}
+
+TEST(SymmetricDispatch, MatchesSelectDrawForDrawOnTheSameState) {
+  // The bit-identity contract at policy level: on equal cluster states,
+  // select and select_symmetric walk the same random stream to the same
+  // server, for every symmetric policy. (jsq-h is exempt by design: same
+  // draw count and distribution, different server mapping.)
+  const std::vector<int> lens{2, 0, 1, 2, 0, 3};
+  FakeCluster cluster(lens);
+  FakeHistogramView view(lens);
+  SqdPolicy sqd(6, 3);
+  JsqPolicy jsq;
+  JiqPolicy jiq(6);
+  JbtPolicy jbt(6, 3, 2);
+  JbtPolicy jbt_r(6, 3, 2, JbtPolicy::Fallback::Random);
+  for (Policy* p :
+       {static_cast<Policy*>(&sqd), static_cast<Policy*>(&jsq),
+        static_cast<Policy*>(&jiq), static_cast<Policy*>(&jbt),
+        static_cast<Policy*>(&jbt_r)}) {
+    Rng rng_a(57), rng_b(57);
+    for (int i = 0; i < 300; ++i) {
+      EXPECT_EQ(p->select(cluster, rng_a), p->select_symmetric(view, rng_b))
+          << p->name() << " draw " << i;
+    }
+    // Streams must stay in lockstep after the selections too.
+    EXPECT_EQ(rng_a.uniform_int(1u << 30), rng_b.uniform_int(1u << 30))
+        << p->name();
+  }
+}
+
+TEST(SymmetricDispatch, JiqFallsBackThroughTheViewWhenNoneIdle) {
+  FakeHistogramView view({1, 2, 1, 3});
+  JiqPolicy policy(4);  // sq(1) fallback = uniform random
+  Rng rng(61);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i)
+    ++counts[policy.select_symmetric(view, rng)];
+  for (int c : counts) EXPECT_NEAR(c, trials / 4.0, 500);
+}
+
+TEST(HistogramJsqPolicy, UniformAmongMinimaOnBothPaths) {
+  const std::vector<int> lens{4, 1, 3, 1, 5};
+  FakeCluster cluster(lens);
+  FakeHistogramView view(lens);
+  HistogramJsqPolicy policy;
+  Rng rng(67);
+  std::vector<int> scan_counts(5, 0), view_counts(5, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    ++scan_counts[policy.select(cluster, rng)];
+    ++view_counts[policy.select_symmetric(view, rng)];
+  }
+  for (const auto& counts : {scan_counts, view_counts}) {
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_EQ(counts[4], 0);
+    EXPECT_NEAR(counts[1], trials / 2.0, 450);
+    EXPECT_NEAR(counts[3], trials / 2.0, 450);
+  }
 }
 
 TEST(NewPolicies, ClonesAreIndependent) {

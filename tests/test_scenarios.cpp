@@ -42,6 +42,12 @@ std::vector<QuickScenario> new_scenarios() {
       {"policy_comparison", {"--jobs=30000"}},
       {"batch_arrivals", {"--jobs=30000"}},
       {"hetero_fleet_bounds", {"--steps=120000", "--arrivals=60000"}},
+      // Compact-engine fleet sweep, shrunk to test scale; --time stays 0
+      // so the output is deterministic (the wall-clock column is the one
+      // documented exception to the determinism contract).
+      {"fleet_scaling",
+       {"--nmin=32", "--nmax=128", "--nstep=2", "--jobs-per-server=200",
+        "--crosscheck-n=64", "--crosscheck-jobs=20000"}},
   };
 }
 
