@@ -59,6 +59,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
   const auto seed =
       static_cast<std::uint64_t>(ctx.cli().get_int("seed", 97'531));
   const bool time = ctx.cli().get_int("time", 0) != 0;
+  const int time_reps = static_cast<int>(ctx.cli().get_int("time-reps", 3));
   const int cross_n = static_cast<int>(ctx.cli().get_int("crosscheck-n", 256));
   const auto cross_jobs = static_cast<std::uint64_t>(
       ctx.cli().get_int("crosscheck-jobs", 100'000));
@@ -66,6 +67,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
   RLB_REQUIRE(nmin >= 1 && nmax >= nmin, "need 1 <= nmin <= nmax");
   RLB_REQUIRE(nstep >= 2, "nstep is a multiplier; need nstep >= 2");
   RLB_REQUIRE(rho > 0.0 && rho < 1.0, "need 0 < rho < 1");
+  RLB_REQUIRE(time_reps >= 1, "need time-reps >= 1");
 
   using namespace rlb::sim;
   std::vector<int> fleet_sizes;
@@ -91,15 +93,26 @@ ScenarioOutput run(ScenarioContext& ctx) {
         const auto arr = make_exponential(rho * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(i % kPolicies, n, d);
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto res =
-            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-        const auto t1 = std::chrono::steady_clock::now();
-        const double ns =
-            static_cast<double>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                    .count()) /
-            static_cast<double>(cfg.jobs);
+        // With --time=1 each cell reruns the identical simulation
+        // `time-reps` times and reports the MINIMUM ns/job — the
+        // standard benchmarking estimator for the noise-free cost
+        // (interference only ever adds time). The reruns are
+        // deterministic repeats, so the delay column is unaffected.
+        const int reps = time ? time_reps : 1;
+        ClusterResult res;
+        double ns = 0.0;
+        for (int rep = 0; rep < reps; ++rep) {
+          const auto t0 = std::chrono::steady_clock::now();
+          res = simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+          const auto t1 = std::chrono::steady_clock::now();
+          const double rep_ns =
+              static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                       t0)
+                      .count()) /
+              static_cast<double>(cfg.jobs);
+          if (rep == 0 || rep_ns < ns) ns = rep_ns;
+        }
         return Cell{res.mean_sojourn, ns};
       });
 
@@ -214,6 +227,8 @@ const rlb::engine::ScenarioRegistrar reg{{
      {"jobs-per-server", "simulated jobs per server per cell", "20"},
      {"seed", "base RNG seed; per-row seeds are derived from it", "97531"},
      {"time", "1: add wall-clock ns/job columns (non-deterministic)", "0"},
+     {"time-reps",
+      "repetitions per cell for --time=1; reports the min ns/job", "3"},
      {"crosscheck-n", "fleet size for the engine cross-check", "256"},
      {"crosscheck-jobs", "jobs for the engine cross-check", "100000"}},
     run}};

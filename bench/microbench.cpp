@@ -129,7 +129,8 @@ BENCHMARK(BM_CompactClusterThroughput)
     ->Arg(10)
     ->Arg(100)
     ->Arg(1000)
-    ->Arg(10000);
+    ->Arg(10000)
+    ->Arg(100000);
 
 void BM_DistinctSampling(benchmark::State& state) {
   const int n = 250;
@@ -194,6 +195,42 @@ void BM_LevelDirectoryStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LevelDirectoryStep)->Arg(100)->Arg(10000)->Arg(1000000);
+
+/// Directory level moves on servers visited in index order: the packed
+/// per-server record makes consecutive servers share cache lines, so
+/// this is the layout's best case (pure streaming).
+void BM_DirectoryStepSequential(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::LevelDirectory dir(n);
+  int s = 0;
+  for (auto _ : state) {
+    dir.increment(s);
+    dir.decrement(s);
+    s = s + 1 == n ? 0 : s + 1;
+    benchmark::DoNotOptimize(dir.idle_head());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryStepSequential)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+/// The same level moves on uniformly random servers — the access pattern
+/// SQ(d) polling actually produces. At n = 10^6 every touch is a cache
+/// miss in a cold layout; the gap between this and the sequential
+/// variant is the cache-residency cost the fused record shrinks.
+void BM_DirectoryStepRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rlb::sim::Rng rng(17);
+  rlb::sim::LevelDirectory dir(n);
+  for (auto _ : state) {
+    const int s =
+        static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    dir.increment(s);
+    dir.decrement(s);
+    benchmark::DoNotOptimize(dir.idle_head());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryStepRandom)->Arg(1000)->Arg(100000)->Arg(1000000);
 
 /// Replica-merge cost: the per-round serial section of every parallel
 /// run (stats.h moments + batch means + quantile reservoirs).

@@ -1,5 +1,7 @@
 #include "engine/baseline.h"
 
+#include "engine/json.h"
+
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -11,235 +13,6 @@
 namespace rlb::engine {
 
 namespace {
-
-/// Minimal recursive-descent JSON reader, sufficient for the documents
-/// to_json emits (objects, arrays, strings with escapes, numbers,
-/// true/false/null). Kept private to this translation unit — the engine
-/// is not in the business of general JSON.
-class JsonParser {
- public:
-  struct Value {
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;  // String kind
-    std::vector<Value> items;
-    std::vector<std::pair<std::string, Value>> members;
-
-    [[nodiscard]] const Value* find(const std::string& key) const {
-      for (const auto& [k, v] : members)
-        if (k == key) return &v;
-      return nullptr;
-    }
-  };
-
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  Value parse() {
-    Value v = value();
-    skip_ws();
-    RLB_REQUIRE(pos_ == s_.size(), "baseline JSON: trailing content");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: unexpected end");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    RLB_REQUIRE(pos_ < s_.size() && s_[pos_] == c,
-                std::string("baseline JSON: expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Value value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"': {
-        Value v;
-        v.kind = Value::Kind::String;
-        v.text = string();
-        return v;
-      }
-      case 't': {
-        RLB_REQUIRE(consume_literal("true"), "baseline JSON: bad literal");
-        Value v;
-        v.kind = Value::Kind::Bool;
-        v.boolean = true;
-        return v;
-      }
-      case 'f': {
-        RLB_REQUIRE(consume_literal("false"), "baseline JSON: bad literal");
-        Value v;
-        v.kind = Value::Kind::Bool;
-        return v;
-      }
-      case 'n': {
-        RLB_REQUIRE(consume_literal("null"), "baseline JSON: bad literal");
-        return Value{};
-      }
-      default:
-        return number();
-    }
-  }
-
-  Value object() {
-    expect('{');
-    Value v;
-    v.kind = Value::Kind::Object;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.members.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Value array() {
-    expect('[');
-    Value v;
-    v.kind = Value::Kind::Array;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      RLB_REQUIRE(pos_ < s_.size(), "baseline JSON: bad escape");
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out.push_back(esc);
-          break;
-        case 'b':
-          out.push_back('\b');
-          break;
-        case 'f':
-          out.push_back('\f');
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'u': {
-          RLB_REQUIRE(pos_ + 4 <= s_.size(), "baseline JSON: bad \\u");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9')
-              code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code += static_cast<unsigned>(h - 'A' + 10);
-            else
-              RLB_REQUIRE(false, "baseline JSON: bad \\u digit");
-          }
-          // The sink only emits \u00XX for control bytes; decode the
-          // low byte and refuse anything wider rather than implement
-          // full UTF-16 surrogate handling.
-          RLB_REQUIRE(code < 0x100, "baseline JSON: \\u beyond latin-1");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          RLB_REQUIRE(false, "baseline JSON: unknown escape");
-      }
-    }
-  }
-
-  Value number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
-            s_[pos_] == '-'))
-      ++pos_;
-    RLB_REQUIRE(pos_ > start, "baseline JSON: expected a value");
-    Value v;
-    v.kind = Value::Kind::Number;
-    v.text = s_.substr(start, pos_ - start);
-    std::size_t consumed = 0;
-    try {
-      v.number = std::stod(v.text, &consumed);
-    } catch (const std::exception&) {
-      consumed = 0;
-    }
-    // stod must consume the whole token — "1e-" or "1.2.3" parse as a
-    // prefix otherwise and would silently compare against the wrong value.
-    RLB_REQUIRE(consumed == v.text.size(),
-                "baseline JSON: bad number '" + v.text + "'");
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
 
 /// True when `s` parses as a finite double, mirroring the sink's
 /// is_json_number notion of a numeric cell.
@@ -341,12 +114,12 @@ std::string BaselineReport::describe() const {
 BaselineReport compare_to_baseline(const ScenarioOutput& out,
                                    const std::string& baseline_json,
                                    const BaselineOptions& opts) {
-  const JsonParser::Value root = JsonParser(baseline_json).parse();
-  RLB_REQUIRE(root.kind == JsonParser::Value::Kind::Object,
+  const json::Value root = json::parse(baseline_json);
+  RLB_REQUIRE(root.kind == json::Value::Kind::Object,
               "baseline JSON: root must be an object");
   const auto* tables = root.find("tables");
   RLB_REQUIRE(tables != nullptr &&
-                  tables->kind == JsonParser::Value::Kind::Array,
+                  tables->kind == json::Value::Kind::Array,
               "baseline JSON: missing 'tables' array");
 
   BaselineReport report;
@@ -359,16 +132,16 @@ BaselineReport compare_to_baseline(const ScenarioOutput& out,
 
   for (std::size_t t = 0; t < out.tables.size(); ++t) {
     const NamedTable& actual = out.tables[t];
-    const JsonParser::Value& ref = tables->items[t];
-    RLB_REQUIRE(ref.kind == JsonParser::Value::Kind::Object,
+    const json::Value& ref = tables->items[t];
+    RLB_REQUIRE(ref.kind == json::Value::Kind::Object,
                 "baseline JSON: table entry must be an object");
     const auto* name = ref.find("name");
     const auto* header = ref.find("header");
     const auto* rows = ref.find("rows");
-    RLB_REQUIRE(name && name->kind == JsonParser::Value::Kind::String &&
+    RLB_REQUIRE(name && name->kind == json::Value::Kind::String &&
                     header &&
-                    header->kind == JsonParser::Value::Kind::Array &&
-                    rows && rows->kind == JsonParser::Value::Kind::Array,
+                    header->kind == json::Value::Kind::Array &&
+                    rows && rows->kind == json::Value::Kind::Array,
                 "baseline JSON: table needs name/header/rows");
 
     if (name->text != actual.name) {
@@ -380,7 +153,7 @@ BaselineReport compare_to_baseline(const ScenarioOutput& out,
     bool header_matches = header->items.size() == actual_header.size();
     for (std::size_t c = 0; header_matches && c < actual_header.size(); ++c)
       header_matches = header->items[c].kind ==
-                           JsonParser::Value::Kind::String &&
+                           json::Value::Kind::String &&
                        header->items[c].text == actual_header[c];
     if (!header_matches) {
       add_structure_mismatch(report, actual.name, "a different header",
@@ -397,20 +170,20 @@ BaselineReport compare_to_baseline(const ScenarioOutput& out,
     }
 
     for (std::size_t r = 0; r < actual_rows.size(); ++r) {
-      const JsonParser::Value& ref_row = rows->items[r];
-      RLB_REQUIRE(ref_row.kind == JsonParser::Value::Kind::Array &&
+      const json::Value& ref_row = rows->items[r];
+      RLB_REQUIRE(ref_row.kind == json::Value::Kind::Array &&
                       ref_row.items.size() == actual_rows[r].size(),
                   "baseline JSON: row arity drift in '" + actual.name + "'");
       for (std::size_t c = 0; c < actual_rows[r].size(); ++c) {
         const std::string& column = actual_header[c];
         if (opts.ignore_columns.count(column)) continue;
-        const JsonParser::Value& ref_cell = ref_row.items[c];
+        const json::Value& ref_cell = ref_row.items[c];
         const std::string& actual_cell = actual_rows[r][c];
         ++report.cells_compared;
 
         double actual_num = 0.0;
         const bool actual_is_num = cell_as_number(actual_cell, actual_num);
-        if (ref_cell.kind == JsonParser::Value::Kind::Number &&
+        if (ref_cell.kind == json::Value::Kind::Number &&
             actual_is_num) {
           const double diff = std::abs(actual_num - ref_cell.number);
           const double bound = opts.atol.for_column(column) +
@@ -423,9 +196,9 @@ BaselineReport compare_to_baseline(const ScenarioOutput& out,
         } else {
           const std::string& ref_text = ref_cell.text;
           const bool same =
-              ref_cell.kind == JsonParser::Value::Kind::String
+              ref_cell.kind == json::Value::Kind::String
                   ? ref_cell.text == actual_cell
-                  : ref_cell.kind == JsonParser::Value::Kind::Number &&
+                  : ref_cell.kind == json::Value::Kind::Number &&
                         ref_cell.text == actual_cell;
           if (same) continue;
           report.ok = false;

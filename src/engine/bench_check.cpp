@@ -1,0 +1,188 @@
+#include "engine/bench_check.h"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "engine/json.h"
+#include "util/require.h"
+
+namespace rlb::engine {
+
+namespace {
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  RLB_REQUIRE(false, "bench report: unknown time_unit '" + unit + "'");
+  return 0.0;
+}
+
+/// name -> time in ns for every non-aggregate benchmark entry, in report
+/// order (a vector of pairs keeps the report's ordering for output).
+std::vector<std::pair<std::string, double>> read_report(
+    const std::string& text, const std::string& metric) {
+  const json::Value root = json::parse(text);
+  RLB_REQUIRE(root.kind == json::Value::Kind::Object,
+              "bench report: root must be an object");
+  const auto* benchmarks = root.find("benchmarks");
+  RLB_REQUIRE(benchmarks != nullptr &&
+                  benchmarks->kind == json::Value::Kind::Array,
+              "bench report: missing 'benchmarks' array");
+
+  std::vector<std::pair<std::string, double>> out;
+  for (const json::Value& entry : benchmarks->items) {
+    RLB_REQUIRE(entry.kind == json::Value::Kind::Object,
+                "bench report: benchmark entry must be an object");
+    const auto* run_type = entry.find("run_type");
+    if (run_type != nullptr && run_type->kind == json::Value::Kind::String &&
+        run_type->text == "aggregate")
+      continue;  // mean/median/stddev rows of repeated runs
+    const auto* name = entry.find("name");
+    const auto* value = entry.find(metric);
+    const auto* unit = entry.find("time_unit");
+    RLB_REQUIRE(name != nullptr && name->kind == json::Value::Kind::String,
+                "bench report: benchmark entry without a name");
+    RLB_REQUIRE(value != nullptr && value->kind == json::Value::Kind::Number,
+                "bench report: '" + name->text + "' has no numeric '" +
+                    metric + "'");
+    const std::string unit_text =
+        unit != nullptr && unit->kind == json::Value::Kind::String ? unit->text
+                                                                   : "ns";
+    out.emplace_back(name->text, to_ns(value->number, unit_text));
+  }
+  return out;
+}
+
+std::string format_ns(double ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ns << " ns";
+  return os.str();
+}
+
+const char* status_tag(BenchStatus status) {
+  switch (status) {
+    case BenchStatus::kOk:
+      return "ok";
+    case BenchStatus::kWarn:
+      return "WARN";
+    case BenchStatus::kFail:
+      return "FAIL";
+    case BenchStatus::kNew:
+      return "new";
+    case BenchStatus::kRemoved:
+      return "REMOVED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string BenchCheckReport::describe() const {
+  std::ostringstream os;
+  for (const BenchRow& row : rows) {
+    os << "  [" << status_tag(row.status) << "] " << row.name;
+    switch (row.status) {
+      case BenchStatus::kNew:
+        os << ": " << format_ns(row.candidate_ns) << " (no baseline)";
+        break;
+      case BenchStatus::kRemoved:
+        os << ": " << format_ns(row.baseline_ns)
+           << " (missing from candidate)";
+        break;
+      default:
+        os << ": " << format_ns(row.baseline_ns) << " -> "
+           << format_ns(row.candidate_ns) << " (" << std::fixed
+           << std::setprecision(2) << row.ratio << "x)";
+        break;
+    }
+    os << "\n";
+  }
+  if (failed > 0)
+    os << "bench REGRESSION: " << failed << " benchmark(s) failed, " << warned
+       << " warned";
+  else if (warned > 0)
+    os << "bench check passed with " << warned << " warning(s)";
+  else
+    os << "bench check passed: " << rows.size() << " benchmark(s) compared";
+  return os.str();
+}
+
+std::string BenchCheckReport::github_annotations() const {
+  std::ostringstream os;
+  for (const BenchRow& row : rows) {
+    if (row.status == BenchStatus::kFail) {
+      os << "::error::benchmark regression: " << row.name << " "
+         << format_ns(row.baseline_ns) << " -> "
+         << format_ns(row.candidate_ns) << " (" << std::fixed
+         << std::setprecision(2) << row.ratio << "x)\n";
+    } else if (row.status == BenchStatus::kWarn) {
+      os << "::warning::benchmark slowdown: " << row.name << " "
+         << format_ns(row.baseline_ns) << " -> "
+         << format_ns(row.candidate_ns) << " (" << std::fixed
+         << std::setprecision(2) << row.ratio << "x)\n";
+    } else if (row.status == BenchStatus::kRemoved) {
+      os << "::warning::benchmark removed: " << row.name
+         << " is in the baseline but not the candidate report\n";
+    }
+  }
+  return os.str();
+}
+
+BenchCheckReport check_benchmarks(const std::string& baseline_json,
+                                  const std::string& candidate_json,
+                                  const BenchCheckOptions& opts) {
+  RLB_REQUIRE(opts.warn_ratio >= 1.0 && opts.fail_ratio >= opts.warn_ratio,
+              "need 1 <= warn-ratio <= fail-ratio");
+  RLB_REQUIRE(opts.min_ns >= 0.0, "min-ns must be non-negative");
+  const auto baseline = read_report(baseline_json, opts.metric);
+  const auto candidate = read_report(candidate_json, opts.metric);
+
+  std::map<std::string, double> baseline_by_name(baseline.begin(),
+                                                 baseline.end());
+  std::map<std::string, double> candidate_by_name(candidate.begin(),
+                                                  candidate.end());
+
+  BenchCheckReport report;
+  for (const auto& [name, cand_ns] : candidate) {
+    BenchRow row;
+    row.name = name;
+    row.candidate_ns = cand_ns;
+    const auto it = baseline_by_name.find(name);
+    if (it == baseline_by_name.end()) {
+      row.status = BenchStatus::kNew;
+    } else {
+      row.baseline_ns = it->second;
+      row.ratio = it->second > 0.0
+                      ? cand_ns / it->second
+                      : std::numeric_limits<double>::infinity();
+      const double slow_by = cand_ns - it->second;
+      // Both gates must trip: the ratio says the slowdown is real in
+      // relative terms, the floor says it is big enough to matter.
+      if (row.ratio > opts.fail_ratio && slow_by > opts.min_ns) {
+        row.status = BenchStatus::kFail;
+        ++report.failed;
+      } else if (row.ratio > opts.warn_ratio && slow_by > opts.min_ns) {
+        row.status = BenchStatus::kWarn;
+        ++report.warned;
+      }
+    }
+    report.rows.push_back(row);
+  }
+  for (const auto& [name, base_ns] : baseline) {
+    if (candidate_by_name.count(name)) continue;
+    BenchRow row;
+    row.name = name;
+    row.baseline_ns = base_ns;
+    row.status = BenchStatus::kRemoved;
+    ++report.warned;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace rlb::engine

@@ -1,0 +1,71 @@
+// Benchmark-regression gate for CI.
+//
+// `bench_check --baseline=ref.json --candidate=new.json` compares two
+// google-benchmark JSON reports benchmark by benchmark and fails when a
+// candidate is slower than the committed reference beyond noise-tolerant
+// thresholds. The gate is two-sided on purpose: a regression needs BOTH a
+// ratio above the threshold AND an absolute slowdown above a floor, so a
+// 3 ns benchmark jittering to 7 ns does not page anyone while a 500 ns
+// benchmark doubling does. CI runs this against baselines/BENCH_6.json
+// after every bench job.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlb::engine {
+
+struct BenchCheckOptions {
+  double warn_ratio = 1.3;  ///< candidate/baseline above this warns
+  double fail_ratio = 2.0;  ///< candidate/baseline above this fails
+  /// Absolute slowdown floor: a ratio breach only counts when the
+  /// candidate is also at least this many nanoseconds slower — tiny
+  /// benchmarks have huge relative jitter.
+  double min_ns = 50.0;
+  /// Which report field to compare: "cpu_time" (default, immune to other
+  /// load on the runner) or "real_time".
+  std::string metric = "cpu_time";
+};
+
+enum class BenchStatus {
+  kOk,       ///< within thresholds
+  kWarn,     ///< ratio in (warn, fail]
+  kFail,     ///< ratio above fail
+  kNew,      ///< in candidate only (no gate — informational)
+  kRemoved,  ///< in baseline only (warns: the gate lost coverage)
+};
+
+struct BenchRow {
+  std::string name;
+  double baseline_ns = 0.0;
+  double candidate_ns = 0.0;
+  double ratio = 0.0;  ///< candidate/baseline; 0 for kNew/kRemoved
+  BenchStatus status = BenchStatus::kOk;
+};
+
+struct BenchCheckReport {
+  std::vector<BenchRow> rows;
+  std::size_t warned = 0;
+  std::size_t failed = 0;
+
+  [[nodiscard]] bool ok() const { return failed == 0; }
+
+  /// Human-readable multi-line summary, one line per benchmark plus a
+  /// verdict line.
+  [[nodiscard]] std::string describe() const;
+
+  /// GitHub Actions ::warning::/::error:: annotation lines for every
+  /// non-ok row (empty string when everything is ok).
+  [[nodiscard]] std::string github_annotations() const;
+};
+
+/// Compare two google-benchmark JSON documents (the format --benchmark_out
+/// emits). Aggregate rows (run_type == "aggregate") are skipped; times are
+/// normalized to nanoseconds via each entry's time_unit. Throws
+/// std::invalid_argument on malformed JSON or missing fields.
+BenchCheckReport check_benchmarks(const std::string& baseline_json,
+                                  const std::string& candidate_json,
+                                  const BenchCheckOptions& opts);
+
+}  // namespace rlb::engine

@@ -1,0 +1,224 @@
+#include "engine/json.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace rlb::engine::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    RLB_REQUIRE(pos_ == s_.size(), "JSON: trailing content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    RLB_REQUIRE(pos_ < s_.size(), "JSON: unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    RLB_REQUIRE(pos_ < s_.size() && s_[pos_] == c,
+                std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.text = string();
+        return v;
+      }
+      case 't': {
+        RLB_REQUIRE(consume_literal("true"), "JSON: bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        RLB_REQUIRE(consume_literal("false"), "JSON: bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        RLB_REQUIRE(consume_literal("null"), "JSON: bad literal");
+        return Value{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      RLB_REQUIRE(pos_ < s_.size(), "JSON: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      RLB_REQUIRE(pos_ < s_.size(), "JSON: bad escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          RLB_REQUIRE(pos_ + 4 <= s_.size(), "JSON: bad \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              RLB_REQUIRE(false, "JSON: bad \\u digit");
+          }
+          // Our writers only emit \u00XX for control bytes; decode the
+          // low byte and refuse anything wider rather than implement
+          // full UTF-16 surrogate handling.
+          RLB_REQUIRE(code < 0x100, "JSON: \\u beyond latin-1");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          RLB_REQUIRE(false, "JSON: unknown escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-'))
+      ++pos_;
+    RLB_REQUIRE(pos_ > start, "JSON: expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.text = s_.substr(start, pos_ - start);
+    std::size_t consumed = 0;
+    try {
+      v.number = std::stod(v.text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    // stod must consume the whole token — "1e-" or "1.2.3" parse as a
+    // prefix otherwise and would silently compare against the wrong value.
+    RLB_REQUIRE(consumed == v.text.size(), "JSON: bad number '" + v.text + "'");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace rlb::engine::json

@@ -1,0 +1,37 @@
+// Minimal JSON reader shared by the engine's file-comparing tools
+// (baseline regression checking, bench_check). Recursive descent over
+// objects, arrays, strings with escapes, numbers, and true/false/null —
+// sufficient for the documents to_json and google-benchmark emit. The
+// engine is not in the business of general JSON; anything outside this
+// subset throws std::invalid_argument.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlb::engine::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  /// String kind's content; for Number, the verbatim source token (so
+  /// callers can report or re-emit the exact text).
+  std::string text;
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse a complete JSON document (no trailing content allowed); throws
+/// std::invalid_argument on malformed input.
+Value parse(const std::string& text);
+
+}  // namespace rlb::engine::json

@@ -1,126 +1,11 @@
 #include "sim/compact_cluster.h"
 
 #include <algorithm>
-#include <utility>
 
+#include "util/prefetch.h"
 #include "util/require.h"
 
 namespace rlb::sim {
-
-// ---------------------------------------------------------------------------
-// LevelDirectory
-
-LevelDirectory::LevelDirectory(int servers) : n_(servers) {
-  RLB_REQUIRE(servers >= 1, "need at least one server");
-  level_.assign(n_, 0);
-  by_level_.resize(n_);
-  pos_.resize(n_);
-  for (int s = 0; s < n_; ++s) {
-    by_level_[s] = s;
-    pos_[s] = s;
-  }
-  count_ = {n_};
-  offset_ = {0};
-  // All servers start idle, queued in server-index order — the same
-  // initial I-queue the legacy engine builds.
-  idle_next_.resize(n_);
-  idle_prev_.resize(n_);
-  for (int s = 0; s < n_; ++s) {
-    idle_next_[s] = s + 1 < n_ ? s + 1 : -1;
-    idle_prev_[s] = s - 1;
-  }
-  idle_head_ = 0;
-  idle_tail_ = n_ - 1;
-}
-
-int LevelDirectory::count_at(int level) const {
-  RLB_REQUIRE(level >= 0, "queue-length level must be non-negative");
-  return level < static_cast<int>(count_.size()) ? count_[level] : 0;
-}
-
-int LevelDirectory::sample_at_level(int level, Rng& rng) const {
-  const int c = count_at(level);
-  RLB_REQUIRE(c > 0, "sample_at_level on an empty level");
-  return by_level_[offset_[level] +
-                   static_cast<int>(rng.uniform_int(
-                       static_cast<std::uint64_t>(c)))];
-}
-
-int LevelDirectory::at(int level, int i) const {
-  RLB_REQUIRE(i >= 0 && i < count_at(level), "level index out of range");
-  return by_level_[offset_[level] + i];
-}
-
-void LevelDirectory::ensure_level(int level) {
-  while (static_cast<int>(count_.size()) <= level) {
-    // A new trailing (empty) block begins where the last one ends.
-    offset_.push_back(offset_.back() + count_.back());
-    count_.push_back(0);
-  }
-}
-
-void LevelDirectory::swap_slots(int a, int b) {
-  if (a == b) return;
-  std::swap(by_level_[a], by_level_[b]);
-  pos_[by_level_[a]] = a;
-  pos_[by_level_[b]] = b;
-}
-
-void LevelDirectory::increment(int server) {
-  const int k = level_[server];
-  if (k == 0) idle_remove(server);
-  ensure_level(k + 1);
-  // Swap the server to its block's last slot; that slot then becomes the
-  // first slot of block k+1 by moving the boundary one to the left.
-  swap_slots(pos_[server], offset_[k] + count_[k] - 1);
-  --count_[k];
-  --offset_[k + 1];
-  ++count_[k + 1];
-  level_[server] = k + 1;
-  if (k + 1 > max_level_) max_level_ = k + 1;
-}
-
-void LevelDirectory::decrement(int server) {
-  const int k = level_[server];
-  RLB_REQUIRE(k >= 1, "decrement on an idle server");
-  // Mirror image: swap to the block's first slot, move the boundary one
-  // to the right, and the slot joins the end of block k-1.
-  swap_slots(pos_[server], offset_[k]);
-  --count_[k];
-  ++offset_[k];
-  ++count_[k - 1];
-  level_[server] = k - 1;
-  if (k == 1) idle_append(server);
-  while (max_level_ > 0 && count_[max_level_] == 0) --max_level_;
-}
-
-void LevelDirectory::idle_remove(int server) {
-  const int nx = idle_next_[server];
-  const int pv = idle_prev_[server];
-  if (pv >= 0)
-    idle_next_[pv] = nx;
-  else
-    idle_head_ = nx;
-  if (nx >= 0)
-    idle_prev_[nx] = pv;
-  else
-    idle_tail_ = pv;
-  idle_next_[server] = -1;
-  idle_prev_[server] = -1;
-}
-
-void LevelDirectory::idle_append(int server) {
-  idle_prev_[server] = idle_tail_;
-  idle_next_[server] = -1;
-  if (idle_tail_ >= 0)
-    idle_next_[idle_tail_] = server;
-  else
-    idle_head_ = server;
-  idle_tail_ = server;
-}
-
-// ---------------------------------------------------------------------------
-// CompactClusterEngine
 
 CompactClusterEngine::CompactClusterEngine(
     const ClusterConfig& cfg, std::uint64_t jobs, std::uint64_t warmup,
@@ -136,8 +21,7 @@ CompactClusterEngine::CompactClusterEngine(
       service_(service),
       rng_(seed),
       dir_(cfg.servers),
-      fifo_head_(cfg.servers, -1),
-      fifo_tail_(cfg.servers, -1) {
+      slot_(cfg.servers) {
   RLB_REQUIRE(policy.symmetric(),
               "compact engine requires a symmetric policy");
 }
@@ -157,37 +41,56 @@ void CompactClusterEngine::release_slot(std::int32_t slot) {
   free_head_ = slot;
 }
 
-void CompactClusterEngine::push_job(int server, const JobRec& rec) {
+void CompactClusterEngine::push_job(int server, const Job& job) {
+  ServerSlot& q = slot_[server];
+  if (dir_.level_of(server) == 0) {
+    // Idle server: the job goes straight into service, inline in the
+    // server's own slot — no pool traffic on this path.
+    q.head = job;
+    q.next = -1;
+    q.tail = -1;
+    return;
+  }
   const std::int32_t slot = acquire_slot();
-  pool_[slot] = rec;
+  pool_[slot].job = job;
   pool_[slot].next = -1;
-  if (fifo_tail_[server] >= 0)
-    pool_[fifo_tail_[server]].next = slot;
+  if (q.tail >= 0)
+    pool_[q.tail].next = slot;
   else
-    fifo_head_[server] = slot;
-  fifo_tail_[server] = slot;
+    q.next = slot;
+  q.tail = slot;
 }
 
-CompactClusterEngine::JobRec CompactClusterEngine::pop_job(int server) {
-  const std::int32_t slot = fifo_head_[server];
-  RLB_ASSERT(slot >= 0, "departure from empty server");
-  const JobRec rec = pool_[slot];
-  fifo_head_[server] = rec.next;
-  if (fifo_head_[server] < 0) fifo_tail_[server] = -1;
-  release_slot(slot);
-  return rec;
+CompactClusterEngine::Job CompactClusterEngine::pop_job(int server) {
+  ServerSlot& q = slot_[server];
+  const Job done = q.head;
+  if (q.next >= 0) {
+    // Promote the first queued job into the inline slot; its service
+    // time seeds the next departure event right after this return.
+    const std::int32_t promoted = q.next;
+    const PoolRec rec = pool_[promoted];
+    if (rec.next >= 0) util::prefetch(&pool_[rec.next]);
+    q.head = rec.job;
+    q.next = rec.next;
+    if (rec.next < 0) q.tail = -1;
+    release_slot(promoted);
+  }
+  return done;
 }
 
 ClusterAccum CompactClusterEngine::run() {
   // Statement-for-statement mirror of the legacy Engine::run — the RNG
   // draw order, event ordering, and statistics accumulation order below
   // must not drift from cluster_sim.cpp, or the engines stop being
-  // bit-identical and the equivalence tests fail.
+  // bit-identical and the equivalence tests fail. The prefetch calls are
+  // layout hints only: they stage the cache lines the NEXT event will
+  // touch while the current one finishes, and never change any decision.
   ClusterAccum acc;
   acc.sojourn_ci = BatchMeans(batch_);
   acc.sojourn_quantiles = ReservoirQuantiles(cfg_.quantile_reservoir,
                                              seed_ ^ cfg_.quantile_seed_salt);
 
+  const bool idle_head_hint = policy_.dispatches_to_idle_head();
   double next_arrival = arrivals_.next(rng_);
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
@@ -213,14 +116,18 @@ ClusterAccum CompactClusterEngine::run() {
     if (arrival_next) {
       advance_to(next_arrival);
       if (arrivals == warmup_ && measure_start < 0.0) measure_start = now_;
-      JobRec job;
+      Job job;
       job.index = arrivals;
       job.arrival_time = now_;
       job.service_time = service_.sample(rng_);
       ++arrivals;
       ++in_system;
-      const int s = policy_.select_symmetric(*this, rng_);
+      // If the chosen server turns out idle, the departure lands in this
+      // bucket; start loading it before the policy's polling misses.
+      calendar_.prefetch_slot(now_ + job.service_time);
+      const int s = policy_.select_direct(dir_, rng_);
       RLB_ASSERT(s >= 0 && s < cfg_.servers, "policy picked a bad server");
+      util::prefetch(&slot_[s]);
       if (!cfg_.server_speeds.empty())
         job.service_time /= cfg_.server_speeds[s];
       if (dir_.level_of(s) == 0)
@@ -232,7 +139,7 @@ ClusterAccum CompactClusterEngine::run() {
       RLB_ASSERT(!calendar_.empty(), "no events left");
       const auto [t, s] = calendar_.pop();
       advance_to(t);
-      const JobRec done = pop_job(s);
+      const Job done = pop_job(s);
       dir_.decrement(s);
       ++departures;
       --in_system;
@@ -244,7 +151,22 @@ ClusterAccum CompactClusterEngine::run() {
         acc.sojourn_quantiles.add(sojourn);
       }
       if (dir_.level_of(s) > 0)
-        calendar_.push(now_ + pool_[fifo_head_[s]].service_time, s);
+        calendar_.push(now_ + slot_[s].head.service_time, s);
+    }
+
+    // Stage the next event's state: the calendar's top names the next
+    // departure's server (and leaves its bucket hot for the coming
+    // min_time/pop scan); under JIQ the idle-FIFO head names the next
+    // arrival's server before that arrival is even drawn.
+    if (!calendar_.empty()) {
+      const std::int32_t ns = calendar_.top().second;
+      dir_.prefetch_server(ns);
+      util::prefetch(&slot_[ns]);
+    }
+    if (idle_head_hint && dir_.idle_count() > 0) {
+      const int h = dir_.idle_head();
+      dir_.prefetch_server(h);
+      util::prefetch(&slot_[h]);
     }
   }
 

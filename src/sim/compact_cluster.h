@@ -4,16 +4,19 @@
 // pays O(N) per arrival that lands on an idle server (ordered I-queue
 // erase) plus O(log N) per heap operation. This engine stores the
 // queue-length HISTOGRAM — a by-level directory of exchangeable server
-// handles — so every state update a dispatch decision needs is O(1), the
-// event calendar is O(1) amortized, and the per-job cost stays flat as
-// the fleet grows to N = 10^6 (the fleet_scaling scenario measures this).
+// handles (sim/level_directory.h) — so every state update a dispatch
+// decision needs is O(1), the event calendar is O(1) amortized, and the
+// per-job cost stays flat as the fleet grows to N = 10^6 (the
+// fleet_scaling scenario measures this).
 //
 // The compression is semantic, not just spatial: policies see the cluster
-// only through QueueHistogramView (policy.h), which exposes exchangeable
-// queries — counts per level, the idle FIFO head, levels of sampled
-// handles — and nothing per-server beyond that. For the paper's policies
-// the engine replays the legacy event loop draw-for-draw, so a replica
-// here is BIT-IDENTICAL to the legacy engine under the same seed
+// only through queue-length information — counts per level, the idle FIFO
+// head, levels of sampled handles — and nothing per-server beyond that.
+// The hot path hands policies the concrete LevelDirectory
+// (Policy::select_direct), so the per-event dispatch pays one virtual
+// call instead of one per directory query. For the paper's policies the
+// engine replays the legacy event loop draw-for-draw, so a replica here
+// is BIT-IDENTICAL to the legacy engine under the same seed
 // (tests/test_compact_cluster.cpp pins this).
 #pragma once
 
@@ -25,114 +28,74 @@
 #include "sim/cluster_accum.h"
 #include "sim/cluster_sim.h"
 #include "sim/distributions.h"
+#include "sim/level_directory.h"
 #include "sim/policy.h"
 #include "sim/rng.h"
 
 namespace rlb::sim {
 
-/// The queue-length histogram with O(1) updates and O(1) uniform sampling
-/// within a level.
-///
-/// Servers live in a permutation `by_level_` grouped into contiguous
-/// blocks, one block per queue length; moving a server between adjacent
-/// levels is a swap-to-boundary plus two counter updates. Level-0 servers
-/// are additionally threaded onto an intrusive doubly-linked FIFO in
-/// became-idle order (server-index order at time zero), reproducing the
-/// legacy dispatcher's I-queue contract for JIQ — but with O(1) removal
-/// where the legacy vector pays an O(N) ordered erase.
-class LevelDirectory {
- public:
-  explicit LevelDirectory(int servers);
-
-  [[nodiscard]] int servers() const { return n_; }
-  [[nodiscard]] int max_level() const { return max_level_; }
-  [[nodiscard]] int count_at(int level) const;
-  [[nodiscard]] int idle_count() const { return count_[0]; }
-  [[nodiscard]] int idle_head() const { return idle_head_; }
-  [[nodiscard]] int level_of(int server) const { return level_[server]; }
-
-  /// Uniform among the count_at(level) servers at `level` (must be
-  /// non-empty); exactly one uniform_int draw.
-  [[nodiscard]] int sample_at_level(int level, Rng& rng) const;
-
-  /// The i-th server of the level's block, 0 <= i < count_at(level).
-  /// Block order is an implementation detail (it changes as servers move
-  /// between levels); exposed for tests.
-  [[nodiscard]] int at(int level, int i) const;
-
-  /// One job joined `server`: its level rises by one. Removes the server
-  /// from the idle FIFO when it leaves level 0.
-  void increment(int server);
-
-  /// One job departed `server`: its level drops by one (must be >= 1).
-  /// Appends the server to the idle FIFO tail when it reaches level 0.
-  void decrement(int server);
-
- private:
-  void ensure_level(int level);
-  void swap_slots(int a, int b);
-  void idle_remove(int server);
-  void idle_append(int server);
-
-  int n_;
-  int max_level_ = 0;
-  std::vector<int> level_;     ///< queue length per server
-  std::vector<int> by_level_;  ///< servers grouped by level, blocks ascending
-  std::vector<int> pos_;       ///< inverse permutation of by_level_
-  std::vector<int> count_;     ///< block sizes; count_[k] = #servers at k
-  /// Block starts; invariant: offset_[k+1] == offset_[k] + count_[k].
-  std::vector<int> offset_;
-  std::vector<int> idle_next_, idle_prev_;  ///< intrusive idle FIFO links
-  int idle_head_ = -1, idle_tail_ = -1;
-};
-
 /// One replica's event loop over compressed state. Mirrors the legacy
 /// engine statement for statement — same RNG draw order (service sample,
 /// then policy draws, then next interarrival), same (time, server) event
 /// ordering, same statistics accumulation order — which is what makes the
-/// two engines bit-identical for symmetric policies. Job records live in
-/// a free-list pool threaded into per-server intrusive FIFOs, so the
-/// steady-state loop allocates nothing.
-class CompactClusterEngine final : public QueueHistogramView {
+/// two engines bit-identical for symmetric policies.
+///
+/// Job storage is laid out for locality, not pooled uniformly: the job a
+/// server is CURRENTLY serving lives inline in that server's own
+/// cache-line slot (slot_), so the arrival-to-idle-server and departure
+/// paths — the only paths most jobs ever take — touch one line of job
+/// state and no shared pool. Only jobs queued BEHIND the head go to the
+/// free-list pool, chained into the slot's intrusive FIFO. The event loop
+/// also stages the next event's memory while finishing the current one
+/// (the calendar's top event names the next departure's server; JIQ names
+/// the next arrival's), so the random-access misses overlap event
+/// processing instead of serializing in front of it.
+class CompactClusterEngine {
  public:
   CompactClusterEngine(const ClusterConfig& cfg, std::uint64_t jobs,
                        std::uint64_t warmup, std::uint64_t batch,
                        std::uint64_t seed, Policy& policy,
                        ArrivalProcess& arrivals, const Distribution& service);
 
-  // QueueHistogramView: the engine is the state the policy inspects.
-  [[nodiscard]] int servers() const override { return cfg_.servers; }
-  [[nodiscard]] int max_level() const override { return dir_.max_level(); }
-  [[nodiscard]] int count_at(int level) const override {
-    return dir_.count_at(level);
-  }
-  [[nodiscard]] int idle_count() const override { return dir_.idle_count(); }
-  [[nodiscard]] int idle_head() const override { return dir_.idle_head(); }
-  [[nodiscard]] int level_of(int server) const override {
-    return dir_.level_of(server);
-  }
-  [[nodiscard]] int sample_at_level(int level, Rng& rng) const override {
-    return dir_.sample_at_level(level, rng);
-  }
+  /// The directory the policies dispatch against; exposed for tests.
+  [[nodiscard]] const LevelDirectory& directory() const { return dir_; }
 
   ClusterAccum run();
 
  private:
-  /// Pooled job record; `next` chains the per-server FIFO or the free
-  /// list.
-  struct JobRec {
+  /// In-flight job payload.
+  struct Job {
     std::uint64_t index = 0;
     double arrival_time = 0.0;
     double service_time = 0.0;
+  };
+
+  /// Pooled record for jobs waiting behind a server's head job; `next`
+  /// chains the per-server FIFO or the free list.
+  struct PoolRec {
+    Job job;
     std::int32_t next = -1;
   };
 
+  /// One cache line per server: the head (in-service) job inline — valid
+  /// iff the server is busy, i.e. its directory level is > 0 — plus the
+  /// FIFO links into the pool for any jobs queued behind it.
+  struct alignas(64) ServerSlot {
+    Job head;
+    std::int32_t next = -1;  ///< pool slot of the 2nd job, -1 if none
+    std::int32_t tail = -1;  ///< pool slot of the last queued job
+  };
+  static_assert(sizeof(ServerSlot) == 64, "one cache line per server");
+
   std::int32_t acquire_slot();
   void release_slot(std::int32_t slot);
-  void push_job(int server, const JobRec& rec);
-  JobRec pop_job(int server);
+  void push_job(int server, const Job& job);
+  Job pop_job(int server);
 
-  const ClusterConfig& cfg_;
+  // By value: replicas run on worker threads and adaptive runs re-enter
+  // with short-lived configs, so the engine must not hold a reference
+  // into caller storage.
+  ClusterConfig cfg_;
   std::uint64_t jobs_;
   std::uint64_t warmup_;
   std::uint64_t batch_;
@@ -143,10 +106,10 @@ class CompactClusterEngine final : public QueueHistogramView {
   Rng rng_;
 
   LevelDirectory dir_;
-  CalendarQueue calendar_;  ///< pending departures, one per busy server
-  std::vector<JobRec> pool_;
+  CalendarQueue calendar_;      ///< pending departures, one per busy server
+  std::vector<ServerSlot> slot_;  ///< per-server head job + FIFO links
+  std::vector<PoolRec> pool_;     ///< jobs queued behind a head
   std::int32_t free_head_ = -1;
-  std::vector<std::int32_t> fifo_head_, fifo_tail_;  ///< per-server job FIFO
   double now_ = 0.0;
 };
 

@@ -1,0 +1,30 @@
+#include "sim/level_directory.h"
+
+namespace rlb::sim {
+
+LevelDirectory::LevelDirectory(int servers) : n_(servers) {
+  RLB_REQUIRE(servers >= 1, "need at least one server");
+  rec_.assign(n_, ServerRec{});
+  by_level_.resize(n_);
+  for (int s = 0; s < n_; ++s) {
+    by_level_[s] = s;
+    rec_[s].pos = s;
+  }
+  count_ = {static_cast<std::int32_t>(n_)};
+  offset_ = {0};
+  // All servers start idle, queued in server-index order — the same
+  // initial I-queue the legacy engine builds.
+  for (int s = 0; s < n_; ++s) {
+    rec_[s].idle_next = s + 1 < n_ ? s + 1 : -1;
+    rec_[s].idle_prev = s - 1;
+  }
+  idle_head_ = 0;
+  idle_tail_ = n_ - 1;
+}
+
+int LevelDirectory::at(int level, int i) const {
+  RLB_REQUIRE(i >= 0 && i < count_at(level), "level index out of range");
+  return by_level_[offset_[level] + i];
+}
+
+}  // namespace rlb::sim

@@ -1,0 +1,175 @@
+// The queue-length histogram with O(1) updates and O(1) uniform sampling
+// within a level — the state behind the compact cluster engine
+// (sim/compact_cluster.h) and the concrete type the symmetric policies'
+// fast dispatch path (Policy::select_direct) compiles against.
+//
+// Memory layout: the per-server hot fields — queue length, position in
+// the by-level permutation, and the intrusive idle-FIFO links — live in
+// ONE packed 16-byte record per server, so the level move an event
+// performs touches a single cache line of per-server state instead of
+// four parallel arrays. All widths are 32-bit (the fleet size is an
+// `int`, so n < 2^31 by construction); at n = 10^6 the whole per-server
+// state is 16 MB + 4 MB of permutation instead of the 24 MB of scattered
+// `std::vector<int>`s the first version kept. The by-level arrays
+// (block starts, block sizes) stay separate: they are indexed by queue
+// length, tiny under any stable load, and effectively cache-resident.
+//
+// The class is `final` and implements QueueHistogramView, so calls
+// through a concrete `const LevelDirectory&` devirtualize and inline;
+// only the generic QueueHistogramView path pays virtual dispatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.h"
+#include "sim/rng.h"
+#include "util/prefetch.h"
+#include "util/require.h"
+
+namespace rlb::sim {
+
+/// Servers live in a permutation `by_level_` grouped into contiguous
+/// blocks, one block per queue length; moving a server between adjacent
+/// levels is a swap-to-boundary plus two counter updates. Level-0 servers
+/// are additionally threaded onto an intrusive doubly-linked FIFO in
+/// became-idle order (server-index order at time zero), reproducing the
+/// legacy dispatcher's I-queue contract for JIQ — but with O(1) removal
+/// where the legacy vector pays an O(N) ordered erase.
+class LevelDirectory final : public QueueHistogramView {
+ public:
+  explicit LevelDirectory(int servers);
+
+  [[nodiscard]] int servers() const override { return n_; }
+  [[nodiscard]] int max_level() const override { return max_level_; }
+  [[nodiscard]] int count_at(int level) const override {
+    RLB_REQUIRE(level >= 0, "queue-length level must be non-negative");
+    return level < static_cast<int>(count_.size()) ? count_[level] : 0;
+  }
+  [[nodiscard]] int idle_count() const override { return count_[0]; }
+  [[nodiscard]] int idle_head() const override { return idle_head_; }
+  [[nodiscard]] int level_of(int server) const override {
+    return rec_[server].level;
+  }
+
+  /// Uniform among the count_at(level) servers at `level` (must be
+  /// non-empty); exactly one uniform_int draw.
+  [[nodiscard]] int sample_at_level(int level, Rng& rng) const override {
+    const int c = count_at(level);
+    RLB_REQUIRE(c > 0, "sample_at_level on an empty level");
+    return by_level_[offset_[level] +
+                     static_cast<std::int32_t>(
+                         rng.uniform_int(static_cast<std::uint64_t>(c)))];
+  }
+
+  /// The i-th server of the level's block, 0 <= i < count_at(level).
+  /// Block order is an implementation detail (it changes as servers move
+  /// between levels); exposed for tests.
+  [[nodiscard]] int at(int level, int i) const;
+
+  /// Hint that `server`'s packed record is about to be read (polling
+  /// policies issue this for every sampled server before the tie-break
+  /// scan, so the d record loads overlap instead of serializing).
+  void prefetch_server(int server) const { util::prefetch(&rec_[server]); }
+
+  /// One job joined `server`: its level rises by one. Removes the server
+  /// from the idle FIFO when it leaves level 0.
+  void increment(int server) {
+    ServerRec& r = rec_[server];
+    const std::int32_t k = r.level;
+    if (k == 0) idle_remove(server);
+    ensure_level(k + 1);
+    // Swap the server to its block's last slot; that slot then becomes
+    // the first slot of block k+1 by moving the boundary one to the left.
+    swap_slots(r.pos, offset_[k] + count_[k] - 1);
+    --count_[k];
+    --offset_[k + 1];
+    ++count_[k + 1];
+    r.level = k + 1;
+    if (k + 1 > max_level_) max_level_ = k + 1;
+  }
+
+  /// One job departed `server`: its level drops by one (must be >= 1).
+  /// Appends the server to the idle FIFO tail when it reaches level 0.
+  void decrement(int server) {
+    ServerRec& r = rec_[server];
+    const std::int32_t k = r.level;
+    RLB_REQUIRE(k >= 1, "decrement on an idle server");
+    // Mirror image: swap to the block's first slot, move the boundary one
+    // to the right, and the slot joins the end of block k-1.
+    swap_slots(r.pos, offset_[k]);
+    --count_[k];
+    ++offset_[k];
+    ++count_[k - 1];
+    r.level = k - 1;
+    if (k == 1) idle_append(server);
+    while (max_level_ > 0 && count_[max_level_] == 0) --max_level_;
+  }
+
+ private:
+  /// The per-server hot state, fused so one event's level move touches
+  /// one cache line of per-server data.
+  struct ServerRec {
+    std::int32_t level = 0;      ///< queue length
+    std::int32_t pos = 0;        ///< slot in by_level_
+    std::int32_t idle_next = -1; ///< intrusive idle-FIFO links
+    std::int32_t idle_prev = -1;
+  };
+  static_assert(sizeof(ServerRec) == 16, "four records per cache line");
+
+  void ensure_level(int level) {
+    while (static_cast<int>(count_.size()) <= level) {
+      // A new trailing (empty) block begins where the last one ends.
+      offset_.push_back(offset_.back() + count_.back());
+      count_.push_back(0);
+    }
+  }
+
+  void swap_slots(std::int32_t a, std::int32_t b) {
+    if (a == b) return;
+    const std::int32_t sa = by_level_[a];
+    const std::int32_t sb = by_level_[b];
+    by_level_[a] = sb;
+    by_level_[b] = sa;
+    rec_[sb].pos = a;
+    rec_[sa].pos = b;
+  }
+
+  void idle_remove(int server) {
+    ServerRec& r = rec_[server];
+    const std::int32_t nx = r.idle_next;
+    const std::int32_t pv = r.idle_prev;
+    if (pv >= 0)
+      rec_[pv].idle_next = nx;
+    else
+      idle_head_ = nx;
+    if (nx >= 0)
+      rec_[nx].idle_prev = pv;
+    else
+      idle_tail_ = pv;
+    r.idle_next = -1;
+    r.idle_prev = -1;
+  }
+
+  void idle_append(int server) {
+    ServerRec& r = rec_[server];
+    r.idle_prev = idle_tail_;
+    r.idle_next = -1;
+    if (idle_tail_ >= 0)
+      rec_[idle_tail_].idle_next = server;
+    else
+      idle_head_ = server;
+    idle_tail_ = server;
+  }
+
+  int n_;
+  int max_level_ = 0;
+  std::vector<ServerRec> rec_;          ///< packed per-server hot state
+  std::vector<std::int32_t> by_level_;  ///< servers grouped by level
+  std::vector<std::int32_t> count_;     ///< block sizes per level
+  /// Block starts; invariant: offset_[k+1] == offset_[k] + count_[k].
+  std::vector<std::int32_t> offset_;
+  std::int32_t idle_head_ = -1, idle_tail_ = -1;
+};
+
+}  // namespace rlb::sim

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
+#include "sim/level_directory.h"
 #include "util/require.h"
 
 namespace rlb::sim {
@@ -14,9 +16,9 @@ namespace {
 /// (reservoir style: one uniform_int draw per tie encountered). Shared by
 /// SqdPolicy and JbtPolicy's shortest fallback so their tie-breaking —
 /// and RNG consumption — can never diverge. Templated on the
-/// queue-length accessor so the ClusterState and QueueHistogramView
-/// paths run the exact same draws (the bit-identity contract between
-/// the legacy and compact engines).
+/// queue-length accessor so the ClusterState, QueueHistogramView, and
+/// concrete LevelDirectory paths run the exact same draws (the
+/// bit-identity contract between the legacy and compact engines).
 template <typename LenFn>
 int shortest_polled_by(const std::vector<int>& polled, Rng& rng,
                        LenFn&& len_of) {
@@ -65,14 +67,59 @@ int jsq_scan_by(int servers, Rng& rng, LenFn&& len_of) {
   return best;
 }
 
+/// Prefetch the packed records of the polled servers before the
+/// tie-break scan reads them, so the d loads overlap. Only the concrete
+/// directory has addressable per-server records; the virtual view (and
+/// test doubles behind it) take the no-op branch.
+template <typename View>
+void prefetch_polled(const View& view, const std::vector<int>& polled) {
+  if constexpr (std::is_same_v<View, LevelDirectory>) {
+    for (int s : polled) view.prefetch_server(s);
+  } else {
+    (void)view;
+    (void)polled;
+  }
+}
+
+/// SQ(d)'s dispatch over any histogram-shaped view: poll, prefetch,
+/// shortest with reservoir ties. One template so select_symmetric and
+/// select_direct cannot drift apart.
+template <typename View>
+int sqd_dispatch(const View& view, DistinctSampler& sampler, int d,
+                 std::vector<int>& polled, Rng& rng) {
+  sampler.sample(d, rng, polled);
+  prefetch_polled(view, polled);
+  return shortest_polled_by(polled, rng,
+                            [&](int s) { return view.level_of(s); });
+}
+
 /// The minimum occupied queue length of a histogram view: 0 when any
 /// server is idle, else the smallest level with a nonzero count. O(1)
 /// expected — queue lengths are tiny under any stable load.
-int min_occupied_level(const QueueHistogramView& view) {
+template <typename View>
+int min_occupied_level(const View& view) {
   if (view.idle_count() > 0) return 0;
   for (int k = 1; k <= view.max_level(); ++k)
     if (view.count_at(k) > 0) return k;
   return view.max_level();
+}
+
+/// JBT(d)'s dispatch over any histogram-shaped view; see sqd_dispatch.
+template <typename View>
+int jbt_dispatch(const View& view, DistinctSampler& sampler, int d,
+                 int threshold, JbtPolicy::Fallback fallback,
+                 std::vector<int>& polled, std::vector<int>& below,
+                 Rng& rng) {
+  sampler.sample(d, rng, polled);
+  prefetch_polled(view, polled);
+  below.clear();
+  for (int s : polled)
+    if (view.level_of(s) < threshold) below.push_back(s);
+  if (!below.empty()) return below[rng.uniform_int(below.size())];
+  if (fallback == JbtPolicy::Fallback::Random)
+    return polled[rng.uniform_int(polled.size())];
+  return shortest_polled_by(polled, rng,
+                            [&](int s) { return view.level_of(s); });
 }
 
 }  // namespace
@@ -82,6 +129,12 @@ int Policy::select_symmetric(const QueueHistogramView&, Rng&) {
                         "' has no symmetric dispatch (symmetric() is "
                         "false); run it on the legacy engine");
   return -1;
+}
+
+int Policy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  // LevelDirectory is-a QueueHistogramView, so any policy with only the
+  // generic symmetric path still runs (paying virtual dispatch).
+  return select_symmetric(dir, rng);
 }
 
 int ClusterState::idle_servers() const {
@@ -111,9 +164,11 @@ int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
 }
 
 int SqdPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
-  sampler_.sample(d_, rng, polled_);
-  return shortest_polled_by(polled_, rng,
-                            [&](int s) { return view.level_of(s); });
+  return sqd_dispatch(view, sampler_, d_, polled_, rng);
+}
+
+int SqdPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return sqd_dispatch(dir, sampler_, d_, polled_, rng);
 }
 
 std::string SqdPolicy::name() const { return "sq(" + std::to_string(d_) + ")"; }
@@ -126,6 +181,11 @@ int JsqPolicy::select(const ClusterState& cluster, Rng& rng) {
 int JsqPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
   return jsq_scan_by(view.servers(), rng,
                      [&](int s) { return view.level_of(s); });
+}
+
+int JsqPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return jsq_scan_by(dir.servers(), rng,
+                     [&](int s) { return dir.level_of(s); });
 }
 
 int HistogramJsqPolicy::select(const ClusterState& cluster, Rng& rng) {
@@ -153,6 +213,10 @@ int HistogramJsqPolicy::select_symmetric(const QueueHistogramView& view,
   return view.sample_at_level(min_occupied_level(view), rng);
 }
 
+int HistogramJsqPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return dir.sample_at_level(min_occupied_level(dir), rng);
+}
+
 int RoundRobinPolicy::select(const ClusterState& cluster, Rng&) {
   const int s = next_;
   next_ = (next_ + 1) % cluster.servers();
@@ -169,6 +233,11 @@ int JiqPolicy::select(const ClusterState& cluster, Rng& rng) {
 int JiqPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
   if (view.idle_count() > 0) return view.idle_head();
   return fallback_.select_symmetric(view, rng);
+}
+
+int JiqPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  if (dir.idle_count() > 0) return dir.idle_head();
+  return fallback_.select_direct(dir, rng);
 }
 
 std::string JiqPolicy::name() const {
@@ -194,16 +263,13 @@ int JbtPolicy::select(const ClusterState& cluster, Rng& rng) {
 }
 
 int JbtPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
-  sampler_.sample(d_, rng, polled_);
-  below_.clear();
-  for (int s : polled_)
-    if (view.level_of(s) < threshold_) below_.push_back(s);
-  if (!below_.empty())
-    return below_[rng.uniform_int(below_.size())];
-  if (fallback_ == Fallback::Random)
-    return polled_[rng.uniform_int(polled_.size())];
-  return shortest_polled_by(polled_, rng,
-                            [&](int s) { return view.level_of(s); });
+  return jbt_dispatch(view, sampler_, d_, threshold_, fallback_, polled_,
+                      below_, rng);
+}
+
+int JbtPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return jbt_dispatch(dir, sampler_, d_, threshold_, fallback_, polled_,
+                      below_, rng);
 }
 
 std::string JbtPolicy::name() const {

@@ -16,6 +16,8 @@
 
 namespace rlb::sim {
 
+class LevelDirectory;  // sim/level_directory.h — the compact engine's state
+
 /// Read-only view of the cluster that policies may inspect.
 class ClusterState {
  public:
@@ -116,6 +118,22 @@ class Policy {
   /// bit-identical on either engine (the equivalence tests pin this).
   [[nodiscard]] virtual int select_symmetric(const QueueHistogramView& view,
                                              Rng& rng);
+
+  /// select_symmetric specialized to the compact engine's concrete
+  /// LevelDirectory. Same decision, same random draws, bit-identical
+  /// result — but the directory accessors devirtualize and inline
+  /// (LevelDirectory is final), so the per-event path pays ONE virtual
+  /// call (this one) instead of one per polled server. The default
+  /// forwards to select_symmetric; the paper's policies override it.
+  [[nodiscard]] virtual int select_direct(const LevelDirectory& dir,
+                                          Rng& rng);
+
+  /// Layout hint, queried once per run, never per event: true when the
+  /// policy dispatches to the idle-FIFO head whenever one exists (JIQ).
+  /// Engines that stage memory between events use it to prefetch the
+  /// head server's state before the next arrival is even drawn; it never
+  /// affects which server is selected.
+  [[nodiscard]] virtual bool dispatches_to_idle_head() const { return false; }
 };
 
 /// SQ(d): poll d distinct servers uniformly, join the shortest polled queue
@@ -126,6 +144,7 @@ class SqdPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] bool symmetric() const override { return true; }
   int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<SqdPolicy>(*this);
@@ -147,6 +166,7 @@ class JsqPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] bool symmetric() const override { return true; }
   int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "jsq"; }
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JsqPolicy>(*this);
@@ -165,6 +185,7 @@ class HistogramJsqPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] bool symmetric() const override { return true; }
   int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
   [[nodiscard]] std::string name() const override { return "jsq-h"; }
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<HistogramJsqPolicy>(*this);
@@ -195,6 +216,8 @@ class JiqPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] bool symmetric() const override { return true; }
   int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
+  [[nodiscard]] bool dispatches_to_idle_head() const override { return true; }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JiqPolicy>(*this);
@@ -220,6 +243,7 @@ class JbtPolicy final : public Policy {
   int select(const ClusterState& cluster, Rng& rng) override;
   [[nodiscard]] bool symmetric() const override { return true; }
   int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Policy> clone() const override {
     return std::make_unique<JbtPolicy>(*this);

@@ -73,25 +73,41 @@ double Rng::normal() {
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xd2b74407b1ce6e93ull); }
 
-DistinctSampler::DistinctSampler(int n) : perm_(n) {
+DistinctSampler::DistinctSampler(int n) : n_(n) {
   RLB_REQUIRE(n >= 1, "sampler needs a positive population");
-  for (int i = 0; i < n; ++i) perm_[i] = i;
 }
 
 void DistinctSampler::sample(int d, Rng& rng, std::vector<int>& out) {
-  const int n = static_cast<int>(perm_.size());
-  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= n");
+  RLB_REQUIRE(d >= 1 && d <= n_, "need 1 <= d <= n");
   out.resize(d);
-  swaps_.resize(d);
+  touched_pos_.clear();
+  touched_val_.clear();
+  const auto value_at = [&](std::int32_t p) -> std::int32_t {
+    for (std::size_t k = 0; k < touched_pos_.size(); ++k)
+      if (touched_pos_[k] == p) return touched_val_[k];
+    return p;
+  };
+  const auto set_value = [&](std::int32_t p, std::int32_t v) {
+    for (std::size_t k = 0; k < touched_pos_.size(); ++k) {
+      if (touched_pos_[k] == p) {
+        touched_val_[k] = v;
+        return;
+      }
+    }
+    touched_pos_.push_back(p);
+    touched_val_.push_back(v);
+  };
   for (int i = 0; i < d; ++i) {
-    const auto j = static_cast<std::uint32_t>(
-        i + rng.uniform_int(static_cast<std::uint64_t>(n - i)));
-    swaps_[i] = j;
-    std::swap(perm_[i], perm_[j]);
-    out[i] = perm_[i];
+    // The same swap sequence a materialized partial Fisher–Yates runs:
+    // swap slots i and j, emit the new occupant of slot i.
+    const auto j = static_cast<std::int32_t>(
+        i + rng.uniform_int(static_cast<std::uint64_t>(n_ - i)));
+    const std::int32_t vi = value_at(i);
+    const std::int32_t vj = value_at(j);
+    set_value(i, vj);
+    set_value(j, vi);
+    out[i] = vj;
   }
-  // Undo swaps in reverse order to restore the identity permutation.
-  for (int i = d - 1; i >= 0; --i) std::swap(perm_[i], perm_[swaps_[i]]);
 }
 
 }  // namespace rlb::sim

@@ -37,17 +37,30 @@ class Rng {
 };
 
 /// O(d) sampling of d distinct indices from {0, ..., n-1}, uniformly
-/// without replacement (partial Fisher–Yates with undo).
+/// without replacement — a partial Fisher–Yates simulated sparsely.
+///
+/// A materialized shuffle array would be O(n) memory (4 MB per sampler
+/// at n = 10^6, and every policy clone owns one); instead the sampler
+/// exploits that the permutation is the identity at the start of every
+/// call, so only the <= 2d slots the partial shuffle touches need
+/// tracking. Same draws, same outputs as the materialized version —
+/// bit-identity across the engines is unaffected.
 class DistinctSampler {
  public:
   explicit DistinctSampler(int n);
 
-  /// Fills `out` (resized to d) with d distinct uniform indices.
+  /// Fills `out` (resized to d) with d distinct uniform indices,
+  /// consuming exactly d uniform_int draws.
   void sample(int d, Rng& rng, std::vector<int>& out);
 
  private:
-  std::vector<int> perm_;
-  std::vector<std::uint32_t> swaps_;
+  int n_;
+  /// Sparse view of the in-progress shuffle: slot touched_pos_[k]
+  /// currently holds value touched_val_[k]; untouched slots hold their
+  /// own index. Scratch, cleared per call; linear scans are O(d) with
+  /// the small poll sizes the paper's policies use.
+  std::vector<std::int32_t> touched_pos_;
+  std::vector<std::int32_t> touched_val_;
 };
 
 }  // namespace rlb::sim

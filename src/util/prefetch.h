@@ -1,0 +1,15 @@
+// Portable cache-prefetch hint. A no-op where the builtin is missing, so
+// hot loops can issue hints unconditionally.
+#pragma once
+
+namespace rlb::util {
+
+inline void prefetch(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace rlb::util

@@ -1,0 +1,172 @@
+#include "engine/bench_check.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using rlb::engine::BenchCheckOptions;
+using rlb::engine::BenchCheckReport;
+using rlb::engine::BenchStatus;
+using rlb::engine::check_benchmarks;
+
+/// A minimal google-benchmark report with one entry per (name, cpu_time
+/// ns) pair.
+std::string report(
+    const std::vector<std::pair<std::string, double>>& entries,
+    const std::string& time_unit = "ns") {
+  std::string out = "{\"benchmarks\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + entries[i].first +
+           "\", \"run_type\": \"iteration\", \"real_time\": " +
+           std::to_string(entries[i].second * 1.1) +
+           ", \"cpu_time\": " + std::to_string(entries[i].second) +
+           ", \"time_unit\": \"" + time_unit + "\"}";
+  }
+  return out + "]}";
+}
+
+TEST(BenchCheck, IdenticalReportsPass) {
+  const std::string doc =
+      report({{"BM_A/10", 120.0}, {"BM_B/100", 45000.0}});
+  const BenchCheckReport r = check_benchmarks(doc, doc, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.warned, 0u);
+  ASSERT_EQ(r.rows.size(), 2u);
+  for (const auto& row : r.rows) {
+    EXPECT_EQ(row.status, BenchStatus::kOk);
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+  }
+}
+
+TEST(BenchCheck, DeliberatelySlowedCandidateFails) {
+  // The CI contract: a 3x across-the-board slowdown must fail the gate.
+  const std::string base =
+      report({{"BM_A/10", 400.0}, {"BM_B/100", 45000.0}});
+  const std::string slowed =
+      report({{"BM_A/10", 1200.0}, {"BM_B/100", 135000.0}});
+  const BenchCheckReport r = check_benchmarks(base, slowed, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.failed, 2u);
+  EXPECT_EQ(r.rows[0].status, BenchStatus::kFail);
+  EXPECT_NEAR(r.rows[0].ratio, 3.0, 1e-12);
+  EXPECT_NE(r.describe().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(r.github_annotations().find("::error::"), std::string::npos);
+}
+
+TEST(BenchCheck, ModerateSlowdownOnlyWarns) {
+  const std::string base = report({{"BM_A/10", 1000.0}});
+  const std::string slower = report({{"BM_A/10", 1500.0}});  // 1.5x
+  const BenchCheckReport r = check_benchmarks(base, slower, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warned, 1u);
+  EXPECT_EQ(r.rows[0].status, BenchStatus::kWarn);
+  EXPECT_NE(r.github_annotations().find("::warning::"), std::string::npos);
+}
+
+TEST(BenchCheck, AbsoluteFloorAbsorbsTinyBenchmarkJitter) {
+  // 4x ratio but only 9 ns absolute: below the default 50 ns floor, so
+  // the gate must stay quiet — tiny benchmarks jitter in big ratios.
+  const std::string base = report({{"BM_Tiny", 3.0}});
+  const std::string jittery = report({{"BM_Tiny", 12.0}});
+  const BenchCheckReport r = check_benchmarks(base, jittery, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warned, 0u);
+  EXPECT_EQ(r.rows[0].status, BenchStatus::kOk);
+
+  // Lowering the floor re-arms the gate for the same data.
+  BenchCheckOptions tight;
+  tight.min_ns = 1.0;
+  const BenchCheckReport r2 = check_benchmarks(base, jittery, tight);
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(BenchCheck, ThresholdsAreTunable) {
+  BenchCheckOptions strict;
+  strict.warn_ratio = 1.05;
+  strict.fail_ratio = 1.2;
+  const std::string base = report({{"BM_A", 1000.0}});
+  const std::string slower = report({{"BM_A", 1300.0}});  // 1.3x
+  EXPECT_FALSE(check_benchmarks(base, slower, strict).ok());
+  BenchCheckOptions loose;
+  loose.fail_ratio = 10.0;
+  loose.warn_ratio = 5.0;
+  EXPECT_TRUE(check_benchmarks(base, slower, loose).ok());
+}
+
+TEST(BenchCheck, NormalizesTimeUnits) {
+  // Baseline in microseconds, candidate in nanoseconds: the same speed
+  // must compare at ratio 1.
+  const std::string base = report({{"BM_A", 2.0}}, "us");
+  const std::string cand = report({{"BM_A", 2000.0}}, "ns");
+  const BenchCheckReport r = check_benchmarks(base, cand, {});
+  EXPECT_TRUE(r.ok());
+  EXPECT_NEAR(r.rows[0].ratio, 1.0, 1e-12);
+  EXPECT_NEAR(r.rows[0].baseline_ns, 2000.0, 1e-9);
+}
+
+TEST(BenchCheck, NewAndRemovedBenchmarksAreReported) {
+  const std::string base = report({{"BM_Old", 100.0}, {"BM_Kept", 200.0}});
+  const std::string cand = report({{"BM_Kept", 200.0}, {"BM_New", 50.0}});
+  const BenchCheckReport r = check_benchmarks(base, cand, {});
+  EXPECT_TRUE(r.ok());  // new/removed never fail the gate
+  EXPECT_EQ(r.warned, 1u);  // ... but a removed benchmark warns
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].name, "BM_Kept");
+  EXPECT_EQ(r.rows[0].status, BenchStatus::kOk);
+  EXPECT_EQ(r.rows[1].name, "BM_New");
+  EXPECT_EQ(r.rows[1].status, BenchStatus::kNew);
+  EXPECT_EQ(r.rows[2].name, "BM_Old");
+  EXPECT_EQ(r.rows[2].status, BenchStatus::kRemoved);
+  EXPECT_NE(r.github_annotations().find("benchmark removed"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, SkipsAggregateRows) {
+  // Repetition aggregates (mean/median/stddev) must not be compared —
+  // the stddev "time" is not a duration at all.
+  const std::string base = report({{"BM_A", 100.0}});
+  const std::string cand =
+      "{\"benchmarks\": ["
+      "{\"name\": \"BM_A\", \"run_type\": \"iteration\", "
+      "\"cpu_time\": 100.0, \"time_unit\": \"ns\"}, "
+      "{\"name\": \"BM_A_stddev\", \"run_type\": \"aggregate\", "
+      "\"cpu_time\": 900.0, \"time_unit\": \"ns\"}]}";
+  const BenchCheckReport r = check_benchmarks(base, cand, {});
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].name, "BM_A");
+}
+
+TEST(BenchCheck, RejectsMalformedInput) {
+  const std::string good = report({{"BM_A", 100.0}});
+  EXPECT_THROW(static_cast<void>(check_benchmarks("not json", good, {})),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(check_benchmarks(good, "{\"no\": 1}", {})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(check_benchmarks(
+          good, report({{"BM_A", 1.0}}, "fortnights"), {})),
+      std::invalid_argument);
+  BenchCheckOptions bad;
+  bad.warn_ratio = 3.0;
+  bad.fail_ratio = 2.0;  // warn above fail makes no sense
+  EXPECT_THROW(static_cast<void>(check_benchmarks(good, good, bad)),
+               std::invalid_argument);
+}
+
+TEST(BenchCheck, MissingMetricFieldThrows) {
+  const std::string base = report({{"BM_A", 100.0}});
+  BenchCheckOptions opts;
+  opts.metric = "wall_time";  // not present in the report
+  EXPECT_THROW(static_cast<void>(check_benchmarks(base, base, opts)),
+               std::invalid_argument);
+}
+
+}  // namespace

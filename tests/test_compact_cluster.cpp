@@ -1,5 +1,7 @@
 #include "sim/compact_cluster.h"
 
+#include <algorithm>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -111,6 +113,66 @@ TEST(LevelDirectory, SampleAtLevelHitsEveryMember) {
                std::invalid_argument);
 }
 
+TEST(LevelDirectory, RandomizedStressMatchesReferenceModel) {
+  // Layout-agnostic invariant stress at a size where blocks split and
+  // merge constantly: drive the directory with random level moves and
+  // check, against a naive reference (a level array plus an idle deque),
+  // every observable the public API exposes — per-server levels, counts,
+  // block partition, max level, and the FULL idle-FIFO order, head to
+  // tail, via increment/decrement round trips on a probe copy.
+  const int n = 64;
+  LevelDirectory dir(n);
+  std::vector<int> ref_level(n, 0);
+  std::deque<int> ref_idle;
+  for (int s = 0; s < n; ++s) ref_idle.push_back(s);
+
+  Rng rng(2026);
+  for (int step = 0; step < 20'000; ++step) {
+    const int s = static_cast<int>(rng.uniform_int(n));
+    if (ref_level[s] == 0 || rng.uniform_int(3) > 0) {
+      dir.increment(s);
+      if (ref_level[s] == 0)
+        ref_idle.erase(std::find(ref_idle.begin(), ref_idle.end(), s));
+      ++ref_level[s];
+    } else {
+      dir.decrement(s);
+      --ref_level[s];
+      if (ref_level[s] == 0) ref_idle.push_back(s);
+    }
+
+    ASSERT_EQ(dir.idle_count(), static_cast<int>(ref_idle.size()));
+    ASSERT_EQ(dir.idle_head(), ref_idle.empty() ? -1 : ref_idle.front());
+    const int ref_max = *std::max_element(ref_level.begin(), ref_level.end());
+    ASSERT_EQ(dir.max_level(), ref_max);
+
+    if (step % 500 != 0) continue;  // the full O(n) audit, periodically
+    std::vector<int> ref_count(ref_max + 1, 0);
+    for (int v = 0; v < n; ++v) {
+      ASSERT_EQ(dir.level_of(v), ref_level[v]);
+      ++ref_count[ref_level[v]];
+    }
+    int total = 0;
+    for (int k = 0; k <= ref_max; ++k) {
+      ASSERT_EQ(dir.count_at(k), ref_count[k]);
+      total += dir.count_at(k);
+      for (int i = 0; i < dir.count_at(k); ++i)
+        ASSERT_EQ(dir.level_of(dir.at(k, i)), k);
+    }
+    ASSERT_EQ(total, n);
+  }
+
+  // Drain the idle FIFO by busying its head repeatedly: the heads must
+  // come off in exactly the reference deque's order (first idle, first
+  // out), pinning the whole linked-list order, not just the head.
+  while (dir.idle_count() > 0) {
+    const int head = dir.idle_head();
+    ASSERT_EQ(head, ref_idle.front());
+    ref_idle.pop_front();
+    dir.increment(head);
+  }
+  EXPECT_EQ(dir.idle_head(), -1);
+}
+
 TEST(LevelDirectory, RejectsBadOperations) {
   LevelDirectory dir(2);
   EXPECT_THROW(dir.decrement(0), std::invalid_argument);
@@ -169,6 +231,21 @@ TEST(CompactCluster, BitIdenticalToLegacyForSymmetricPolicies) {
     const auto legacy = run_with_engine(ClusterEngine::kLegacy, *policy, n);
     const auto compact = run_with_engine(ClusterEngine::kCompact, *policy, n);
     expect_identical(legacy, compact, policy->name());
+  }
+}
+
+TEST(CompactCluster, BitIdenticalToLegacyAtLargerFleet) {
+  // Re-pin the equivalence at a fleet large enough that the packed
+  // directory's blocks span many cache lines and the calendar resizes
+  // through several doublings — sizes where a layout bug that preserves
+  // small-n behavior would surface.
+  const int n = 96;
+  for (const auto& policy : symmetric_policies(n)) {
+    const auto legacy =
+        run_with_engine(ClusterEngine::kLegacy, *policy, n, 1, 1, 120'000);
+    const auto compact =
+        run_with_engine(ClusterEngine::kCompact, *policy, n, 1, 1, 120'000);
+    expect_identical(legacy, compact, policy->name() + " n=96");
   }
 }
 

@@ -1,0 +1,55 @@
+// bench_check — the CI benchmark-regression gate.
+//
+//   bench_check --baseline=baselines/BENCH_6.json --candidate=BENCH_6.json
+//               [--warn-ratio=1.3] [--fail-ratio=2.0] [--min-ns=50]
+//               [--metric=cpu_time|real_time] [--github]
+//
+// Compares two google-benchmark JSON reports (the --benchmark_out format)
+// and exits non-zero when any benchmark slowed down beyond the fail
+// threshold. A slowdown counts only when BOTH the candidate/baseline
+// ratio exceeds the threshold AND the absolute slowdown exceeds --min-ns,
+// so nanosecond-scale benchmarks do not flap on jitter. --github
+// additionally emits ::warning::/::error:: workflow annotations.
+//
+// Exit codes: 0 ok (possibly with warnings), 1 regression, 2 usage or
+// malformed input.
+#include <exception>
+#include <iostream>
+
+#include "engine/baseline.h"
+#include "engine/bench_check.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  try {
+    const rlb::util::Cli cli(argc, argv);
+    const std::string baseline = cli.get("baseline", "");
+    const std::string candidate = cli.get("candidate", "");
+    rlb::engine::BenchCheckOptions opts;
+    opts.warn_ratio = cli.get_double("warn-ratio", opts.warn_ratio);
+    opts.fail_ratio = cli.get_double("fail-ratio", opts.fail_ratio);
+    opts.min_ns = cli.get_double("min-ns", opts.min_ns);
+    opts.metric = cli.get("metric", opts.metric);
+    const bool github = cli.get_bool("github");
+    if (baseline.empty() || candidate.empty()) {
+      std::cerr << "usage: bench_check --baseline=ref.json "
+                   "--candidate=new.json\n"
+                   "       [--warn-ratio=1.3] [--fail-ratio=2.0] "
+                   "[--min-ns=50]\n"
+                   "       [--metric=cpu_time|real_time] [--github]\n";
+      return 2;
+    }
+    cli.finish();
+
+    const rlb::engine::BenchCheckReport report =
+        rlb::engine::check_benchmarks(rlb::engine::read_text_file(baseline),
+                                      rlb::engine::read_text_file(candidate),
+                                      opts);
+    std::cout << report.describe() << "\n";
+    if (github) std::cout << report.github_annotations();
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
