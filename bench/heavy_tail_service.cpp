@@ -1,0 +1,183 @@
+// Scenario "heavy_tail_service" — what heavy-tailed service laws do to
+// SQ(d) delay at EQUAL mean load. Every column serves jobs with mean size
+// 1 at Poisson arrivals of rate rho*N; only the service law's shape
+// changes. Rows sweep the Pareto tail index alpha; the lognormal and
+// hyperexponential columns are moment-matched to the row's Pareto
+// (lognormal by cv, hyperexp by scv, both clamped to their fitting
+// domains), and the exponential column is the shape-free reference — it
+// reruns the stock M/M path and doubles as a cross-check against the
+// fast jump-chain simulator (the "crosscheck" table).
+//
+// Each (row, family) simulation is one sweep cell; the family columns of
+// a row share random streams (common random numbers), and the
+// exponential column is bit-identical with a direct simulate_cluster
+// call of the same config (tests/test_scenarios.cpp pins this).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "sim/cluster_sim.h"
+#include "sim/distributions.h"
+#include "sim/fast_sqd.h"
+#include "util/require.h"
+#include "util/table.h"
+
+namespace {
+
+using rlb::engine::ScenarioContext;
+using rlb::engine::ScenarioOutput;
+
+const std::vector<std::string> kFamilies{"exp", "pareto", "lognormal",
+                                         "hyperexp"};
+
+/// Squared coefficient of variation of a mean-1 Pareto with tail index
+/// alpha: 1 / (alpha * (alpha - 2)) for alpha > 2, infinite otherwise.
+double pareto_scv(double alpha) {
+  if (alpha <= 2.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (alpha * (alpha - 2.0));
+}
+
+/// The row's service law for one family column, all with mean 1. The
+/// matched columns clamp to their fitting domains: lognormal cv in
+/// (0, 4], hyperexp scv in [1.1, 16].
+std::unique_ptr<rlb::sim::Distribution> service_for(
+    const std::string& family, double alpha) {
+  using namespace rlb::sim;
+  const double scv = pareto_scv(alpha);
+  if (family == "exp") return make_exponential(1.0);
+  if (family == "pareto") return make_pareto_mean(1.0, alpha);
+  if (family == "lognormal")
+    return make_lognormal(1.0, std::sqrt(std::min(scv, 16.0)));
+  if (family == "hyperexp")
+    return make_hyperexp_fitted(1.0, std::clamp(scv, 1.1, 16.0));
+  throw std::invalid_argument("unknown service family: " + family);
+}
+
+ScenarioOutput run(ScenarioContext& ctx) {
+  const int n = static_cast<int>(ctx.cli().get_int("n", 8));
+  const int d = static_cast<int>(ctx.cli().get_int("d", 2));
+  const double rho = ctx.cli().get_double("rho", 0.85);
+  const auto jobs =
+      static_cast<std::uint64_t>(ctx.cli().get_int("jobs", 300'000));
+  const auto seed =
+      static_cast<std::uint64_t>(ctx.cli().get_int("seed", 24680));
+  const std::string dist = ctx.cli().get("dist", "all");
+
+  std::vector<std::string> families;
+  if (dist == "all") {
+    families = kFamilies;
+  } else {
+    RLB_REQUIRE(std::find(kFamilies.begin(), kFamilies.end(), dist) !=
+                    kFamilies.end(),
+                "--dist must be all, exp, pareto, lognormal or hyperexp");
+    families.push_back(dist);
+  }
+
+  using namespace rlb::sim;
+  const std::vector<double> alphas{1.5, 2.0, 2.5, 3.0};
+  const std::size_t cols = families.size();
+
+  struct CellResult {
+    double mean = 0.0;
+    double p99 = 0.0;
+  };
+  const auto cells =
+      ctx.map<CellResult>(alphas.size() * cols, [&](std::size_t i) {
+        const std::size_t row = i / cols;
+        ClusterConfig cfg;
+        cfg.servers = n;
+        cfg.jobs = jobs;
+        cfg.warmup = jobs / 10;
+        // One seed per alpha row: the family columns differ only in the
+        // service law, so they share random streams (CRN).
+        cfg.seed = rlb::engine::cell_seed(seed, row);
+        cfg.replicas = ctx.replicas();
+        const auto interarrival = make_exponential(rho * n);
+        const auto service = service_for(families[i % cols], alphas[row]);
+        SqdPolicy policy(n, d);
+        const auto res = simulate_cluster(cfg, policy, *interarrival,
+                                          *service, ctx.budget());
+        return CellResult{res.mean_sojourn, res.p99_sojourn};
+      });
+
+  // Cross-check: the fast M/M jump-chain estimator of the same system
+  // against the exponential DES column (different estimators, same
+  // stationary delay).
+  FastSqdConfig fast;
+  fast.params = {n, d, rho, 1.0};
+  fast.jobs = jobs;
+  fast.warmup = jobs / 10;
+  fast.seed = rlb::engine::cell_seed(seed, alphas.size());
+  fast.replicas = ctx.replicas();
+  const FastSqdResult fast_res = simulate_sqd_fast(fast, ctx.budget());
+
+  ScenarioOutput out;
+  out.preamble =
+      "Heavy-tailed service for sq(" + std::to_string(d) + "), N = " +
+      std::to_string(n) + " servers at utilization " +
+      rlb::util::fmt(rho, 2) +
+      ".\nEvery column serves mean-1 jobs from Poisson arrivals at rate "
+      "rho*N; rows sweep\nthe Pareto tail index alpha, with the lognormal "
+      "and hyperexp columns moment-\nmatched to the row's Pareto (clamped "
+      "to their fitting domains).";
+
+  std::vector<std::string> header{"alpha", "scv"};
+  for (const auto& family : families) {
+    header.push_back(family + " delay");
+    header.push_back(family + " p99");
+  }
+  auto& table = out.add_table("main", header);
+  for (std::size_t row = 0; row < alphas.size(); ++row) {
+    const double scv = pareto_scv(alphas[row]);
+    std::vector<std::string> cells_row{
+        rlb::util::fmt(alphas[row], 1),
+        std::isfinite(scv) ? rlb::util::fmt(scv, 3) : "inf"};
+    for (std::size_t k = 0; k < cols; ++k) {
+      cells_row.push_back(rlb::util::fmt(cells[row * cols + k].mean, 4));
+      cells_row.push_back(rlb::util::fmt(cells[row * cols + k].p99, 4));
+    }
+    table.add_row(std::move(cells_row));
+  }
+
+  if (std::find(families.begin(), families.end(), "exp") != families.end()) {
+    const std::size_t exp_col = static_cast<std::size_t>(
+        std::find(families.begin(), families.end(), "exp") -
+        families.begin());
+    auto& check = out.add_table(
+        "crosscheck", {"fast-mm delay", "des exp delay", "abs diff"});
+    const double des = cells[exp_col].mean;  // alpha row 0; exp ignores alpha
+    check.add_row({rlb::util::fmt(fast_res.mean_delay, 4),
+                   rlb::util::fmt(des, 4),
+                   rlb::util::fmt(std::abs(fast_res.mean_delay - des), 4)});
+  }
+
+  out.postamble =
+      "Reading: at equal mean load the delay is driven by the tail, not "
+      "the mean —\nsmaller alpha (heavier tail) inflates p99 far beyond "
+      "the exponential reference,\nand the matched lognormal/hyperexp "
+      "columns show how much of that is explained\nby the first two "
+      "moments alone.";
+  return out;
+}
+
+const rlb::engine::ScenarioRegistrar reg{{
+    "heavy_tail_service",
+    "Heavy-tailed service at equal mean load: SQ(d) delay and p99 vs "
+    "Pareto tail index, with moment-matched lognormal/hyperexp columns "
+    "and an exponential cross-check",
+    {{"n", "number of servers", "8"},
+     {"d", "polled servers", "2"},
+     {"rho", "utilization (arrival rate is rho*N, mean service 1)", "0.85"},
+     {"jobs", "simulated jobs per cell", "300000"},
+     {"seed", "base RNG seed; per-row seeds are derived from it", "24680"},
+     {"dist", "service family filter: all, exp, pareto, lognormal or "
+              "hyperexp", "all"}},
+    run}};
+
+}  // namespace

@@ -1,7 +1,9 @@
 #include "sim/arrival_process.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/require.h"
 #include "util/table.h"
@@ -110,6 +112,130 @@ void BatchArrivalProcess::reset() {
   remaining_ = 0;
   base_->reset();
 }
+
+TraceArrivalProcess::TraceArrivalProcess(Trace trace)
+    : trace_(std::make_shared<const Trace>(std::move(trace))) {
+  trace_->validate();
+}
+
+double TraceArrivalProcess::next(Rng& /*rng*/) {
+  if (remaining_ > 0) {
+    --remaining_;
+    return 0.0;
+  }
+  const std::size_t n = trace_->entries.size();
+  const TraceEntry& entry = trace_->entries[cursor_];
+  const double epoch =
+      static_cast<double>(cycle_) * trace_->horizon + entry.time;
+  const double gap = epoch - prev_epoch_;
+  prev_epoch_ = epoch;
+  remaining_ = entry.batch - 1;
+  if (++cursor_ == n) {
+    cursor_ = 0;
+    ++cycle_;
+  }
+  return gap;
+}
+
+double TraceArrivalProcess::mean_rate() const { return trace_->mean_rate(); }
+
+std::string TraceArrivalProcess::name() const {
+  return "trace(" + std::to_string(trace_->total_jobs()) + " jobs/cycle)";
+}
+
+void TraceArrivalProcess::reset() {
+  cursor_ = 0;
+  cycle_ = 0;
+  remaining_ = 0;
+  prev_epoch_ = 0.0;
+}
+
+MmppArrivalProcess::MmppArrivalProcess(std::vector<double> rates,
+                                       std::vector<double> holds)
+    : rates_(std::move(rates)), holds_(std::move(holds)) {
+  RLB_REQUIRE(!rates_.empty(), "mmpp needs at least one phase");
+  RLB_REQUIRE(rates_.size() == holds_.size(),
+              "mmpp needs one holding time per phase");
+  double max_rate = 0.0;
+  for (double r : rates_) {
+    RLB_REQUIRE(r >= 0.0 && std::isfinite(r),
+                "mmpp phase rates must be finite and non-negative");
+    max_rate = std::max(max_rate, r);
+  }
+  RLB_REQUIRE(max_rate > 0.0, "at least one mmpp phase must arrive");
+  for (double h : holds_)
+    RLB_REQUIRE(h > 0.0 && std::isfinite(h),
+                "mmpp phase holding times must be finite and positive");
+}
+
+double MmppArrivalProcess::next(Rng& rng) {
+  // Competing exponentials, exactly like the two-phase MmppArrivals: in
+  // each phase the next arrival (rate lambda_i) races the phase switch
+  // (rate 1 / holds_i); a lost race advances the clock and the phase.
+  double elapsed = 0.0;
+  for (;;) {
+    const double arrival_rate = rates_[phase_];
+    const double switch_rate = 1.0 / holds_[phase_];
+    const double t_switch = rng.exponential(switch_rate);
+    if (arrival_rate <= 0.0) {
+      elapsed += t_switch;
+      phase_ = (phase_ + 1) % rates_.size();
+      continue;
+    }
+    const double t_arrival = rng.exponential(arrival_rate);
+    if (t_arrival <= t_switch) return elapsed + t_arrival;
+    elapsed += t_switch;
+    phase_ = (phase_ + 1) % rates_.size();
+  }
+}
+
+double MmppArrivalProcess::mean_rate() const {
+  // Cyclic phases: the chain spends holds_[i] per cycle in phase i, so
+  // the stationary phase weights are holds_[i] / sum(holds).
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    weighted += rates_[i] * holds_[i];
+    total += holds_[i];
+  }
+  return weighted / total;
+}
+
+std::string MmppArrivalProcess::name() const {
+  return "mmpp" + std::to_string(rates_.size());
+}
+
+SinusoidalArrivalProcess::SinusoidalArrivalProcess(double lambda0,
+                                                   double amplitude,
+                                                   double period)
+    : lambda0_(lambda0), amplitude_(amplitude), period_(period) {
+  RLB_REQUIRE(lambda0 > 0.0 && std::isfinite(lambda0),
+              "base rate lambda0 must be finite and positive");
+  RLB_REQUIRE(amplitude >= 0.0 && amplitude <= 1.0,
+              "amplitude must be in [0, 1] (rates stay non-negative)");
+  RLB_REQUIRE(period > 0.0 && std::isfinite(period),
+              "period must be finite and positive");
+}
+
+double SinusoidalArrivalProcess::rate_at(double t) const {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return lambda0_ * (1.0 + amplitude_ * std::sin(kTwoPi * t / period_));
+}
+
+double SinusoidalArrivalProcess::next(Rng& rng) {
+  // Thinning (Lewis & Shedler): candidates from a homogeneous Poisson at
+  // the peak rate; accept with probability lambda(t) / peak. The draw
+  // order — candidate gap, then accept uniform — is fixed, so the stream
+  // is a pure function of the seed.
+  const double peak = lambda0_ * (1.0 + amplitude_);
+  const double start = clock_;
+  for (;;) {
+    clock_ += rng.exponential(peak);
+    if (rng.next_double() * peak < rate_at(clock_))
+      return clock_ - start;
+  }
+}
+
+std::string SinusoidalArrivalProcess::name() const { return "sinusoidal"; }
 
 MmppArrivals MmppArrivals::bursty(double mean_rate, double burst_factor,
                                   double hold) {

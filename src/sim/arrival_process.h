@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/distributions.h"
 #include "sim/rng.h"
+#include "sim/trace.h"
 
 namespace rlb::sim {
 
@@ -112,6 +114,92 @@ class BatchArrivalProcess final : public ArrivalProcess {
   double mean_batch_;
   BatchSizes sizes_;
   std::uint64_t remaining_ = 0;  ///< jobs still due at the current epoch
+};
+
+/// Replays a recorded Trace (sim/trace.h) cyclically: arrivals fall at
+/// the trace's timestamps, batch entries expand into zero-gap arrivals,
+/// and after the last epoch the replay wraps — the gap back to the first
+/// epoch is (horizon - last timestamp) + first timestamp, so the trace's
+/// trailing quiet period is preserved. Consumes NO randomness: the replay
+/// is the same for every seed, and clones replay the same schedule (each
+/// replica re-treads the trace from its own t = 0).
+class TraceArrivalProcess final : public ArrivalProcess {
+ public:
+  explicit TraceArrivalProcess(Trace trace);
+
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<TraceArrivalProcess>(*this);
+  }
+
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const Trace> trace_;  ///< immutable, shared by clones
+  std::size_t cursor_ = 0;              ///< next entry (mod trace size)
+  std::uint64_t cycle_ = 0;             ///< completed wrap-arounds
+  std::uint32_t remaining_ = 0;         ///< jobs still due at this epoch
+  double prev_epoch_ = 0.0;             ///< absolute time of last epoch
+};
+
+/// K-phase Markov-modulated Poisson process with a CYCLIC phase order:
+/// while in phase i arrivals are Poisson at rates[i], the phase holds for
+/// an Exp(1 / holds[i]) time, then the chain steps to phase (i+1) mod k.
+/// Cyclic modulation expresses diurnal-step patterns (night / ramp /
+/// peak / ramp) that the two-phase MmppArrivals cannot; its long-run rate
+/// has the closed form sum(rates[i] * holds[i]) / sum(holds[i]) — the
+/// phase-stationary mixture — which the statistical suite pins.
+class MmppArrivalProcess final : public ArrivalProcess {
+ public:
+  /// rates[i] >= 0 (at least one > 0), holds[i] > 0, equal sizes >= 1.
+  MmppArrivalProcess(std::vector<double> rates, std::vector<double> holds);
+
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override { phase_ = 0; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<MmppArrivalProcess>(*this);
+  }
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> holds_;
+  std::size_t phase_ = 0;
+};
+
+/// Diurnal arrivals: a nonhomogeneous Poisson process with rate
+/// lambda(t) = lambda0 * (1 + amplitude * sin(2 pi t / period)), sampled
+/// exactly by thinning — candidate epochs from a homogeneous Poisson at
+/// the peak rate lambda0 * (1 + amplitude), each kept with probability
+/// lambda(t) / peak (two RNG draws per candidate, a fixed order that
+/// keeps replays bit-identical). mean_rate() is lambda0 (the sine
+/// integrates to zero over a period).
+class SinusoidalArrivalProcess final : public ArrivalProcess {
+ public:
+  /// lambda0 > 0, 0 <= amplitude <= 1, period > 0.
+  SinusoidalArrivalProcess(double lambda0, double amplitude, double period);
+
+  double next(Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override { return lambda0_; }
+  [[nodiscard]] std::string name() const override;
+  void reset() override { clock_ = 0.0; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<SinusoidalArrivalProcess>(*this);
+  }
+
+  /// The instantaneous rate lambda(t); exposed for the statistical
+  /// per-window pins.
+  [[nodiscard]] double rate_at(double t) const;
+
+ private:
+  double lambda0_;
+  double amplitude_;
+  double period_;
+  double clock_ = 0.0;  ///< absolute time of the last arrival
 };
 
 }  // namespace rlb::sim

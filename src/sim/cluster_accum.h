@@ -6,7 +6,11 @@
 // bit-identical for every thread budget.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+
 #include "sim/stats.h"
+#include "sim/windowed_stats.h"
 
 namespace rlb::sim {
 
@@ -20,6 +24,46 @@ struct ClusterAccum {
   double window = 0.0;     // measured-window length
   double sim_time = 0.0;
 
+  // Optional time-windowed recorders (cfg.window_width > 0) and the SLA
+  // violation counter (cfg.sla_threshold > 0); both default off so a
+  // plain ClusterAccum reproduces the pre-windowing layout exactly.
+  std::optional<WindowedMoments> windowed_sojourn;
+  std::optional<WindowedQuantiles> windowed_p99;
+  std::uint64_t sla_violations = 0;
+  double sla_threshold = 0.0;  // copied from the config by the engine
+
+  /// Arm the windowed recorders; engines call this before their event
+  /// loop when cfg.window_width > 0.
+  void enable_windows(double width, std::size_t capacity,
+                      std::uint64_t seed) {
+    windowed_sojourn.emplace(width);
+    windowed_p99.emplace(width, capacity, seed);
+  }
+
+  /// Record one departure at absolute replica time `now`. BOTH engines
+  /// route every departure through this single helper — any change to
+  /// what a departure records must be made here, which is what keeps the
+  /// legacy and compact event loops statement-identical in their
+  /// statistics. `measured` is the engines' done.index >= warmup test;
+  /// windowed recording deliberately covers warmup departures too (the
+  /// windows describe the transient), while everything else — including
+  /// SLA counting — sees measured jobs only.
+  void record_departure(double now, double arrival_time, double service_time,
+                        bool measured) {
+    const double sojourn = now - arrival_time;
+    if (measured) {
+      sojourn_stats.add(sojourn);
+      wait_stats.add(sojourn - service_time);
+      sojourn_ci.add(sojourn);
+      sojourn_quantiles.add(sojourn);
+      if (sla_threshold > 0.0 && sojourn > sla_threshold) ++sla_violations;
+    }
+    if (windowed_sojourn) {
+      windowed_sojourn->add(now, sojourn);
+      windowed_p99->add(now, sojourn);
+    }
+  }
+
   void merge(const ClusterAccum& other) {
     sojourn_stats.merge(other.sojourn_stats);
     wait_stats.merge(other.wait_stats);
@@ -29,6 +73,11 @@ struct ClusterAccum {
     busy_area += other.busy_area;
     window += other.window;
     sim_time += other.sim_time;
+    if (windowed_sojourn && other.windowed_sojourn) {
+      windowed_sojourn->merge(*other.windowed_sojourn);
+      windowed_p99->merge(*other.windowed_p99);
+    }
+    sla_violations += other.sla_violations;
   }
 };
 

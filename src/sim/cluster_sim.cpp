@@ -1,6 +1,7 @@
 #include "sim/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <queue>
 #include <vector>
@@ -70,6 +71,10 @@ class Engine final : public ClusterState {
     acc.sojourn_ci = BatchMeans(batch_);
     acc.sojourn_quantiles = ReservoirQuantiles(
         cfg_.quantile_reservoir, seed_ ^ cfg_.quantile_seed_salt);
+    acc.sla_threshold = cfg_.sla_threshold;
+    if (cfg_.window_width > 0.0)
+      acc.enable_windows(cfg_.window_width, cfg_.window_reservoir,
+                         seed_ ^ cfg_.window_seed_salt);
 
     double next_arrival = arrivals_.next(rng_);
     std::uint64_t arrivals = 0;
@@ -126,13 +131,8 @@ class Engine final : public ClusterState {
         q.pop_front();
         ++departures;
         --in_system;
-        if (done.index >= warmup_) {
-          const double sojourn = now_ - done.arrival_time;
-          acc.sojourn_stats.add(sojourn);
-          acc.wait_stats.add(sojourn - done.service_time);
-          acc.sojourn_ci.add(sojourn);
-          acc.sojourn_quantiles.add(sojourn);
-        }
+        acc.record_departure(now_, done.arrival_time, done.service_time,
+                             done.index >= warmup_);
         if (!q.empty()) {
           const Job& next = q.front();
           queued_work_[s] -= next.service_time;
@@ -190,6 +190,12 @@ void validate_config(const ClusterConfig& cfg, const Policy& policy) {
     RLB_REQUIRE(sp > 0.0, "server speeds must be positive");
   RLB_REQUIRE(cfg.quantile_reservoir >= 1,
               "quantile reservoir needs capacity >= 1");
+  RLB_REQUIRE(std::isfinite(cfg.window_width) && cfg.window_width >= 0.0,
+              "window width must be finite and non-negative (0 = off)");
+  RLB_REQUIRE(cfg.window_width == 0.0 || cfg.window_reservoir >= 1,
+              "window reservoir needs capacity >= 1");
+  RLB_REQUIRE(std::isfinite(cfg.sla_threshold) && cfg.sla_threshold >= 0.0,
+              "SLA threshold must be finite and non-negative (0 = off)");
   RLB_REQUIRE(cfg.engine != ClusterEngine::kCompact || policy.symmetric(),
               "the compact engine only runs symmetric policies; use "
               "kLegacy or kAuto for identity-aware policies");
@@ -244,6 +250,25 @@ ClusterResult assemble(const ClusterConfig& cfg, const ClusterAccum& acc) {
   if (acc.window > 0.0) {
     out.mean_jobs_in_system = acc.area_jobs / acc.window;
     out.utilization = acc.busy_area / acc.window / cfg.servers;
+  }
+  out.sla_violations = acc.sla_violations;
+  if (out.jobs_measured > 0)
+    out.sla_violation_fraction =
+        static_cast<double>(acc.sla_violations) /
+        static_cast<double>(out.jobs_measured);
+  if (acc.windowed_sojourn) {
+    const std::size_t n = acc.windowed_sojourn->windows();
+    out.windows.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      WindowSummary ws;
+      ws.start = acc.windowed_sojourn->window_start(w);
+      ws.count = acc.windowed_sojourn->count(w);
+      if (ws.count > 0) {
+        ws.mean_sojourn = acc.windowed_sojourn->mean(w);
+        ws.p99_sojourn = acc.windowed_p99->quantile(w, 0.99);
+      }
+      out.windows.push_back(ws);
+    }
   }
   return out;
 }

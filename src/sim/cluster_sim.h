@@ -61,6 +61,35 @@ struct ClusterConfig {
   /// simulation stream. Defaults reproduce the committed baselines.
   std::size_t quantile_reservoir = 100'000;
   std::uint64_t quantile_seed_salt = 0xabcdefull;
+
+  /// Time-windowed statistics (sim/windowed_stats.h, docs/WORKLOADS.md):
+  /// when window_width > 0 EVERY departure's sojourn is also bucketed by
+  /// departure time into windows [k*w, (k+1)*w) of the replica clock —
+  /// warmup departures included, because windows describe the transient
+  /// and dropping the head would bias the early windows. The recorders
+  /// consume no simulation randomness (the per-window reservoirs carry
+  /// their own streams seeded from replica seed ^ window_seed_salt), so
+  /// turning windows on leaves every other output bit-identical.
+  /// Default off; off reproduces the committed baselines bit-for-bit.
+  double window_width = 0.0;
+  std::size_t window_reservoir = 4'096;  ///< per-window quantile sample
+  std::uint64_t window_seed_salt = 0x5eed77ull;
+
+  /// SLA threshold tau: when > 0, count measured jobs whose sojourn
+  /// exceeds tau (the diurnal_surge scenario's violation fraction).
+  /// Pure counting — no randomness, no effect on other outputs.
+  double sla_threshold = 0.0;
+};
+
+/// Per-window summary in a ClusterResult (cfg.window_width > 0 only).
+/// Window k covers replica-clock [k*w, (k+1)*w); replicas merge at equal
+/// transient age, so `count` and the moments aggregate all replicas'
+/// k-th windows.
+struct WindowSummary {
+  double start = 0.0;          ///< window's left edge (replica clock)
+  std::uint64_t count = 0;     ///< departures recorded in the window
+  double mean_sojourn = 0.0;   ///< 0 when the window is empty
+  double p99_sojourn = 0.0;    ///< reservoir-sampled; 0 when empty
 };
 
 struct ClusterResult {
@@ -74,6 +103,14 @@ struct ClusterResult {
   double p99_sojourn = 0.0;
   std::uint64_t jobs_measured = 0;
   double sim_time = 0.0;  ///< summed over replicas (total simulated time)
+
+  /// SLA accounting (cfg.sla_threshold > 0): measured jobs with sojourn
+  /// over the threshold, as a count and a fraction of jobs_measured.
+  std::uint64_t sla_violations = 0;
+  double sla_violation_fraction = 0.0;
+
+  /// Per-window transient statistics; empty unless cfg.window_width > 0.
+  std::vector<WindowSummary> windows;
 
   /// Filled by simulate_cluster_adaptive only; default-initialized on
   /// the fixed-budget paths.

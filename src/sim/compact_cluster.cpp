@@ -89,6 +89,10 @@ ClusterAccum CompactClusterEngine::run() {
   acc.sojourn_ci = BatchMeans(batch_);
   acc.sojourn_quantiles = ReservoirQuantiles(cfg_.quantile_reservoir,
                                              seed_ ^ cfg_.quantile_seed_salt);
+  acc.sla_threshold = cfg_.sla_threshold;
+  if (cfg_.window_width > 0.0)
+    acc.enable_windows(cfg_.window_width, cfg_.window_reservoir,
+                       seed_ ^ cfg_.window_seed_salt);
 
   const bool idle_head_hint = policy_.dispatches_to_idle_head();
   double next_arrival = arrivals_.next(rng_);
@@ -143,13 +147,8 @@ ClusterAccum CompactClusterEngine::run() {
       dir_.decrement(s);
       ++departures;
       --in_system;
-      if (done.index >= warmup_) {
-        const double sojourn = now_ - done.arrival_time;
-        acc.sojourn_stats.add(sojourn);
-        acc.wait_stats.add(sojourn - done.service_time);
-        acc.sojourn_ci.add(sojourn);
-        acc.sojourn_quantiles.add(sojourn);
-      }
+      acc.record_departure(now_, done.arrival_time, done.service_time,
+                           done.index >= warmup_);
       if (dir_.level_of(s) > 0)
         calendar_.push(now_ + slot_[s].head.service_time, s);
     }

@@ -1,6 +1,11 @@
 #include "sim/distributions.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/require.h"
 
@@ -91,6 +96,26 @@ class LogNormal final : public Distribution {
   double mu_, sigma2_, mean_;
 };
 
+class Pareto final : public Distribution {
+ public:
+  Pareto(double alpha, double scale) : alpha_(alpha), scale_(scale) {
+    RLB_REQUIRE(alpha > 1.0, "pareto tail index must exceed 1 (finite mean)");
+    RLB_REQUIRE(scale > 0.0, "pareto scale must be positive");
+  }
+  double sample(Rng& rng) const override {
+    // Inversion of the survival function: X = scale * U^(-1/alpha) with
+    // U uniform on (0, 1]. next_double() is in [0, 1), so 1 - u is in
+    // (0, 1] — the open end keeps the pow finite.
+    const double u = 1.0 - rng.next_double();
+    return scale_ * std::pow(u, -1.0 / alpha_);
+  }
+  double mean() const override { return alpha_ * scale_ / (alpha_ - 1.0); }
+  std::string name() const override { return "pareto"; }
+
+ private:
+  double alpha_, scale_;
+};
+
 class Uniform final : public Distribution {
  public:
   Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
@@ -136,6 +161,98 @@ std::unique_ptr<Distribution> make_hyperexp_fitted(double mean, double scv) {
   const double rate1 = 2.0 * p1 / mean;
   const double rate2 = 2.0 * (1.0 - p1) / mean;
   return std::make_unique<HyperExp>(p1, rate1, rate2);
+}
+
+std::unique_ptr<Distribution> make_pareto(double alpha, double scale) {
+  return std::make_unique<Pareto>(alpha, scale);
+}
+
+std::unique_ptr<Distribution> make_pareto_mean(double mean, double alpha) {
+  RLB_REQUIRE(mean > 0.0, "pareto mean must be positive");
+  RLB_REQUIRE(alpha > 1.0, "pareto tail index must exceed 1 (finite mean)");
+  return std::make_unique<Pareto>(alpha, mean * (alpha - 1.0) / alpha);
+}
+
+namespace {
+
+/// key=value pairs of a spec's parameter part, validated against the
+/// family's expected keys.
+std::map<std::string, double> parse_spec_params(
+    const std::string& spec, const std::string& params,
+    const std::vector<std::string>& keys) {
+  std::map<std::string, double> out;
+  std::istringstream stream(params);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    const auto eq = field.find('=');
+    RLB_REQUIRE(eq != std::string::npos,
+                "distribution spec field needs key=value: " + spec);
+    const std::string key = field.substr(0, eq);
+    RLB_REQUIRE(std::find(keys.begin(), keys.end(), key) != keys.end(),
+                "unknown key '" + key + "' in distribution spec: " + spec);
+    RLB_REQUIRE(out.find(key) == out.end(),
+                "duplicate key '" + key + "' in distribution spec: " + spec);
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(field.substr(eq + 1), &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    RLB_REQUIRE(used == field.size() - eq - 1 && std::isfinite(value),
+                "malformed number in distribution spec: " + spec);
+    out[key] = value;
+  }
+  for (const std::string& key : keys)
+    RLB_REQUIRE(out.find(key) != out.end(),
+                "distribution spec is missing '" + key + "': " + spec);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Distribution> parse_distribution(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto get = [&](const std::vector<std::string>& keys) {
+    return parse_spec_params(spec, params, keys);
+  };
+  if (family == "exp") {
+    const auto p = get({"rate"});
+    return make_exponential(p.at("rate"));
+  }
+  if (family == "det") {
+    const auto p = get({"value"});
+    return make_deterministic(p.at("value"));
+  }
+  if (family == "erlang") {
+    const auto p = get({"shape", "rate"});
+    const double shape = p.at("shape");
+    RLB_REQUIRE(shape == std::floor(shape) && shape >= 1.0,
+                "erlang shape must be an integer >= 1: " + spec);
+    return make_erlang(static_cast<int>(shape), p.at("rate"));
+  }
+  if (family == "uniform") {
+    const auto p = get({"lo", "hi"});
+    return make_uniform(p.at("lo"), p.at("hi"));
+  }
+  if (family == "pareto") {
+    const auto p = get({"mean", "alpha"});
+    return make_pareto_mean(p.at("mean"), p.at("alpha"));
+  }
+  if (family == "lognormal") {
+    const auto p = get({"mean", "cv"});
+    return make_lognormal(p.at("mean"), p.at("cv"));
+  }
+  if (family == "hyperexp") {
+    const auto p = get({"mean", "scv"});
+    return make_hyperexp_fitted(p.at("mean"), p.at("scv"));
+  }
+  throw std::invalid_argument(
+      "unknown distribution family in spec: " + spec +
+      " (known: exp, det, erlang, uniform, pareto, lognormal, hyperexp)");
 }
 
 }  // namespace rlb::sim

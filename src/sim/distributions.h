@@ -33,4 +33,30 @@ std::unique_ptr<Distribution> make_uniform(double lo, double hi);
 /// studies).
 std::unique_ptr<Distribution> make_hyperexp_fitted(double mean, double scv);
 
+/// Pareto (type I): support [scale, inf), survival (scale/x)^alpha. The
+/// canonical heavy tail — mean alpha*scale/(alpha-1) requires alpha > 1
+/// (enforced: an infinite-mean service law starves every load balancer),
+/// variance is finite only for alpha > 2. Sampled by inversion.
+std::unique_ptr<Distribution> make_pareto(double alpha, double scale);
+
+/// Pareto with the given MEAN and tail index alpha > 1 (the scale is
+/// derived): the equal-mean-load construction heavy-tail studies need.
+std::unique_ptr<Distribution> make_pareto_mean(double mean, double alpha);
+
+/// Parse a service/interarrival law from a CLI spec string:
+///
+///   exp:rate=R            exponential
+///   det:value=V           deterministic
+///   erlang:shape=K,rate=R Erlang-K of stage rate R
+///   uniform:lo=A,hi=B     uniform on [A, B]
+///   pareto:mean=M,alpha=A Pareto with mean M, tail index A
+///   lognormal:mean=M,cv=C lognormal with mean M, coeff. of variation C
+///   hyperexp:mean=M,scv=S balanced 2-phase hyperexponential, scv S > 1
+///
+/// Keys may appear in any order; missing keys, unknown keys, unknown
+/// families and malformed numbers throw std::invalid_argument with the
+/// offending spec in the message. This is what the scenarios' --service
+/// flags parse (docs/WORKLOADS.md).
+std::unique_ptr<Distribution> parse_distribution(const std::string& spec);
+
 }  // namespace rlb::sim

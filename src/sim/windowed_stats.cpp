@@ -1,0 +1,93 @@
+#include "sim/windowed_stats.h"
+
+#include <cmath>
+
+#include "util/require.h"
+#include "util/splitmix.h"
+
+namespace rlb::sim {
+
+namespace {
+
+std::size_t window_index(double t, double width) {
+  RLB_REQUIRE(std::isfinite(t) && t >= 0.0,
+              "windowed observation time must be finite and non-negative");
+  return static_cast<std::size_t>(t / width);
+}
+
+}  // namespace
+
+WindowedMoments::WindowedMoments(double width) : width_(width) {
+  RLB_REQUIRE(std::isfinite(width) && width > 0.0,
+              "window width must be finite and positive");
+}
+
+void WindowedMoments::add(double t, double x) {
+  const std::size_t w = window_index(t, width_);
+  if (w >= windows_.size()) windows_.resize(w + 1);
+  windows_[w].add(x);
+}
+
+void WindowedMoments::merge(const WindowedMoments& other) {
+  RLB_REQUIRE(width_ == other.width_,
+              "cannot merge windowed moments with different widths");
+  if (other.windows_.size() > windows_.size())
+    windows_.resize(other.windows_.size());
+  for (std::size_t w = 0; w < other.windows_.size(); ++w)
+    windows_[w].merge(other.windows_[w]);
+}
+
+const StreamingMoments& WindowedMoments::window(std::size_t w) const {
+  RLB_REQUIRE(w < windows_.size(), "window index out of range");
+  return windows_[w];
+}
+
+WindowedQuantiles::WindowedQuantiles(double width, std::size_t capacity,
+                                     std::uint64_t seed)
+    : width_(width), capacity_(capacity), seed_(seed) {
+  RLB_REQUIRE(std::isfinite(width) && width > 0.0,
+              "window width must be finite and positive");
+  RLB_REQUIRE(capacity >= 1, "window reservoir capacity must be positive");
+}
+
+void WindowedQuantiles::grow_to(std::size_t count) {
+  // Window k's reservoir always seeds from (seed, k) — never from which
+  // window happened to be touched first — so reservoir subsampling is a
+  // pure function of the recorded stream.
+  while (windows_.size() < count) {
+    std::uint64_t state = seed_ ^ (0x9e3779b97f4a7c15ull *
+                                   (static_cast<std::uint64_t>(
+                                        windows_.size()) +
+                                    1));
+    windows_.emplace_back(capacity_, util::splitmix64_next(state));
+  }
+}
+
+void WindowedQuantiles::add(double t, double x) {
+  const std::size_t w = window_index(t, width_);
+  if (w >= windows_.size()) grow_to(w + 1);
+  windows_[w].add(x);
+}
+
+void WindowedQuantiles::merge(const WindowedQuantiles& other) {
+  RLB_REQUIRE(width_ == other.width_,
+              "cannot merge windowed quantiles with different widths");
+  RLB_REQUIRE(capacity_ == other.capacity_,
+              "cannot merge windowed quantiles with different capacities");
+  if (other.windows_.size() > windows_.size())
+    grow_to(other.windows_.size());
+  for (std::size_t w = 0; w < other.windows_.size(); ++w)
+    windows_[w].merge(other.windows_[w]);
+}
+
+std::uint64_t WindowedQuantiles::count(std::size_t w) const {
+  RLB_REQUIRE(w < windows_.size(), "window index out of range");
+  return windows_[w].count();
+}
+
+double WindowedQuantiles::quantile(std::size_t w, double q) const {
+  RLB_REQUIRE(w < windows_.size(), "window index out of range");
+  return windows_[w].quantile(q);
+}
+
+}  // namespace rlb::sim

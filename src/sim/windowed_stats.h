@@ -1,0 +1,96 @@
+// Time-windowed statistics: observations tagged with a simulation time
+// are bucketed into fixed-width windows [k*w, (k+1)*w), so nonstationary
+// runs report TRANSIENT per-window means/quantiles instead of one
+// steady-state number (the diurnal_surge scenario's per-window p99 and
+// SLA columns).
+//
+// Both classes honor the mergeable-statistics contract of sim/replica.h:
+// merge() folds another instance window-by-window, as if both streams had
+// been recorded into one instance, and replica results merge in
+// replica-index order. Replicas each start their clock at 0, so window k
+// after a merge aggregates every replica's k-th window — the same
+// transient age across R independent runs, which is exactly what a
+// transient estimate wants (docs/WORKLOADS.md spells out the math).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace rlb::sim {
+
+/// Per-window Welford moments (mean/variance/extrema/count). Windows are
+/// created on demand; untouched windows in the covered range report
+/// count() == 0. merge() adds counts and combines moments per window
+/// (StreamingMoments::merge), so it is order-insensitive up to
+/// floating-point reassociation — and exactly order-insensitive whenever
+/// the sums involved are exactly representable.
+class WindowedMoments {
+ public:
+  explicit WindowedMoments(double width);
+
+  /// Record observation `x` made at simulation time `t` (finite, >= 0).
+  void add(double t, double x);
+
+  /// Fold another instance (same width) into this one, window by window.
+  void merge(const WindowedMoments& other);
+
+  [[nodiscard]] double width() const { return width_; }
+
+  /// Number of windows covered so far: highest touched index + 1.
+  [[nodiscard]] std::size_t windows() const { return windows_.size(); }
+
+  [[nodiscard]] double window_start(std::size_t w) const {
+    return static_cast<double>(w) * width_;
+  }
+
+  /// Moments of window `w` (< windows()); untouched windows are empty.
+  [[nodiscard]] const StreamingMoments& window(std::size_t w) const;
+
+  [[nodiscard]] std::uint64_t count(std::size_t w) const {
+    return window(w).count();
+  }
+  [[nodiscard]] double mean(std::size_t w) const { return window(w).mean(); }
+
+ private:
+  double width_;
+  std::vector<StreamingMoments> windows_;
+};
+
+/// Per-window reservoir quantiles: window k holds its own
+/// ReservoirQuantiles of `capacity` samples, seeded deterministically from
+/// (seed, k) so the reservoir draws never depend on which windows were
+/// touched first. merge() folds reservoirs window by window
+/// (deterministic given the merge order — replica-index order under
+/// sim/replica.h — and exact while both windows' streams fit together).
+class WindowedQuantiles {
+ public:
+  WindowedQuantiles(double width, std::size_t capacity, std::uint64_t seed);
+
+  void add(double t, double x);
+
+  /// Fold another instance (same width and capacity), window by window.
+  void merge(const WindowedQuantiles& other);
+
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t windows() const { return windows_.size(); }
+
+  [[nodiscard]] std::uint64_t count(std::size_t w) const;
+
+  /// Quantile q of window w's sampled distribution; requires at least one
+  /// observation in that window.
+  [[nodiscard]] double quantile(std::size_t w, double q) const;
+
+ private:
+  void grow_to(std::size_t count);
+
+  double width_;
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  std::vector<ReservoirQuantiles> windows_;
+};
+
+}  // namespace rlb::sim

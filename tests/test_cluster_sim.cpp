@@ -1,6 +1,7 @@
 #include "sim/cluster_sim.h"
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -354,6 +355,86 @@ TEST(ClusterSim, QuantileKnobsTouchOnlyTheQuantiles) {
   bad.quantile_reservoir = 0;
   EXPECT_THROW(simulate_cluster(bad, policy, *arr, *svc),
                std::invalid_argument);
+}
+
+TEST(ClusterSim, WindowsAndSlaLeaveClassicOutputsUntouched) {
+  // Windowed statistics and SLA counting consume no simulation RNG:
+  // enabling them must leave every pre-existing output bit-identical to
+  // an un-windowed run of the same configuration.
+  ClusterConfig base = quick_config(4, 120'000);
+  SqdPolicy policy(4, 2);
+  const auto arr = make_exponential(0.85 * 4);
+  const auto svc = make_exponential(1.0);
+  const auto ref = simulate_cluster(base, policy, *arr, *svc);
+  EXPECT_TRUE(ref.windows.empty());
+  EXPECT_EQ(ref.sla_violations, 0u);
+
+  ClusterConfig windowed = base;
+  windowed.window_width = 500.0;
+  windowed.sla_threshold = 4.0;
+  const auto r = simulate_cluster(windowed, policy, *arr, *svc);
+  EXPECT_DOUBLE_EQ(r.mean_sojourn, ref.mean_sojourn);
+  EXPECT_DOUBLE_EQ(r.mean_wait, ref.mean_wait);
+  EXPECT_DOUBLE_EQ(r.ci95_sojourn, ref.ci95_sojourn);
+  EXPECT_DOUBLE_EQ(r.p99_sojourn, ref.p99_sojourn);
+  EXPECT_DOUBLE_EQ(r.utilization, ref.utilization);
+  EXPECT_DOUBLE_EQ(r.sim_time, ref.sim_time);
+  EXPECT_FALSE(r.windows.empty());
+  EXPECT_GT(r.sla_violations, 0u);
+  // Window counts cover every departure (warmup included), so they sum
+  // to the full arrival budget, not just jobs_measured.
+  std::uint64_t total = 0;
+  for (const auto& w : r.windows) total += w.count;
+  EXPECT_EQ(total, windowed.jobs);
+
+  ClusterConfig bad = base;
+  bad.window_width = -1.0;
+  EXPECT_THROW(simulate_cluster(bad, policy, *arr, *svc),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, WindowedOutputsAreReplicaAndBudgetInvariant) {
+  // The determinism contract extends to the windowed view: for a fixed
+  // replica count, the thread budget never changes a single window.
+  for (int replicas : {1, 3}) {
+    ClusterConfig cfg = quick_config(6, 60'000);
+    cfg.replicas = replicas;
+    cfg.window_width = 400.0;
+    cfg.sla_threshold = 3.0;
+    const auto arr = make_exponential(0.85 * 6);
+    const auto svc = make_exponential(1.0);
+    SqdPolicy policy(6, 2);
+    const auto serial = simulate_cluster(cfg, policy, *arr, *svc,
+                                         rlb::util::ThreadBudget::serial());
+    rlb::util::ThreadBudget four(4);
+    const auto parallel = simulate_cluster(cfg, policy, *arr, *svc, four);
+    EXPECT_EQ(parallel.sla_violations, serial.sla_violations);
+    ASSERT_EQ(parallel.windows.size(), serial.windows.size());
+    for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+      EXPECT_EQ(parallel.windows[w].count, serial.windows[w].count) << w;
+      EXPECT_DOUBLE_EQ(parallel.windows[w].mean_sojourn,
+                       serial.windows[w].mean_sojourn)
+          << w;
+      EXPECT_DOUBLE_EQ(parallel.windows[w].p99_sojourn,
+                       serial.windows[w].p99_sojourn)
+          << w;
+    }
+  }
+}
+
+TEST(ClusterSim, HeavyTailServiceInflatesDelayAtEqualMeanLoad) {
+  // Pareto service (alpha = 1.6, infinite variance) at the same mean
+  // load must hurt: mean sojourn and p99 both above the exponential run.
+  ClusterConfig cfg = quick_config(8, 200'000);
+  SqdPolicy policy(8, 2);
+  const auto arr = make_exponential(0.85 * 8);
+  const auto exp_svc = make_exponential(1.0);
+  const auto pareto_svc = make_pareto_mean(1.0, 1.6);
+  const auto light = simulate_cluster(cfg, policy, *arr, *exp_svc);
+  const auto heavy = simulate_cluster(cfg, policy, *arr, *pareto_svc);
+  EXPECT_GT(heavy.mean_sojourn, light.mean_sojourn);
+  EXPECT_GT(heavy.p99_sojourn, 1.5 * light.p99_sojourn);
+  EXPECT_NEAR(heavy.utilization, light.utilization, 0.05);
 }
 
 TEST(ClusterSim, NewPoliciesAreReplicaAndBudgetInvariant) {

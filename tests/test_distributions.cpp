@@ -84,6 +84,76 @@ TEST(Distributions, InvalidParametersThrow) {
   EXPECT_THROW(make_lognormal(-1.0, 1.0), std::invalid_argument);
   EXPECT_THROW(make_uniform(2.0, 1.0), std::invalid_argument);
   EXPECT_THROW(make_hyperexp_fitted(1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(make_pareto(1.0, 1.0), std::invalid_argument);   // alpha > 1
+  EXPECT_THROW(make_pareto(2.0, 0.0), std::invalid_argument);   // scale > 0
+  EXPECT_THROW(make_pareto_mean(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(make_pareto_mean(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Distributions, ParetoMeanAndSupport) {
+  // make_pareto(3, 2): mean = 3*2/2 = 3, support [2, inf).
+  const auto d = make_pareto(3.0, 2.0);
+  EXPECT_NEAR(d->mean(), 3.0, 1e-12);
+  EXPECT_EQ(d->name(), "pareto");
+  Rng rng(11);
+  StreamingMoments s;
+  for (int i = 0; i < 400000; ++i) s.add(d->sample(rng));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_GE(s.min(), 2.0);
+  // make_pareto_mean derives the scale: mean 1 at alpha 2.5 -> scale 0.6.
+  const auto m = make_pareto_mean(1.0, 2.5);
+  EXPECT_NEAR(m->mean(), 1.0, 1e-12);
+  Rng rng2(13);
+  EXPECT_GE(m->sample(rng2), 0.6 - 1e-12);
+}
+
+TEST(Distributions, ParseDistributionBuildsEveryFamily) {
+  struct Case {
+    const char* spec;
+    const char* name;
+    double mean;
+  };
+  const Case cases[]{
+      {"exp:rate=2", "exp", 0.5},
+      {"det:value=1.5", "det", 1.5},
+      {"erlang:shape=4,rate=8", "erlang4", 0.5},
+      {"uniform:lo=1,hi=3", "uniform", 2.0},
+      {"pareto:mean=2,alpha=2.5", "pareto", 2.0},
+      {"lognormal:mean=2,cv=1.5", "lognormal", 2.0},
+      {"hyperexp:mean=1,scv=4", "hyperexp2", 1.0},
+  };
+  for (const Case& c : cases) {
+    const auto d = parse_distribution(c.spec);
+    EXPECT_EQ(d->name(), c.name) << c.spec;
+    EXPECT_NEAR(d->mean(), c.mean, 1e-12) << c.spec;
+  }
+  // Keys bind by name, not position.
+  EXPECT_NEAR(parse_distribution("erlang:rate=8,shape=4")->mean(), 0.5,
+              1e-12);
+}
+
+TEST(Distributions, ParseDistributionProducesTheFactorysStream) {
+  const auto parsed = parse_distribution("pareto:mean=2,alpha=2.5");
+  const auto direct = make_pareto_mean(2.0, 2.5);
+  Rng rng1(17), rng2(17);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_DOUBLE_EQ(parsed->sample(rng1), direct->sample(rng2)) << i;
+}
+
+TEST(Distributions, ParseDistributionRejectsMalformedSpecs) {
+  for (const char* spec :
+       {"gamma:shape=2",          // unknown family
+        "exp",                    // missing params
+        "exp:rate=2,extra=1",     // unknown key
+        "exp:rate=2,rate=3",      // duplicate key
+        "exp:2.0",                // not key=value
+        "exp:rate=abc",           // malformed number
+        "exp:rate=inf",           // non-finite
+        "pareto:mean=2",          // missing key
+        "erlang:shape=2.5,rate=1",  // non-integer shape
+        "exp:rate=0"})            // domain error from the factory
+    EXPECT_THROW((void)parse_distribution(spec), std::invalid_argument)
+        << spec;
 }
 
 }  // namespace

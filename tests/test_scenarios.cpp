@@ -3,6 +3,7 @@
 // unlike the unit-test binaries). The key property is the rlb_run
 // contract: for a fixed --replicas value, the rendered output of a
 // scenario is bit-identical for every thread count.
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -10,7 +11,15 @@
 
 #include "engine/scenario.h"
 #include "engine/sink.h"
+#include "engine/sweep.h"
+#include "sim/cluster_sim.h"
+#include "sim/distributions.h"
 #include "util/cli.h"
+#include "util/table.h"
+
+#ifndef RLB_SOURCE_DIR
+#error "RLB_SOURCE_DIR must point at the repository root"
+#endif
 
 namespace {
 
@@ -48,6 +57,10 @@ std::vector<QuickScenario> new_scenarios() {
       {"fleet_scaling",
        {"--nmin=32", "--nmax=128", "--nstep=2", "--jobs-per-server=200",
         "--crosscheck-n=64", "--crosscheck-jobs=20000"}},
+      // The realistic-workload pair: heavy-tailed service columns and the
+      // windowed / SLA diurnal capacity sweep.
+      {"heavy_tail_service", {"--jobs=15000"}},
+      {"diurnal_surge", {"--jobs=20000", "--ns=10,14"}},
   };
 }
 
@@ -154,6 +167,52 @@ TEST(Scenarios, AdaptiveBoundScenarioIsThreadCountInvariant) {
   const std::string one = run_to_json("hetero_fleet_bounds", args, 1, 2);
   const std::string four = run_to_json("hetero_fleet_bounds", args, 4, 2);
   EXPECT_EQ(one, four);
+}
+
+TEST(Scenarios, HeavyTailExpColumnReproducesTheLegacyStream) {
+  // The scenario's exponential column is the stock M/M path: the same
+  // ClusterConfig fed straight into simulate_cluster must land in the
+  // rendered table verbatim (the scenario adds no randomness of its own).
+  using namespace rlb::sim;
+  ClusterConfig cfg;
+  cfg.servers = 8;
+  cfg.jobs = 15'000;
+  cfg.warmup = 1'500;
+  cfg.seed = rlb::engine::cell_seed(24680, 0);  // the scenario's row 0
+  cfg.replicas = 1;
+  const auto interarrival = make_exponential(0.85 * 8);
+  const auto service = make_exponential(1.0);
+  SqdPolicy policy(8, 2);
+  const auto direct = simulate_cluster(cfg, policy, *interarrival, *service);
+
+  const std::string json = run_to_json(
+      "heavy_tail_service", {"--jobs=15000", "--dist=exp"}, 2, 1);
+  EXPECT_NE(json.find(rlb::util::fmt(direct.mean_sojourn, 4)),
+            std::string::npos);
+  EXPECT_NE(json.find(rlb::util::fmt(direct.p99_sojourn, 4)),
+            std::string::npos);
+}
+
+TEST(Scenarios, DiurnalSurgeReplaysTheGoldenTrace) {
+  // Trace replay consumes no randomness, so the run is bit-identical
+  // across thread counts and the rendered text names the trace stream.
+  const std::vector<std::string> args{
+      "--jobs=10000", "--ns=10,12",
+      std::string("--trace=") + RLB_SOURCE_DIR + "/tests/data/golden.trace"};
+  const std::string one = run_to_json("diurnal_surge", args, 1, 2);
+  const std::string four = run_to_json("diurnal_surge", args, 4, 2);
+  EXPECT_EQ(one, four);
+
+  const Scenario& scenario = ScenarioRegistry::global().get("diurnal_surge");
+  std::vector<std::string> argv_store = args;
+  argv_store.insert(argv_store.begin(), "test_scenarios");
+  std::vector<char*> argv;
+  for (auto& a : argv_store) argv.push_back(a.data());
+  const rlb::util::Cli cli(static_cast<int>(argv.size()), argv.data());
+  ScenarioContext ctx(cli, 2, 1);
+  std::ostringstream text;
+  rlb::engine::write_text(scenario.run(ctx), text);
+  EXPECT_NE(text.str().find("trace(40 jobs/cycle)"), std::string::npos);
 }
 
 TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {

@@ -1,0 +1,217 @@
+#include "sim/trace.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/arrival_process.h"
+#include "sim/rng.h"
+
+#ifndef RLB_SOURCE_DIR
+#error "RLB_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace {
+
+using namespace rlb::sim;
+
+Trace parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+TEST(TraceParser, ParsesTimestampsBatchesAndHorizon) {
+  const Trace t = parse(
+      "# comment\n"
+      "0.5\n"
+      "1.0 3\n"
+      "\n"
+      "2.5, 2\n"
+      "horizon=10\n");
+  ASSERT_EQ(t.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.entries[0].time, 0.5);
+  EXPECT_EQ(t.entries[0].batch, 1u);
+  EXPECT_DOUBLE_EQ(t.entries[1].time, 1.0);
+  EXPECT_EQ(t.entries[1].batch, 3u);
+  EXPECT_DOUBLE_EQ(t.entries[2].time, 2.5);
+  EXPECT_EQ(t.entries[2].batch, 2u);
+  EXPECT_DOUBLE_EQ(t.horizon, 10.0);
+  EXPECT_EQ(t.total_jobs(), 6u);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 0.6);
+}
+
+TEST(TraceParser, HorizonDefaultsToLastTimestamp) {
+  const Trace t = parse("1.0\n4.0\n");
+  EXPECT_DOUBLE_EQ(t.horizon, 4.0);
+}
+
+TEST(TraceParser, RejectsEmptyInput) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("# only comments\n\n"), std::invalid_argument);
+}
+
+TEST(TraceParser, RejectsNonMonotoneTimestamps) {
+  EXPECT_THROW(parse("2.0\n1.0\n"), std::invalid_argument);
+}
+
+TEST(TraceParser, AcceptsEqualTimestamps) {
+  // Simultaneous arrivals are legal — equivalent to a batch.
+  const Trace t = parse("1.0\n1.0\n");
+  EXPECT_EQ(t.total_jobs(), 2u);
+}
+
+TEST(TraceParser, RejectsNegativeAndNonFiniteTimestamps) {
+  EXPECT_THROW(parse("-1.0\n"), std::invalid_argument);
+  EXPECT_THROW(parse("nan\n"), std::invalid_argument);
+  EXPECT_THROW(parse("inf\n"), std::invalid_argument);
+}
+
+TEST(TraceParser, RejectsMalformedLines) {
+  EXPECT_THROW(parse("abc\n"), std::invalid_argument);
+  EXPECT_THROW(parse("1.0 2 3\n"), std::invalid_argument);   // trailing field
+  EXPECT_THROW(parse("1.0 2.5\n"), std::invalid_argument);   // batch integer
+  EXPECT_THROW(parse("1.0 0\n"), std::invalid_argument);     // batch >= 1
+  EXPECT_THROW(parse("1.0 -2\n"), std::invalid_argument);
+  EXPECT_THROW(parse("1.0garbage\n"), std::invalid_argument);
+}
+
+TEST(TraceParser, RejectsBadHorizon) {
+  EXPECT_THROW(parse("1.0\nhorizon=0.5\n"), std::invalid_argument);
+  EXPECT_THROW(parse("1.0\nhorizon=abc\n"), std::invalid_argument);
+  EXPECT_THROW(parse("1.0\nhorizon=inf\n"), std::invalid_argument);
+}
+
+TEST(TraceParser, ErrorNamesTheOffendingLine) {
+  try {
+    parse("0.5\n1.0\n0.25\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceParser, WriterReaderRoundTripIsExact) {
+  Trace t;
+  t.entries = {{0.125, 1}, {1.0 / 3.0, 4}, {2.71828182845904523, 1}};
+  t.horizon = 7.5;
+  std::ostringstream out;
+  write_trace(out, t);
+  const Trace back = parse(out.str());
+  ASSERT_EQ(back.entries.size(), t.entries.size());
+  for (std::size_t i = 0; i < t.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].time, t.entries[i].time) << i;  // bit-exact
+    EXPECT_EQ(back.entries[i].batch, t.entries[i].batch) << i;
+  }
+  EXPECT_EQ(back.horizon, t.horizon);
+}
+
+TEST(TraceParser, WriterOmitsRedundantHorizon) {
+  Trace t;
+  t.entries = {{1.0, 1}, {2.0, 1}};
+  t.horizon = 2.0;  // equal to the last timestamp: the parser's default
+  std::ostringstream out;
+  write_trace(out, t);
+  EXPECT_EQ(out.str().find("horizon"), std::string::npos);
+  EXPECT_DOUBLE_EQ(parse(out.str()).horizon, 2.0);
+}
+
+TEST(TraceParser, LoadTraceNamesThePathOnError) {
+  try {
+    (void)load_trace("/nonexistent/rlb.trace");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/rlb.trace"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceParser, GoldenTraceLoadsWithKnownTotals) {
+  const Trace t =
+      load_trace(std::string(RLB_SOURCE_DIR) + "/tests/data/golden.trace");
+  EXPECT_EQ(t.entries.size(), 29u);
+  EXPECT_EQ(t.total_jobs(), 40u);
+  EXPECT_DOUBLE_EQ(t.horizon, 20.0);
+  EXPECT_DOUBLE_EQ(t.mean_rate(), 2.0);
+}
+
+TEST(TraceArrival, ReplaysEpochsAsGaps) {
+  Trace t;
+  t.entries = {{1.0, 1}, {3.0, 2}, {4.5, 1}};
+  t.horizon = 6.0;
+  TraceArrivalProcess a(t);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(a.next(rng), 1.0);  // to the first epoch
+  EXPECT_DOUBLE_EQ(a.next(rng), 2.0);  // 1.0 -> 3.0
+  EXPECT_DOUBLE_EQ(a.next(rng), 0.0);  // 2nd job of the batch
+  EXPECT_DOUBLE_EQ(a.next(rng), 1.5);  // 3.0 -> 4.5
+  // Wrap: (horizon - 4.5) + 1.0 back to the first epoch of cycle 2.
+  EXPECT_DOUBLE_EQ(a.next(rng), 2.5);
+  EXPECT_DOUBLE_EQ(a.next(rng), 2.0);
+}
+
+TEST(TraceArrival, ConsumesNoRandomness) {
+  Trace t;
+  t.entries = {{0.5, 2}, {2.0, 1}};
+  t.horizon = 4.0;
+  TraceArrivalProcess a(t), b(t);
+  Rng rng1(1), rng2(999);  // different seeds: replay must not care
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.next(rng1), b.next(rng2)) << i;
+  EXPECT_EQ(rng1.next_u64(), Rng(1).next_u64());  // stream untouched
+}
+
+TEST(TraceArrival, CloneRestartsAndResetRewinds) {
+  Trace t;
+  t.entries = {{1.0, 1}, {2.0, 1}};
+  t.horizon = 3.0;
+  TraceArrivalProcess a(t);
+  Rng rng(1);
+  (void)a.next(rng);
+  (void)a.next(rng);
+  // clone() copies mid-replay state (the ArrivalProcess contract); each
+  // replica resets its copy to replay from its own t = 0.
+  const auto mid = a.clone();
+  EXPECT_DOUBLE_EQ(mid->next(rng), a.next(rng));
+  auto fresh = a.clone();
+  fresh->reset();
+  EXPECT_DOUBLE_EQ(fresh->next(rng), 1.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.next(rng), 1.0);
+}
+
+TEST(TraceArrival, MeanRateAndNameComeFromTheTrace) {
+  Trace t;
+  t.entries = {{1.0, 3}, {2.0, 1}};
+  t.horizon = 8.0;
+  TraceArrivalProcess a(t);
+  EXPECT_DOUBLE_EQ(a.mean_rate(), 0.5);
+  EXPECT_EQ(a.name(), "trace(4 jobs/cycle)");
+}
+
+TEST(TraceValidate, RejectsBadTraces) {
+  Trace empty;
+  empty.horizon = 1.0;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  Trace bad_batch;
+  bad_batch.entries = {{1.0, 0}};
+  bad_batch.horizon = 2.0;
+  EXPECT_THROW(bad_batch.validate(), std::invalid_argument);
+
+  Trace short_horizon;
+  short_horizon.entries = {{2.0, 1}};
+  short_horizon.horizon = 1.0;
+  EXPECT_THROW(short_horizon.validate(), std::invalid_argument);
+
+  Trace zero_horizon;  // a one-entry trace at t = 0 has no cycle length
+  zero_horizon.entries = {{0.0, 1}};
+  zero_horizon.horizon = 0.0;
+  EXPECT_THROW(zero_horizon.validate(), std::invalid_argument);
+}
+
+}  // namespace
