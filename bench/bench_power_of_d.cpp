@@ -42,13 +42,6 @@ std::unique_ptr<rlb::sim::Policy> make_policy(int n, std::size_t task) {
   }
 }
 
-/// One sweep cell's result; the report stays default in fixed mode and
-/// for the solver task (which never enters the row aggregation).
-struct Cell {
-  double value = 0.0;
-  rlb::sim::AdaptiveReport report;
-};
-
 ScenarioOutput run(ScenarioContext& ctx) {
   const int n = static_cast<int>(ctx.cli().get_int("n", 10));
   const auto jobs =
@@ -57,15 +50,31 @@ ScenarioOutput run(ScenarioContext& ctx) {
   const bool adaptive = ctx.adaptive().enabled();
 
   const std::vector<double> rhos{0.5, 0.7, 0.9, 0.95, 0.99};
-  const auto cells =
-      ctx.map<Cell>(rhos.size() * kTasks, [&](std::size_t i) {
+  // Cell values[0] is the delay; the report stays default in fixed mode
+  // and for the solver task (which never enters the row aggregation).
+  const auto cells = ctx.map_cells(
+      rhos.size() * kTasks,
+      [&](std::size_t i) {
+        // The row seed is shared across the policy columns (common random
+        // numbers), so `task` must be part of the key alongside it.
+        auto key = ctx.cell_key("power_of_d",
+                                rlb::engine::cell_seed(seed, i / kTasks));
+        key.set("n", n);
+        key.set("jobs", jobs);
+        key.set("rho", rhos[i / kTasks]);
+        key.set("task", static_cast<std::uint64_t>(i % kTasks));
+        return key;
+      },
+      [&](std::size_t i, const rlb::engine::CellRecord* refine_from) {
         const double rho = rhos[i / kTasks];
         const std::size_t task = i % kTasks;
+        rlb::engine::CellRecord rec;
         if (task == kTasks - 1) {
           // Lower bound for SQ(2) at this N (improved solver, T = 2).
           const rlb::sqd::BoundModel lower(rlb::sqd::Params{n, 2, rho, 1.0},
                                            2, rlb::sqd::BoundKind::Lower);
-          return Cell{rlb::sqd::solve_lower_improved(lower).mean_delay, {}};
+          rec.values = {rlb::sqd::solve_lower_improved(lower).mean_delay};
+          return rec;
         }
         using namespace rlb::sim;
         ClusterConfig cfg;
@@ -81,15 +90,25 @@ ScenarioOutput run(ScenarioContext& ctx) {
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(n, task);
         if (adaptive) {
-          const auto res = simulate_cluster_adaptive(
-              cfg, *policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
-              ctx.budget());
-          return Cell{res.mean_sojourn, res.adaptive};
+          const auto plan = ctx.adaptive_plan(cfg.seed, jobs);
+          ClusterRoundState state;
+          const ClusterResult res =
+              refine_from != nullptr
+                  ? simulate_cluster_refine(cfg, *policy, *arr, *svc, plan,
+                                            refine_from->round_state,
+                                            ctx.budget(), &state)
+                  : simulate_cluster_adaptive(cfg, *policy, *arr, *svc,
+                                              plan, ctx.budget(), &state);
+          rec.values = {res.mean_sojourn};
+          rec.report = res.adaptive;
+          rec.round_state = state;
+          rec.has_round_state = true;
+          return rec;
         }
-        return Cell{
+        rec.values = {
             simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget())
-                .mean_sojourn,
-            {}};
+                .mean_sojourn};
+        return rec;
       });
 
   ScenarioOutput out;
@@ -111,9 +130,11 @@ ScenarioOutput run(ScenarioContext& ctx) {
   for (std::size_t r = 0; r < rhos.size(); ++r) {
     std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
     for (std::size_t task = 0; task + 1 < kTasks; ++task)
-      row.push_back(rlb::util::fmt(cells[r * kTasks + task].value, 3));
+      row.push_back(
+          rlb::util::fmt(cells[r * kTasks + task].values.front(), 3));
     row.push_back(rlb::util::fmt(rlb::sqd::asymptotic_delay(rhos[r], 2), 3));
-    row.push_back(rlb::util::fmt(cells[r * kTasks + kTasks - 1].value, 3));
+    row.push_back(
+        rlb::util::fmt(cells[r * kTasks + kTasks - 1].values.front(), 3));
     if (adaptive) {
       auto report = rlb::sim::AdaptiveReport::row_identity();
       for (std::size_t task = 0; task + 1 < kTasks; ++task)

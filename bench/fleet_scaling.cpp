@@ -75,46 +75,66 @@ ScenarioOutput run(ScenarioContext& ctx) {
        n *= nstep)  // geometric sweep; int64 so nmax * nstep cannot wrap
     fleet_sizes.push_back(static_cast<int>(n));
 
-  struct Cell {
-    double delay = 0.0;
-    double ns_per_job = 0.0;
+  // Cell values: [0] delay, [1] ns/job (0 unless --time=1).
+  const auto compute_cell = [&](std::size_t i,
+                                const rlb::engine::CellRecord*) {
+    const std::size_t r = i / kPolicies;
+    const int n = fleet_sizes[r];
+    ClusterConfig cfg;
+    cfg.servers = n;
+    cfg.jobs = jobs_per_server * static_cast<std::uint64_t>(n);
+    cfg.warmup = cfg.jobs / 10;
+    // One seed per fleet size: policy columns share random streams.
+    cfg.seed = rlb::engine::cell_seed(seed, r);
+    cfg.replicas = ctx.replicas();
+    const auto arr = make_exponential(rho * n);
+    const auto svc = make_exponential(1.0);
+    const auto policy = make_policy(i % kPolicies, n, d);
+    // With --time=1 each cell reruns the identical simulation
+    // `time-reps` times and reports the MINIMUM ns/job — the
+    // standard benchmarking estimator for the noise-free cost
+    // (interference only ever adds time). The reruns are
+    // deterministic repeats, so the delay column is unaffected.
+    const int reps = time ? time_reps : 1;
+    ClusterResult res;
+    double ns = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      res = simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+      const auto t1 = std::chrono::steady_clock::now();
+      const double rep_ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          static_cast<double>(cfg.jobs);
+      if (rep == 0 || rep_ns < ns) ns = rep_ns;
+    }
+    rlb::engine::CellRecord rec;
+    rec.values = {res.mean_sojourn, ns};
+    return rec;
   };
-  const auto cells = ctx.map<Cell>(
-      fleet_sizes.size() * kPolicies, [&](std::size_t i) {
-        const std::size_t r = i / kPolicies;
-        const int n = fleet_sizes[r];
-        ClusterConfig cfg;
-        cfg.servers = n;
-        cfg.jobs = jobs_per_server * static_cast<std::uint64_t>(n);
-        cfg.warmup = cfg.jobs / 10;
-        // One seed per fleet size: policy columns share random streams.
-        cfg.seed = rlb::engine::cell_seed(seed, r);
-        cfg.replicas = ctx.replicas();
-        const auto arr = make_exponential(rho * n);
-        const auto svc = make_exponential(1.0);
-        const auto policy = make_policy(i % kPolicies, n, d);
-        // With --time=1 each cell reruns the identical simulation
-        // `time-reps` times and reports the MINIMUM ns/job — the
-        // standard benchmarking estimator for the noise-free cost
-        // (interference only ever adds time). The reruns are
-        // deterministic repeats, so the delay column is unaffected.
-        const int reps = time ? time_reps : 1;
-        ClusterResult res;
-        double ns = 0.0;
-        for (int rep = 0; rep < reps; ++rep) {
-          const auto t0 = std::chrono::steady_clock::now();
-          res = simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-          const auto t1 = std::chrono::steady_clock::now();
-          const double rep_ns =
-              static_cast<double>(
-                  std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
-                                                                       t0)
-                      .count()) /
-              static_cast<double>(cfg.jobs);
-          if (rep == 0 || rep_ns < ns) ns = rep_ns;
-        }
-        return Cell{res.mean_sojourn, ns};
-      });
+  // The ns/job column is measured wall-clock — not reproducible — so
+  // --time=1 bypasses the result cache entirely (a cached timing would
+  // silently report another machine's clock).
+  const auto cells =
+      time ? ctx.map<rlb::engine::CellRecord>(
+                 fleet_sizes.size() * kPolicies,
+                 [&](std::size_t i) { return compute_cell(i, nullptr); })
+           : ctx.map_cells(
+                 fleet_sizes.size() * kPolicies,
+                 [&](std::size_t i) {
+                   const std::size_t r = i / kPolicies;
+                   auto key = ctx.cell_key(
+                       "fleet_scaling", rlb::engine::cell_seed(seed, r));
+                   key.set("table", "scaling");
+                   key.set("n", fleet_sizes[r]);
+                   key.set("jobs-per-server", jobs_per_server);
+                   key.set("rho", rho);
+                   key.set("d", d);
+                   key.set("task", static_cast<std::uint64_t>(i % kPolicies));
+                   return key;
+                 },
+                 compute_cell);
 
   ScenarioOutput out;
   out.preamble =
@@ -137,11 +157,11 @@ ScenarioOutput run(ScenarioContext& ctx) {
         std::to_string(jobs_per_server *
                        static_cast<std::uint64_t>(fleet_sizes[r]))};
     for (std::size_t t = 0; t < kPolicies; ++t)
-      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].delay, 4));
+      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].values[0], 4));
     if (time)
       for (std::size_t t = 0; t < kPolicies; ++t)
         row.push_back(
-            rlb::util::fmt(cells[r * kPolicies + t].ns_per_job, 1));
+            rlb::util::fmt(cells[r * kPolicies + t].values[1], 1));
     scaling.add_row(std::move(row));
   }
   out.note(time ? "Mean sojourn time per policy, then wall-clock ns per job "
@@ -167,42 +187,55 @@ ScenarioOutput run(ScenarioContext& ctx) {
     }
   };
   constexpr std::size_t kCheckPolicies = 4;
-  struct Check {
-    std::string policy;
-    double legacy = 0.0;
-    double compact = 0.0;
-    bool identical = false;
-  };
-  const auto checks = ctx.map<Check>(kCheckPolicies, [&](std::size_t t) {
-    ClusterConfig cfg;
-    cfg.servers = cross_n;
-    cfg.jobs = cross_jobs;
-    cfg.warmup = cross_jobs / 10;
-    cfg.seed = rlb::engine::cell_seed(seed, 1'000 + t);
-    cfg.replicas = ctx.replicas();
-    const auto arr = make_exponential(rho * cross_n);
-    const auto svc = make_exponential(1.0);
-    const auto policy = make_check_policy(t);
-    cfg.engine = ClusterEngine::kLegacy;
-    const auto legacy =
-        simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-    cfg.engine = ClusterEngine::kCompact;
-    const auto compact =
-        simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-    const bool same = legacy.mean_sojourn == compact.mean_sojourn &&
-                      legacy.mean_wait == compact.mean_wait &&
-                      legacy.p99_sojourn == compact.p99_sojourn &&
-                      legacy.utilization == compact.utilization &&
-                      legacy.sim_time == compact.sim_time;
-    return Check{policy->name(), legacy.mean_sojourn, compact.mean_sojourn,
-                 same};
-  });
+  // Check values: [0] legacy delay, [1] compact delay, [2] identical 0/1.
+  // The policy NAME is reconstructed from the task index at row-assembly
+  // time (policy construction is free), so the record stays numeric.
+  const auto checks = ctx.map_cells(
+      kCheckPolicies,
+      [&](std::size_t t) {
+        auto key = ctx.cell_key("fleet_scaling",
+                                rlb::engine::cell_seed(seed, 1'000 + t));
+        key.set("table", "crosscheck");
+        key.set("n", cross_n);
+        key.set("jobs", cross_jobs);
+        key.set("rho", rho);
+        key.set("d", d);
+        key.set("task", static_cast<std::uint64_t>(t));
+        return key;
+      },
+      [&](std::size_t t, const rlb::engine::CellRecord*) {
+        ClusterConfig cfg;
+        cfg.servers = cross_n;
+        cfg.jobs = cross_jobs;
+        cfg.warmup = cross_jobs / 10;
+        cfg.seed = rlb::engine::cell_seed(seed, 1'000 + t);
+        cfg.replicas = ctx.replicas();
+        const auto arr = make_exponential(rho * cross_n);
+        const auto svc = make_exponential(1.0);
+        const auto policy = make_check_policy(t);
+        cfg.engine = ClusterEngine::kLegacy;
+        const auto legacy =
+            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+        cfg.engine = ClusterEngine::kCompact;
+        const auto compact =
+            simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
+        const bool same = legacy.mean_sojourn == compact.mean_sojourn &&
+                          legacy.mean_wait == compact.mean_wait &&
+                          legacy.p99_sojourn == compact.p99_sojourn &&
+                          legacy.utilization == compact.utilization &&
+                          legacy.sim_time == compact.sim_time;
+        rlb::engine::CellRecord rec;
+        rec.values = {legacy.mean_sojourn, compact.mean_sojourn,
+                      same ? 1.0 : 0.0};
+        return rec;
+      });
   auto& cross = out.add_table(
       "crosscheck", {"policy", "legacy delay", "compact delay", "identical"});
-  for (const auto& c : checks)
-    cross.add_row({c.policy, rlb::util::fmt(c.legacy, 6),
-                   rlb::util::fmt(c.compact, 6),
-                   c.identical ? "yes" : "no"});
+  for (std::size_t t = 0; t < kCheckPolicies; ++t)
+    cross.add_row({make_check_policy(t)->name(),
+                   rlb::util::fmt(checks[t].values[0], 6),
+                   rlb::util::fmt(checks[t].values[1], 6),
+                   checks[t].values[2] != 0.0 ? "yes" : "no"});
   out.note("Same seeds through engine=legacy and engine=compact at n = " +
            std::to_string(cross_n) +
            "; every column must match bit-for-bit.");

@@ -49,14 +49,25 @@ ScenarioOutput run(ScenarioContext& ctx) {
     }
   };
 
-  struct CellResult {
-    double mean = 0.0;
-    double p99 = 0.0;
-    rlb::sim::AdaptiveReport report;
-  };
+  // Cell values: [0] mean sojourn, [1] p99 sojourn.
   const bool adaptive = ctx.adaptive().enabled();
-  const auto cells = ctx.map<CellResult>(
-      rhos.size() * kPolicies, [&](std::size_t i) {
+  const auto cells = ctx.map_cells(
+      rhos.size() * kPolicies,
+      [&](std::size_t i) {
+        // Row seed is shared across policy columns (common random
+        // numbers), so the policy task index joins it in the key.
+        auto key = ctx.cell_key(
+            "policy_comparison",
+            rlb::engine::cell_seed(seed, i / kPolicies));
+        key.set("n", n);
+        key.set("d", d);
+        key.set("jbt-t", jbt_t);
+        key.set("jobs", jobs);
+        key.set("rho", rhos[i / kPolicies]);
+        key.set("task", static_cast<std::uint64_t>(i % kPolicies));
+        return key;
+      },
+      [&](std::size_t i, const rlb::engine::CellRecord* refine_from) {
         const std::size_t r = i / kPolicies;
         ClusterConfig cfg;
         cfg.servers = n;
@@ -69,16 +80,27 @@ ScenarioOutput run(ScenarioContext& ctx) {
         const auto arr = make_exponential(rhos[r] * n);
         const auto svc = make_exponential(1.0);
         const auto policy = make_policy(i % kPolicies);
+        rlb::engine::CellRecord rec;
         if (adaptive) {
-          const auto res = simulate_cluster_adaptive(
-              cfg, *policy, *arr, *svc, ctx.adaptive_plan(cfg.seed, jobs),
-              ctx.budget());
-          return CellResult{res.mean_sojourn, res.p99_sojourn,
-                            res.adaptive};
+          const auto plan = ctx.adaptive_plan(cfg.seed, jobs);
+          ClusterRoundState state;
+          const ClusterResult res =
+              refine_from != nullptr
+                  ? simulate_cluster_refine(cfg, *policy, *arr, *svc, plan,
+                                            refine_from->round_state,
+                                            ctx.budget(), &state)
+                  : simulate_cluster_adaptive(cfg, *policy, *arr, *svc,
+                                              plan, ctx.budget(), &state);
+          rec.values = {res.mean_sojourn, res.p99_sojourn};
+          rec.report = res.adaptive;
+          rec.round_state = state;
+          rec.has_round_state = true;
+          return rec;
         }
         const auto res =
             simulate_cluster(cfg, *policy, *arr, *svc, ctx.budget());
-        return CellResult{res.mean_sojourn, res.p99_sojourn, {}};
+        rec.values = {res.mean_sojourn, res.p99_sojourn};
+        return rec;
       });
 
   ScenarioOutput out;
@@ -95,7 +117,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
   for (std::size_t r = 0; r < rhos.size(); ++r) {
     std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
     for (std::size_t t = 0; t < kPolicies; ++t)
-      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].mean, 4));
+      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].values[0], 4));
     delay.add_row(std::move(row));
   }
   out.note("Mean sojourn time (delay) per policy.");
@@ -103,7 +125,7 @@ ScenarioOutput run(ScenarioContext& ctx) {
   for (std::size_t r = 0; r < rhos.size(); ++r) {
     std::vector<std::string> row{rlb::util::fmt(rhos[r], 2)};
     for (std::size_t t = 0; t < kPolicies; ++t)
-      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].p99, 4));
+      row.push_back(rlb::util::fmt(cells[r * kPolicies + t].values[1], 4));
     tail.add_row(std::move(row));
   }
   out.note("99th percentile sojourn time per policy.");

@@ -1,6 +1,11 @@
 #include "engine/json.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "util/require.h"
@@ -192,6 +197,10 @@ class Parser {
   Value number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    // JSON numbers start with a digit after the optional minus — a
+    // leading '+' or '.' is strtod-parsable but outside the subset.
+    RLB_REQUIRE(pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9',
+                "JSON: expected a value");
     while (pos_ < s_.size() &&
            ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
             s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
@@ -201,15 +210,20 @@ class Parser {
     Value v;
     v.kind = Value::Kind::Number;
     v.text = s_.substr(start, pos_ - start);
-    std::size_t consumed = 0;
-    try {
-      v.number = std::stod(v.text, &consumed);
-    } catch (const std::exception&) {
-      consumed = 0;
-    }
-    // stod must consume the whole token — "1e-" or "1.2.3" parse as a
-    // prefix otherwise and would silently compare against the wrong value.
-    RLB_REQUIRE(consumed == v.text.size(), "JSON: bad number '" + v.text + "'");
+    // strtod rather than stod: stod throws out_of_range on ERANGE, which
+    // glibc also sets for UNDERFLOW — a subnormal like 5e-324 is a
+    // perfectly round-trippable double and must parse. Only overflow (the
+    // token is not representable at all) and partial consumption — "1e-"
+    // or "1.2.3" would otherwise parse as a prefix and silently compare
+    // against the wrong value — are errors.
+    errno = 0;
+    char* end = nullptr;
+    v.number = std::strtod(v.text.c_str(), &end);
+    const bool whole =
+        end != v.text.c_str() && end == v.text.c_str() + v.text.size();
+    const bool overflow =
+        errno == ERANGE && (v.number == HUGE_VAL || v.number == -HUGE_VAL);
+    RLB_REQUIRE(whole && !overflow, "JSON: bad number '" + v.text + "'");
     return v;
   }
 
@@ -220,5 +234,166 @@ class Parser {
 }  // namespace
 
 Value parse(const std::string& text) { return Parser(text).parse(); }
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void encode_into(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::Null:
+      out += "null";
+      return;
+    case Value::Kind::Bool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case Value::Kind::Number:
+      // The verbatim source token: numbers survive parse -> encode
+      // byte-for-byte, which is what makes cache records reproducible.
+      out += v.text;
+      return;
+    case Value::Kind::String:
+      out += quote(v.text);
+      return;
+    case Value::Kind::Array: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        encode_into(v.items[i], out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Value::Kind::Object: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += quote(v.members[i].first);
+        out.push_back(':');
+        encode_into(v.members[i].second, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string encode(const Value& v) {
+  std::string out;
+  encode_into(v, out);
+  return out;
+}
+
+Value make_string(std::string s) {
+  Value v;
+  v.kind = Value::Kind::String;
+  v.text = std::move(s);
+  return v;
+}
+
+Value make_bool(bool b) {
+  Value v;
+  v.kind = Value::Kind::Bool;
+  v.boolean = b;
+  return v;
+}
+
+Value make_number(double x) {
+  if (!std::isfinite(x)) {
+    // JSON has no non-finite numbers; the spellings below are what
+    // util::fmt prints, and number_of() maps them back.
+    if (std::isnan(x)) return make_string("nan");
+    return make_string(x > 0 ? "inf" : "-inf");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  Value v;
+  v.kind = Value::Kind::Number;
+  v.text = buf;
+  v.number = x;
+  return v;
+}
+
+Value make_number(std::uint64_t x) {
+  Value v;
+  v.kind = Value::Kind::Number;
+  v.text = std::to_string(x);
+  v.number = static_cast<double>(x);
+  return v;
+}
+
+Value make_number(std::int64_t x) {
+  Value v;
+  v.kind = Value::Kind::Number;
+  v.text = std::to_string(x);
+  v.number = static_cast<double>(x);
+  return v;
+}
+
+double number_of(const Value& v) {
+  if (v.kind == Value::Kind::Number) return v.number;
+  if (v.kind == Value::Kind::String) {
+    if (v.text == "inf") return std::numeric_limits<double>::infinity();
+    if (v.text == "-inf") return -std::numeric_limits<double>::infinity();
+    if (v.text == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
+  throw std::invalid_argument("JSON: expected a number value");
+}
+
+std::uint64_t uint64_of(const Value& v) {
+  RLB_REQUIRE(v.kind == Value::Kind::Number,
+              "JSON: expected an unsigned integer value");
+  RLB_REQUIRE(!v.text.empty() && v.text.find_first_not_of("0123456789") ==
+                                     std::string::npos,
+              "JSON: expected an unsigned integer token, got '" + v.text +
+                  "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.text.c_str(), &end, 10);
+  RLB_REQUIRE(errno == 0 && end == v.text.c_str() + v.text.size(),
+              "JSON: unsigned integer out of range: '" + v.text + "'");
+  return static_cast<std::uint64_t>(parsed);
+}
 
 }  // namespace rlb::engine::json

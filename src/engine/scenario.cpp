@@ -66,6 +66,76 @@ sim::AdaptivePlan ScenarioContext::adaptive_plan(
   return plan;
 }
 
+CacheKey ScenarioContext::cell_key(const std::string& scenario,
+                                   std::uint64_t seed) const {
+  CacheKey key(scenario);
+  key.set("seed", seed);
+  key.set("replicas", replicas_);
+  key.set("adaptive", adaptive_.enabled());
+  if (adaptive_.enabled()) {
+    // Raw flag values, not derived defaults: the derivations are
+    // deterministic functions of the scenario parameters, which are in
+    // the key too ("0" = derived is therefore unambiguous).
+    key.set("confidence", adaptive_.confidence);
+    key.set("initial-jobs", adaptive_.initial_jobs);
+    key.set("max-jobs", adaptive_.max_jobs);
+    key.set("growth-factor", adaptive_.growth_factor);
+    key.set("planner", adaptive_.planner == sim::PlannerKind::kGeometric
+                           ? "geometric"
+                           : "variance");
+    key.set("warmup-policy",
+            adaptive_.warmup_policy == sim::WarmupPolicy::kFixed
+                ? "fixed"
+                : "fraction");
+    key.set("warmup-jobs", adaptive_.warmup_jobs_set
+                               ? std::to_string(adaptive_.warmup_jobs)
+                               : std::string("derived"));
+    key.set("warmup-fraction", adaptive_.warmup_fraction);
+  }
+  return key;
+}
+
+std::vector<CellRecord> ScenarioContext::map_cells(
+    std::size_t count, const CellKeyFn& key_of,
+    const CellComputeFn& compute) const {
+  const double target = adaptive_.target_ci;
+  if (cache_ == nullptr) {
+    return parallel_map<CellRecord>(count, budget_, [&](std::size_t i) {
+      CellRecord record = compute(i, nullptr);
+      record.target_ci = target;
+      return record;
+    });
+  }
+  // Serial lookup pre-pass: the cache does unsynchronized IO and
+  // counter updates, so all of it stays outside the parallel region.
+  std::vector<CacheKey> keys;
+  keys.reserve(count);
+  std::vector<ResultCache::Lookup> lookups;
+  lookups.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(key_of(i));
+    lookups.push_back(cache_->lookup(keys.back(), target, refine_));
+  }
+  std::vector<CellRecord> results =
+      parallel_map<CellRecord>(count, budget_, [&](std::size_t i) {
+        const ResultCache::Lookup& l = lookups[i];
+        if (l.outcome == ResultCache::Lookup::Outcome::kHit)
+          return l.record;
+        CellRecord record = compute(
+            i, l.outcome == ResultCache::Lookup::Outcome::kRefine
+                   ? &l.record
+                   : nullptr);
+        record.target_ci = target;
+        return record;
+      });
+  // Serial store pass: hits are already on disk; everything computed
+  // (misses and refinements) persists at the now-satisfied target.
+  for (std::size_t i = 0; i < count; ++i)
+    if (lookups[i].outcome != ResultCache::Lookup::Outcome::kHit)
+      cache_->store(keys[i], results[i]);
+  return results;
+}
+
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry;
   return registry;
@@ -176,6 +246,16 @@ constexpr CommonFlag kCommonFlags[] = {
      "per-replica warmup under --warmup-policy=fixed"},
     {"warmup-fraction", "0.1",
      "per-replica warmup share under --warmup-policy=fraction"},
+    {"cache", "(off)",
+     "persistent result-cache directory (docs/CACHING.md): sweep cells "
+     "load from matching records instead of simulating; a warm re-run is "
+     "byte-identical to the cold run"},
+    {"cache-mode", "readwrite",
+     "'readwrite' serves hits and stores recomputed cells, 'readonly' "
+     "never writes, 'refresh' recomputes everything and overwrites"},
+    {"refine", "(off)",
+     "with --cache and a tighter --target-ci: resume a looser-target "
+     "record's adaptive round state instead of recomputing from scratch"},
 };
 
 }  // namespace

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/result_cache.h"
 #include "engine/sink.h"
 #include "engine/sweep.h"
 #include "sim/replica.h"
@@ -88,11 +89,14 @@ struct AdaptiveSpec {
 /// workers.
 class ScenarioContext {
  public:
-  ScenarioContext(const util::Cli& cli, int threads, int replicas = 1)
+  ScenarioContext(const util::Cli& cli, int threads, int replicas = 1,
+                  ResultCache* cache = nullptr)
       : cli_(cli),
         threads_(resolve_threads(threads)),
         replicas_(replicas),
         adaptive_(AdaptiveSpec::parse(cli)),
+        cache_(cache),
+        refine_(cli.get_bool("refine")),
         budget_(threads_) {}  // threads_ resolved first (declaration order)
 
   [[nodiscard]] const util::Cli& cli() const { return cli_; }
@@ -135,11 +139,46 @@ class ScenarioContext {
     return parallel_map<T>(count, budget_, std::forward<Fn>(fn));
   }
 
+  /// The run's persistent result cache (--cache), or nullptr when the
+  /// run is uncached.
+  [[nodiscard]] ResultCache* cache() const { return cache_; }
+
+  /// Whether --refine was requested: cache lookups may resume a
+  /// looser-target record's round state instead of recomputing.
+  [[nodiscard]] bool refine() const { return refine_; }
+
+  /// A CacheKey pre-filled with the run-level coordinates every cell
+  /// shares — replicas and the --target-ci family EXCEPT target-ci
+  /// itself (stored in the record instead, so --refine can find
+  /// looser-target entries; docs/CACHING.md). The scenario adds its own
+  /// parameters (and the cell seed) on top.
+  [[nodiscard]] CacheKey cell_key(const std::string& scenario,
+                                  std::uint64_t seed) const;
+
+  using CellKeyFn = std::function<CacheKey(std::size_t)>;
+  /// Computes cell `i` from scratch (refine_from == nullptr) or by
+  /// resuming the given looser-target record's round state. The returned
+  /// record's target_ci is stamped by map_cells.
+  using CellComputeFn =
+      std::function<CellRecord(std::size_t, const CellRecord* refine_from)>;
+
+  /// The cache-aware sweep: results[i] comes from the cache when its
+  /// record satisfies the current precision target, from a round-state
+  /// resumption when --refine allows it, and from `compute` otherwise —
+  /// computed on the same worker budget as map(), with lookups and
+  /// stores serial around the parallel region, so the table stays
+  /// invariant under the thread count AND under cache warmth.
+  std::vector<CellRecord> map_cells(std::size_t count,
+                                    const CellKeyFn& key_of,
+                                    const CellComputeFn& compute) const;
+
  private:
   const util::Cli& cli_;
   int threads_;
   int replicas_;
   AdaptiveSpec adaptive_;
+  ResultCache* cache_;
+  bool refine_;
   // Worker-slot accounting mutates under const map(); the budget is
   // internally synchronized.
   mutable util::ThreadBudget budget_;

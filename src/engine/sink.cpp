@@ -1,10 +1,10 @@
 #include "engine/sink.h"
 
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "engine/json.h"
 #include "util/require.h"
 
 namespace rlb::engine {
@@ -89,41 +89,8 @@ bool is_json_number(const std::string& s) {
 }
 
 void append_json_string(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      case '\b':
-        os << "\\b";
-        break;
-      case '\f':
-        os << "\\f";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  // One escaping spelling for the whole engine: the shared json writer.
+  os << json::quote(s);
 }
 
 void append_cell(std::ostringstream& os, const std::string& cell) {

@@ -273,6 +273,47 @@ ClusterResult assemble(const ClusterConfig& cfg, const ClusterAccum& acc) {
   return out;
 }
 
+/// Checkpoint the merged accumulator + stopping report into a
+/// ClusterRoundState (see cluster_sim.h). Windowed recorders cannot be
+/// checkpointed, so capture refuses when they are armed.
+ClusterRoundState snapshot_round_state(const ClusterAccum& acc,
+                                       const AdaptiveReport& report,
+                                       std::uint64_t batch) {
+  RLB_REQUIRE(!acc.windowed_sojourn.has_value(),
+              "round-state checkpoints require windowed statistics off");
+  ClusterRoundState s;
+  s.rounds = report.rounds;
+  s.jobs_used = report.jobs_used;
+  s.batch = batch;
+  s.sojourn = acc.sojourn_stats.state();
+  s.wait = acc.wait_stats.state();
+  s.sojourn_ci = acc.sojourn_ci.state();
+  s.sojourn_quantiles = acc.sojourn_quantiles.state();
+  s.area_jobs = acc.area_jobs;
+  s.busy_area = acc.busy_area;
+  s.window = acc.window;
+  s.sim_time = acc.sim_time;
+  s.sla_violations = acc.sla_violations;
+  s.sla_threshold = acc.sla_threshold;
+  return s;
+}
+
+/// Rebuild the merged accumulator a checkpoint describes, bit-for-bit.
+ClusterAccum restore_round_state(const ClusterRoundState& s) {
+  ClusterAccum acc;
+  acc.sojourn_stats = StreamingMoments::from_state(s.sojourn);
+  acc.wait_stats = StreamingMoments::from_state(s.wait);
+  acc.sojourn_ci = BatchMeans::from_state(s.sojourn_ci);
+  acc.sojourn_quantiles = ReservoirQuantiles::from_state(s.sojourn_quantiles);
+  acc.area_jobs = s.area_jobs;
+  acc.busy_area = s.busy_area;
+  acc.window = s.window;
+  acc.sim_time = s.sim_time;
+  acc.sla_violations = s.sla_violations;
+  acc.sla_threshold = s.sla_threshold;
+  return acc;
+}
+
 }  // namespace
 
 ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
@@ -323,10 +364,11 @@ ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
                                         const Distribution& interarrival,
                                         const Distribution& service,
                                         const AdaptivePlan& plan,
-                                        util::ThreadBudget& budget) {
+                                        util::ThreadBudget& budget,
+                                        ClusterRoundState* round_state) {
   RenewalArrivals arrivals(interarrival);
   return simulate_cluster_adaptive(cfg, policy, arrivals, service, plan,
-                                   budget);
+                                   budget, round_state);
 }
 
 ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
@@ -334,9 +376,12 @@ ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
                                         ArrivalProcess& arrivals,
                                         const Distribution& service,
                                         const AdaptivePlan& plan,
-                                        util::ThreadBudget& budget) {
+                                        util::ThreadBudget& budget,
+                                        ClusterRoundState* round_state) {
   validate_config(cfg, policy);
   plan.validate();
+  RLB_REQUIRE(round_state == nullptr || cfg.window_width == 0.0,
+              "round-state checkpoints require windowed statistics off");
   const std::uint64_t batch = plan.batch_size(cfg.batch_size);
 
   AdaptiveReport report;
@@ -353,6 +398,63 @@ ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
       },
       report);
 
+  if (round_state != nullptr)
+    *round_state = snapshot_round_state(acc, report, batch);
+  ClusterResult out = assemble(cfg, acc);
+  out.adaptive = report;
+  return out;
+}
+
+ClusterResult simulate_cluster_refine(const ClusterConfig& cfg,
+                                      Policy& policy,
+                                      const Distribution& interarrival,
+                                      const Distribution& service,
+                                      const AdaptivePlan& plan,
+                                      const ClusterRoundState& state,
+                                      util::ThreadBudget& budget,
+                                      ClusterRoundState* round_state) {
+  RenewalArrivals arrivals(interarrival);
+  return simulate_cluster_refine(cfg, policy, arrivals, service, plan, state,
+                                 budget, round_state);
+}
+
+ClusterResult simulate_cluster_refine(const ClusterConfig& cfg,
+                                      Policy& policy,
+                                      ArrivalProcess& arrivals,
+                                      const Distribution& service,
+                                      const AdaptivePlan& plan,
+                                      const ClusterRoundState& state,
+                                      util::ThreadBudget& budget,
+                                      ClusterRoundState* round_state) {
+  validate_config(cfg, policy);
+  plan.validate();
+  RLB_REQUIRE(cfg.window_width == 0.0,
+              "refine resumption requires windowed statistics off");
+  const std::uint64_t batch = plan.batch_size(cfg.batch_size);
+  // The checkpointed statistics were batched at the original run's batch
+  // size; resuming with a different one would mix batch granularities
+  // and break the cold-run equivalence.
+  RLB_REQUIRE(batch == state.batch,
+              "refine plan derives a different batch size than the "
+              "checkpointed run used");
+
+  AdaptiveReport report;
+  const ClusterAccum acc = run_replicas_adaptive_resume<ClusterAccum>(
+      plan, AdaptiveResume{state.rounds, state.jobs_used},
+      restore_round_state(state), budget,
+      [&](int /*global_replica*/, std::uint64_t seed, std::uint64_t jobs,
+          std::uint64_t warmup) {
+        return run_one_replica(cfg, policy, arrivals, service, jobs,
+                               warmup, batch, seed);
+      },
+      [](ClusterAccum& into, const ClusterAccum& from) { into.merge(from); },
+      [&](const ClusterAccum& merged) {
+        return merged.sojourn_ci.half_width_or_infinity(plan.confidence);
+      },
+      report);
+
+  if (round_state != nullptr)
+    *round_state = snapshot_round_state(acc, report, batch);
   ClusterResult out = assemble(cfg, acc);
   out.adaptive = report;
   return out;

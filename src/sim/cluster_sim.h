@@ -12,6 +12,7 @@
 #include "sim/distributions.h"
 #include "sim/policy.h"
 #include "sim/replica.h"
+#include "sim/stats.h"
 #include "util/thread_budget.h"
 
 namespace rlb::sim {
@@ -139,6 +140,32 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
                                const Distribution& service,
                                util::ThreadBudget& budget);
 
+/// Exact checkpoint of an adaptive run's merged statistics after its
+/// last completed round — the "round state" a result-cache entry stores
+/// so a later --refine can resume the round schedule instead of starting
+/// over (docs/CACHING.md). Restoring this state and continuing with
+/// run_replicas_adaptive_resume reproduces, under the geometric planner,
+/// the exact rounds a cold run at the tighter target would execute.
+///
+/// Windowed recorders are NOT checkpointable (they hold per-window
+/// reservoirs with independent streams); capture and resume both require
+/// cfg.window_width == 0.
+struct ClusterRoundState {
+  int rounds = 0;               ///< completed rounds
+  std::uint64_t jobs_used = 0;  ///< cumulative budget, warmup included
+  std::uint64_t batch = 1;      ///< CI batch size the run was built with
+  MomentsState sojourn;
+  MomentsState wait;
+  BatchMeansState sojourn_ci;
+  ReservoirState sojourn_quantiles;
+  double area_jobs = 0.0;
+  double busy_area = 0.0;
+  double window = 0.0;
+  double sim_time = 0.0;
+  std::uint64_t sla_violations = 0;
+  double sla_threshold = 0.0;
+};
+
 /// Sequential-stopping run (docs/PRECISION.md): rounds of plan.replicas
 /// replicas grow the budget until the pooled CI half-width of the MEAN
 /// SOJOURN TIME (the target statistic) at plan.confidence drops to
@@ -147,17 +174,52 @@ ClusterResult simulate_cluster(const ClusterConfig& cfg, Policy& policy,
 /// every round clones the policy and arrival process, exactly like the
 /// fixed path. Result fields merge all rounds; result.adaptive reports
 /// the stopping outcome. Bit-identical for every budget.
+///
+/// When `round_state` is non-null the merged statistics are checkpointed
+/// into it after the run stops (requires cfg.window_width == 0); the
+/// checkpoint changes no output bit.
 ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
                                         Policy& policy,
                                         const Distribution& interarrival,
                                         const Distribution& service,
                                         const AdaptivePlan& plan,
-                                        util::ThreadBudget& budget);
+                                        util::ThreadBudget& budget,
+                                        ClusterRoundState* round_state =
+                                            nullptr);
 ClusterResult simulate_cluster_adaptive(const ClusterConfig& cfg,
                                         Policy& policy,
                                         ArrivalProcess& arrivals,
                                         const Distribution& service,
                                         const AdaptivePlan& plan,
-                                        util::ThreadBudget& budget);
+                                        util::ThreadBudget& budget,
+                                        ClusterRoundState* round_state =
+                                            nullptr);
+
+/// Resume a previously checkpointed adaptive run at a (typically
+/// tighter) plan.target_ci — the --refine path. `state` must be the
+/// checkpoint of a run with the same cfg and the same plan apart from
+/// target_ci; the round schedule continues from state.rounds with fresh
+/// replica streams, so no randomness is ever reused. Under the geometric
+/// planner the result is bit-identical to a cold adaptive run at the new
+/// target; under the variance planner it is statistically equivalent.
+/// `round_state` re-checkpoints the refined statistics when non-null.
+ClusterResult simulate_cluster_refine(const ClusterConfig& cfg,
+                                      Policy& policy,
+                                      const Distribution& interarrival,
+                                      const Distribution& service,
+                                      const AdaptivePlan& plan,
+                                      const ClusterRoundState& state,
+                                      util::ThreadBudget& budget,
+                                      ClusterRoundState* round_state =
+                                          nullptr);
+ClusterResult simulate_cluster_refine(const ClusterConfig& cfg,
+                                      Policy& policy,
+                                      ArrivalProcess& arrivals,
+                                      const Distribution& service,
+                                      const AdaptivePlan& plan,
+                                      const ClusterRoundState& state,
+                                      util::ThreadBudget& budget,
+                                      ClusterRoundState* round_state =
+                                          nullptr);
 
 }  // namespace rlb::sim

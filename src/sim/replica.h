@@ -241,43 +241,60 @@ Result run_replicas(const ReplicaPlan& plan, util::ThreadBudget& budget,
   return merged;
 }
 
-/// Sequential-stopping replica runner. Rounds of plan.replicas fresh
-/// replicas run until half_width(merged) <= plan.target_ci or the
-/// cumulative job budget hits plan.max_jobs (then report.converged is
-/// false — the estimate is still the best available, just not at the
-/// requested precision).
-///
-/// - run(global_replica, seed, jobs, warmup) -> Result simulates one
-///   replica: `global_replica` numbers replicas consecutively ACROSS
-///   rounds (round r owns indices r*R .. r*R + R - 1), and `seed` is
-///   replica_seed(plan.base_seed, global_replica) — so the round
-///   schedule never reuses a stream, and a one-round adaptive run is
-///   bit-identical with the fixed-budget run_replicas of the same shape.
-/// - merge folds results in global-index order on the calling thread.
-/// - half_width(merged) -> double reports the pooled CI half-width of
-///   the designated target statistic at plan.confidence; return
-///   +infinity while the estimate is not yet CI-capable (< 2 completed
-///   batches) so the run keeps going.
-///
-/// Rounds are barriers: round r+1 starts only after round r merged, and
-/// the stopping decision depends only on merged statistics — output is
-/// bit-identical for every `budget`.
+/// Where a previously stopped adaptive run left off, for
+/// run_replicas_adaptive_resume: how many rounds it executed and the
+/// cumulative budget (warmup included) those rounds burned. The merged
+/// Result itself travels separately (the caller checkpoints and restores
+/// it — e.g. ClusterRoundState for the cluster simulators).
+struct AdaptiveResume {
+  int rounds = 0;
+  std::uint64_t jobs_used = 0;
+};
+
+namespace detail {
+
+/// The shared round loop behind run_replicas_adaptive (resume.rounds ==
+/// 0, merged empty) and run_replicas_adaptive_resume. Continuing from
+/// round k with the exact merged state the cold run had after round k
+/// reproduces the cold run's remaining rounds bit-for-bit under the
+/// GEOMETRIC planner, whose round sizes depend only on the round index.
+/// (The variance planner sizes rounds from target_ci, so a resumed run
+/// at a tighter target takes a different — still valid, still
+/// deterministic — schedule than a cold run at that target.)
 template <typename Result, typename RunFn, typename MergeFn,
           typename HalfWidthFn>
-Result run_replicas_adaptive(const AdaptivePlan& plan,
-                             util::ThreadBudget& budget, RunFn&& run,
-                             MergeFn&& merge, HalfWidthFn&& half_width,
-                             AdaptiveReport& report) {
+Result run_adaptive_rounds(const AdaptivePlan& plan,
+                           const AdaptiveResume& resume,
+                           std::optional<Result> merged,
+                           util::ThreadBudget& budget, RunFn&& run,
+                           MergeFn&& merge, HalfWidthFn&& half_width,
+                           AdaptiveReport& report) {
   plan.validate();
+  RLB_REQUIRE(resume.rounds >= 0, "resume round count must be >= 0");
+  RLB_REQUIRE((resume.rounds > 0) == merged.has_value(),
+              "resume state and merged result must arrive together");
   const auto count = static_cast<std::size_t>(plan.replicas);
   const auto replicas64 = static_cast<std::uint64_t>(plan.replicas);
   const std::unique_ptr<RoundPlanner> planner = make_planner(plan);
   report = AdaptiveReport{};
-  std::optional<Result> merged;
+  report.rounds = resume.rounds;
+  report.jobs_used = resume.jobs_used;
   // The half-width the planner sizes the next round from; infinite until
   // the first merge produces an interval.
   double observed_hw = std::numeric_limits<double>::infinity();
-  for (int round = 0;; ++round) {
+  if (merged) {
+    // Re-derive the stopping state exactly as the cold loop would have
+    // observed it after `resume.rounds` rounds: the run may already meet
+    // the (possibly loosened) target, or already sit at the cap.
+    report.half_width = half_width(*merged);
+    observed_hw = report.half_width;
+    if (report.half_width <= plan.target_ci) {
+      report.converged = true;
+      return std::move(*merged);
+    }
+    if (report.jobs_used >= plan.max_jobs) return std::move(*merged);
+  }
+  for (int round = resume.rounds;; ++round) {
     const std::uint64_t remaining = plan.max_jobs - report.jobs_used;
     const std::uint64_t round_total = std::min(
         planner->round_jobs(round, report.jobs_used, observed_hw),
@@ -314,6 +331,73 @@ Result run_replicas_adaptive(const AdaptivePlan& plan,
   }
   RLB_ASSERT(merged.has_value(), "adaptive run executed zero rounds");
   return std::move(*merged);
+}
+
+}  // namespace detail
+
+/// Sequential-stopping replica runner. Rounds of plan.replicas fresh
+/// replicas run until half_width(merged) <= plan.target_ci or the
+/// cumulative job budget hits plan.max_jobs (then report.converged is
+/// false — the estimate is still the best available, just not at the
+/// requested precision).
+///
+/// - run(global_replica, seed, jobs, warmup) -> Result simulates one
+///   replica: `global_replica` numbers replicas consecutively ACROSS
+///   rounds (round r owns indices r*R .. r*R + R - 1), and `seed` is
+///   replica_seed(plan.base_seed, global_replica) — so the round
+///   schedule never reuses a stream, and a one-round adaptive run is
+///   bit-identical with the fixed-budget run_replicas of the same shape.
+/// - merge folds results in global-index order on the calling thread.
+/// - half_width(merged) -> double reports the pooled CI half-width of
+///   the designated target statistic at plan.confidence; return
+///   +infinity while the estimate is not yet CI-capable (< 2 completed
+///   batches) so the run keeps going.
+///
+/// Rounds are barriers: round r+1 starts only after round r merged, and
+/// the stopping decision depends only on merged statistics — output is
+/// bit-identical for every `budget`.
+template <typename Result, typename RunFn, typename MergeFn,
+          typename HalfWidthFn>
+Result run_replicas_adaptive(const AdaptivePlan& plan,
+                             util::ThreadBudget& budget, RunFn&& run,
+                             MergeFn&& merge, HalfWidthFn&& half_width,
+                             AdaptiveReport& report) {
+  return detail::run_adaptive_rounds<Result>(
+      plan, AdaptiveResume{}, std::optional<Result>{}, budget,
+      std::forward<RunFn>(run), std::forward<MergeFn>(merge),
+      std::forward<HalfWidthFn>(half_width), report);
+}
+
+/// Resume a stopped adaptive run from its checkpointed merged state —
+/// the --refine path (docs/CACHING.md): tighten plan.target_ci below the
+/// original target and continue the round schedule instead of
+/// re-simulating the rounds already paid for.
+///
+/// `merged` must be the EXACT merged Result after `resume.rounds` rounds
+/// (a bit-exact checkpoint restore) and the plan must match the original
+/// in every field except target_ci. Replica numbering continues globally
+/// (round k still owns indices k*R ..), so no stream is ever reused.
+/// Under the geometric planner the resumed run is bit-identical to a
+/// cold run at the tighter target; under the variance planner the
+/// schedule differs but every statistical guarantee holds. The returned
+/// report covers the WHOLE run: rounds/jobs_used include the resumed
+/// prefix, so `report.jobs_used - resume.jobs_used` is the budget the
+/// refinement actually simulated.
+template <typename Result, typename RunFn, typename MergeFn,
+          typename HalfWidthFn>
+Result run_replicas_adaptive_resume(const AdaptivePlan& plan,
+                                    const AdaptiveResume& resume,
+                                    Result merged,
+                                    util::ThreadBudget& budget, RunFn&& run,
+                                    MergeFn&& merge,
+                                    HalfWidthFn&& half_width,
+                                    AdaptiveReport& report) {
+  RLB_REQUIRE(resume.rounds >= 1,
+              "resume requires at least one completed round");
+  return detail::run_adaptive_rounds<Result>(
+      plan, resume, std::optional<Result>(std::move(merged)), budget,
+      std::forward<RunFn>(run), std::forward<MergeFn>(merge),
+      std::forward<HalfWidthFn>(half_width), report);
 }
 
 }  // namespace rlb::sim

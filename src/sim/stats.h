@@ -9,6 +9,19 @@
 
 namespace rlb::sim {
 
+/// The full internal state of a StreamingMoments, exposed so merged
+/// statistics can be checkpointed (the result cache's --refine round
+/// state) and restored bit-for-bit: from_state(state()) is the identical
+/// estimator, so a resumed run continues exactly where the checkpointed
+/// run stopped.
+struct MomentsState {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Numerically stable running mean/variance plus extrema.
 class StreamingMoments {
  public:
@@ -27,12 +40,26 @@ class StreamingMoments {
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
 
+  /// Checkpoint / restore (exact round trip; see MomentsState).
+  [[nodiscard]] MomentsState state() const;
+  static StreamingMoments from_state(const MomentsState& s);
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Checkpoint of a BatchMeans, including the open partial batch, so a
+/// restored estimator continues the same batch exactly where the
+/// checkpointed one left off.
+struct BatchMeansState {
+  std::uint64_t batch_size = 1;
+  std::uint64_t in_batch = 0;
+  double batch_sum = 0.0;
+  MomentsState batch_means;
 };
 
 /// Batch means: observations are grouped into fixed-size batches; the batch
@@ -73,6 +100,10 @@ class BatchMeans {
   ci95_halfwidth() const {
     return half_width(0.95);
   }
+
+  /// Checkpoint / restore (exact round trip; see BatchMeansState).
+  [[nodiscard]] BatchMeansState state() const;
+  static BatchMeans from_state(const BatchMeansState& s);
 
  private:
   std::uint64_t batch_size_;
@@ -131,6 +162,16 @@ double t_quantile(double confidence, std::uint64_t df);
   return t_quantile(0.95, df);
 }
 
+/// Checkpoint of a ReservoirQuantiles: the retained sample, the stream
+/// count it represents, and the sampler's RNG state, so a restored
+/// reservoir continues the identical random stream.
+struct ReservoirState {
+  std::uint64_t capacity = 1;
+  std::uint64_t seen = 0;
+  std::uint64_t rng_state = 0;
+  std::vector<double> sample;
+};
+
 /// Streaming quantile estimation by uniform reservoir sampling: holds a
 /// fixed-size uniform sample of the stream and answers arbitrary quantile
 /// queries from it. Error ~ 1/sqrt(capacity) in probability, which is
@@ -155,6 +196,10 @@ class ReservoirQuantiles {
   /// Quantile q in [0, 1] of the sampled distribution (nearest-rank).
   /// Requires at least one observation.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Checkpoint / restore (exact round trip; see ReservoirState).
+  [[nodiscard]] ReservoirState state() const;
+  static ReservoirQuantiles from_state(const ReservoirState& s);
 
  private:
   std::uint64_t next_random();

@@ -156,4 +156,46 @@ TEST(Distributions, ParseDistributionRejectsMalformedSpecs) {
         << spec;
 }
 
+/// Assert that `spec` is rejected with a message ENDING in
+/// `expected_tail`. --arrival/--service errors surface these messages to
+/// the CLI user (RLB_REQUIRE prepends its mechanical "requirement
+/// failed" preamble; the human-readable diagnosis is the tail), so the
+/// wording is contract, not decoration.
+void expect_rejection(const std::string& spec,
+                      const std::string& expected_tail) {
+  try {
+    (void)parse_distribution(spec);
+    ADD_FAILURE() << "spec unexpectedly parsed: " << spec;
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_TRUE(message.size() >= expected_tail.size() &&
+                message.compare(message.size() - expected_tail.size(),
+                                expected_tail.size(), expected_tail) == 0)
+        << "message: " << message << "\nexpected tail: " << expected_tail;
+  }
+}
+
+TEST(Distributions, RejectionMessagesNameTheProblemAndEchoTheSpec) {
+  // Each message states WHAT is wrong (the family, the key, the token)
+  // and repeats the offending spec so a user with several --arrival
+  // flags can tell which one misfired.
+  expect_rejection("gamma:shape=2",
+                   "unknown distribution family in spec: gamma:shape=2 "
+                   "(known: exp, det, erlang, uniform, pareto, lognormal, "
+                   "hyperexp)");
+  expect_rejection("exp:rate=2,extra=1",
+                   "unknown key 'extra' in distribution spec: "
+                   "exp:rate=2,extra=1");
+  expect_rejection("exp:rate=2,rate=3",
+                   "duplicate key 'rate' in distribution spec: "
+                   "exp:rate=2,rate=3");
+  expect_rejection("exp:rate=abc",
+                   "malformed number in distribution spec: exp:rate=abc");
+  expect_rejection("pareto:mean=2",
+                   "distribution spec is missing 'alpha': pareto:mean=2");
+  expect_rejection("erlang:shape=2.5,rate=1",
+                   "erlang shape must be an integer >= 1: "
+                   "erlang:shape=2.5,rate=1");
+}
+
 }  // namespace

@@ -3,6 +3,7 @@
 // unlike the unit-test binaries). The key property is the rlb_run
 // contract: for a fixed --replicas value, the rendered output of a
 // scenario is bit-identical for every thread count.
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,17 +28,19 @@ using rlb::engine::Scenario;
 using rlb::engine::ScenarioContext;
 using rlb::engine::ScenarioRegistry;
 
-/// Render one scenario run (args as an rlb_run-style flag list) to JSON.
+/// Render one scenario run (args as an rlb_run-style flag list) to JSON,
+/// optionally through a result cache (the rlb_run --cache path).
 std::string run_to_json(const std::string& name,
                         std::vector<std::string> args, int threads,
-                        int replicas) {
+                        int replicas,
+                        rlb::engine::ResultCache* cache = nullptr) {
   const Scenario& scenario = ScenarioRegistry::global().get(name);
   args.insert(args.begin(), "test_scenarios");
   std::vector<char*> argv;
   argv.reserve(args.size());
   for (auto& a : args) argv.push_back(a.data());
   const rlb::util::Cli cli(static_cast<int>(argv.size()), argv.data());
-  ScenarioContext ctx(cli, threads, replicas);
+  ScenarioContext ctx(cli, threads, replicas, cache);
   return rlb::engine::to_json(scenario.run(ctx), name);
 }
 
@@ -213,6 +216,110 @@ TEST(Scenarios, DiurnalSurgeReplaysTheGoldenTrace) {
   std::ostringstream text;
   rlb::engine::write_text(scenario.run(ctx), text);
   EXPECT_NE(text.str().find("trace(40 jobs/cycle)"), std::string::npos);
+}
+
+/// A fresh per-test cache directory under gtest's temp root.
+class ScenarioCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test AND process: ctest -j runs each test in its own
+    // process, so a shared name would race between concurrent tests.
+    dir_ = ::testing::TempDir() + "rlb_scenario_cache_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  rlb::engine::ResultCache make_cache(
+      rlb::engine::CacheMode mode = rlb::engine::CacheMode::kReadWrite) {
+    return rlb::engine::ResultCache(dir_, mode);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ScenarioCache, WarmRerunIsByteIdenticalToColdAcrossThreadCounts) {
+  // The acceptance contract (docs/CACHING.md): a warm-cache re-run of
+  // power_of_d and fleet_scaling renders byte-for-byte what the cold run
+  // rendered and what an uncached run renders — at ANY thread count,
+  // since cells are keyed semantically and the store/lookup passes are
+  // serial.
+  const std::vector<QuickScenario> sweeps{
+      {"power_of_d", {"--jobs=20000"}},
+      {"fleet_scaling",
+       {"--nmin=32", "--nmax=128", "--nstep=2", "--jobs-per-server=200",
+        "--crosscheck-n=64", "--crosscheck-jobs=20000"}},
+  };
+  for (const auto& s : sweeps) {
+    std::filesystem::remove_all(dir_);
+    const std::string uncached = run_to_json(s.name, s.args, 2, 1);
+    auto cold_cache = make_cache();
+    const std::string cold = run_to_json(s.name, s.args, 4, 1, &cold_cache);
+    EXPECT_EQ(cold, uncached) << s.name << ": caching changed the output";
+    EXPECT_EQ(cold_cache.hits(), 0u) << s.name;
+    EXPECT_GT(cold_cache.stored(), 0u) << s.name;
+
+    auto warm_cache = make_cache();
+    const std::string warm = run_to_json(s.name, s.args, 1, 1, &warm_cache);
+    EXPECT_EQ(warm, cold) << s.name << ": warm re-run drifted";
+    EXPECT_EQ(warm_cache.misses(), 0u) << s.name;
+    EXPECT_EQ(warm_cache.hits(), cold_cache.stored()) << s.name;
+    EXPECT_EQ(warm_cache.stored(), 0u) << s.name;
+  }
+}
+
+TEST_F(ScenarioCache, AdaptiveRunsHitUnderBothPlanners) {
+  // Adaptive cells key on the planner and stopping knobs; both planners
+  // must round-trip through the cache byte-identically.
+  for (const char* planner : {"geometric", "variance"}) {
+    std::filesystem::remove_all(dir_);
+    const std::vector<std::string> args{
+        "--jobs=20000", "--target-ci=0.1", "--max-jobs=80000",
+        std::string("--planner=") + planner};
+    auto cold_cache = make_cache();
+    const std::string cold =
+        run_to_json("power_of_d", args, 4, 2, &cold_cache);
+    auto warm_cache = make_cache();
+    const std::string warm =
+        run_to_json("power_of_d", args, 1, 2, &warm_cache);
+    EXPECT_EQ(warm, cold) << planner;
+    EXPECT_EQ(warm_cache.misses(), 0u) << planner;
+    EXPECT_GT(warm_cache.hits(), 0u) << planner;
+  }
+}
+
+TEST_F(ScenarioCache, RefineFromCachedStateEqualsColdRunAtTighterTarget) {
+  // The --refine contract end to end: seed the cache at a loose target,
+  // re-run with --refine at a tighter one, and compare against an
+  // uncached cold run at the tight target — byte-identical under the
+  // geometric planner, and cheaper (only solver cells recompute from
+  // scratch; every simulated cell resumes its round schedule).
+  const std::vector<std::string> base{"--jobs=20000", "--max-jobs=160000"};
+  auto loose_args = base;
+  loose_args.push_back("--target-ci=0.2");
+  auto cache = make_cache();
+  (void)run_to_json("power_of_d", loose_args, 4, 1, &cache);
+
+  auto tight_args = base;
+  tight_args.push_back("--target-ci=0.1");
+  const std::string cold = run_to_json("power_of_d", tight_args, 2, 1);
+
+  auto refine_args = tight_args;
+  refine_args.push_back("--refine");
+  auto refine_cache = make_cache();
+  const std::string refined =
+      run_to_json("power_of_d", refine_args, 1, 1, &refine_cache);
+  EXPECT_EQ(refined, cold);
+  EXPECT_GT(refine_cache.refined(), 0u);
+  EXPECT_EQ(refine_cache.hits(), 0u);
+
+  // The refined records now satisfy the tight target: a plain warm
+  // re-run at --target-ci=0.1 is all hits.
+  auto warm_cache = make_cache();
+  const std::string warm =
+      run_to_json("power_of_d", tight_args, 4, 1, &warm_cache);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(warm_cache.misses(), 0u);
 }
 
 TEST(Scenarios, MarkdownCatalogCoversEveryScenario) {

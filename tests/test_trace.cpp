@@ -214,4 +214,44 @@ TEST(TraceValidate, RejectsBadTraces) {
   EXPECT_THROW(zero_horizon.validate(), std::invalid_argument);
 }
 
+/// The message parse_trace raises for `text`; fails the test if the
+/// trace parses. Trace files are user-authored, so the messages must
+/// carry the 1-based line number and echo the offending line.
+std::string rejection_message(const std::string& text) {
+  try {
+    (void)parse(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "trace unexpectedly parsed: " << text;
+  return {};
+}
+
+TEST(TraceParser, RejectionMessagesCarryLineNumberAndOffendingLine) {
+  EXPECT_EQ(rejection_message("abc\n"),
+            "trace line 1: timestamp is not a finite number — \"abc\"");
+  EXPECT_EQ(rejection_message("1.0\n2.0 1.5\nhorizon=3\n"),
+            "trace line 2: batch must be an integer >= 1 — \"2.0 1.5\"");
+  EXPECT_EQ(rejection_message("1.0\n2.0 0\nhorizon=3\n"),
+            "trace line 2: batch must be an integer >= 1 — \"2.0 0\"");
+  EXPECT_EQ(rejection_message("-1.0\n"),
+            "trace line 1: timestamp is negative — \"-1.0\"");
+  EXPECT_EQ(
+      rejection_message("2.0\n1.0\nhorizon=3\n"),
+      "trace line 2: timestamps must be non-decreasing — \"1.0\"");
+  EXPECT_EQ(rejection_message("1.0 2 3\n"),
+            "trace line 1: trailing field (expected <time> [<batch>]) — "
+            "\"1.0 2 3\"");
+  EXPECT_EQ(rejection_message("1.0\nhorizon\n"),
+            "trace line 2: horizon directive needs horizon=<value> — "
+            "\"horizon\"");
+  EXPECT_EQ(rejection_message("1.0\nhorizon=-2\n"),
+            "trace line 2: horizon must be a finite positive number — "
+            "\"horizon=-2\"");
+  // Comments and blank lines still count toward the line number — the
+  // number must match what the user's editor shows.
+  EXPECT_EQ(rejection_message("# header\n\n1.0\nbad\n"),
+            "trace line 4: timestamp is not a finite number — \"bad\"");
+}
+
 }  // namespace

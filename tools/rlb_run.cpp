@@ -14,6 +14,8 @@
 //            [--warmup-fraction=0.1]]
 //           [--baseline=ref.json [--rtol=...] [--atol=...]
 //            [--baseline-ignore=col,col]]
+//           [--cache=dir [--cache-mode=readwrite|readonly|refresh]
+//            [--refine]]
 //           [scenario-specific flags, e.g. --n=12 --jobs=500000]
 //
 // Every scenario derives its randomness from fixed per-cell (and, with
@@ -35,10 +37,20 @@
 // committed --json reference; numeric cells compare within --rtol/--atol
 // (plain number or per-column "col=tol" list), string cells exactly, and
 // drift exits with status 3.
+//
+// --cache=DIR gives sweep scenarios a persistent result cache
+// (docs/CACHING.md): cells whose record matches the run's semantic
+// coordinates load instead of simulating, and a warm re-run's output is
+// byte-identical to the cold run's at any --threads. --cache-mode
+// chooses readwrite/readonly/refresh; --refine lets a tighter
+// --target-ci resume cached adaptive round state. The run ends with a
+// "cache summary: hits=... misses=..." line.
 #include <exception>
 #include <iostream>
+#include <optional>
 
 #include "engine/baseline.h"
+#include "engine/result_cache.h"
 #include "engine/scenario.h"
 #include "engine/sink.h"
 #include "engine/sweep.h"
@@ -99,6 +111,8 @@ int main(int argc, char** argv) {
                    "[--warmup-jobs=n] [--warmup-fraction=f]]\n"
                    "       [--baseline=ref.json [--rtol=tol] [--atol=tol] "
                    "[--baseline-ignore=cols]]\n"
+                   "       [--cache=dir "
+                   "[--cache-mode=readwrite|readonly|refresh] [--refine]]\n"
                    "       [scenario flags]\n"
                    "       rlb_run --list [--markdown] | "
                    "--describe=<name>\n\n";
@@ -131,16 +145,25 @@ int main(int argc, char** argv) {
     if (!baseline_path.empty())
       baseline_json = rlb::engine::read_text_file(baseline_path);
 
+    const std::string cache_dir = cli.get("cache", "");
+    const rlb::engine::CacheMode cache_mode =
+        rlb::engine::parse_cache_mode(cli.get("cache-mode", "readwrite"));
+    std::optional<rlb::engine::ResultCache> cache;
+    if (!cache_dir.empty()) cache.emplace(cache_dir, cache_mode);
+
     // Mark the scenario's declared parameters as known; constructing the
-    // context parses (and thereby marks) the global --target-ci family.
-    // Then reject typos BEFORE the (possibly hours-long) run.
+    // context parses (and thereby marks) the global --target-ci family
+    // and --refine. Then reject typos BEFORE the (possibly hours-long)
+    // run.
     for (const auto& p : scenario.params) (void)cli.has(p.name);
-    ScenarioContext ctx(cli, threads, replicas);
+    ScenarioContext ctx(cli, threads, replicas,
+                        cache ? &*cache : nullptr);
     cli.finish();
 
     const rlb::engine::ScenarioOutput out = scenario.run(ctx);
 
     rlb::engine::write_text(out, std::cout);
+    if (cache) std::cout << cache->summary() << "\n";
     if (!csv.empty())
       for (const auto& path : rlb::engine::write_csv(out, csv))
         std::cout << "csv written: " << path << "\n";
