@@ -360,4 +360,19 @@ CacheMode parse_cache_mode(const std::string& text) {
       "--cache-mode must be 'readwrite', 'readonly', or 'refresh'");
 }
 
+std::string cache_cli_error(bool has_cache, bool has_refine,
+                            bool has_cache_mode) {
+  if (has_cache) return {};
+  if (has_refine && has_cache_mode)
+    return "--refine and --cache-mode require --cache=DIR (they configure "
+           "the result cache and do nothing without one)";
+  if (has_refine)
+    return "--refine requires --cache=DIR (it resumes cached adaptive "
+           "round state and does nothing without a cache)";
+  if (has_cache_mode)
+    return "--cache-mode requires --cache=DIR (it configures the result "
+           "cache and does nothing without one)";
+  return {};
+}
+
 }  // namespace rlb::engine

@@ -161,4 +161,11 @@ class ResultCache {
 /// but "readwrite" / "readonly" / "refresh".
 CacheMode parse_cache_mode(const std::string& text);
 
+/// Coherence check for the cache flag family: --refine and --cache-mode
+/// only configure the result cache, so either without --cache=DIR used
+/// to be consumed silently and do nothing. Returns the error message for
+/// that misuse, or an empty string when the combination is coherent.
+std::string cache_cli_error(bool has_cache, bool has_refine,
+                            bool has_cache_mode);
+
 }  // namespace rlb::engine

@@ -39,6 +39,9 @@ class Engine final : public ClusterState {
         arrivals_(arrivals),
         service_(service),
         rng_(seed),
+        rack_mode_(cfg.topology.racks > 1 &&
+                   (cfg.topology.penalized() || policy.locality_aware())),
+        per_rack_(cfg.topology.servers_per_rack(cfg.servers)),
         queues_(cfg.servers),
         completion_(cfg.servers, 0.0),
         queued_work_(cfg.servers, 0.0) {
@@ -103,12 +106,23 @@ class Engine final : public ClusterState {
         if (arrivals == warmup_ && measure_start < 0.0)
           measure_start = now_;
         Job job{arrivals, now_, service_.sample(rng_)};
+        // Home rack: one draw per arrival, taken right after the service
+        // sample. Skipped entirely when the topology is unobservable, so
+        // those runs stay bit-identical to the topology-blind engine
+        // (the compact engine mirrors this statement for statement).
+        int home = 0;
+        if (rack_mode_)
+          home = static_cast<int>(rng_.uniform_int(
+              static_cast<std::uint64_t>(cfg_.topology.racks)));
         ++arrivals;
         ++in_system;
-        const int s = policy_.select(*this, rng_);
+        const int s = rack_mode_ ? policy_.select(*this, home, rng_)
+                                 : policy_.select(*this, rng_);
         RLB_ASSERT(s >= 0 && s < cfg_.servers, "policy picked a bad server");
         if (!cfg_.server_speeds.empty())
           job.service_time /= cfg_.server_speeds[s];
+        if (rack_mode_ && s / per_rack_ != home)
+          job.service_time = cfg_.topology.penalize(job.service_time);
         auto& q = queues_[s];
         if (q.empty()) {
           completion_[s] = now_ + job.service_time;
@@ -169,6 +183,9 @@ class Engine final : public ClusterState {
   ArrivalProcess& arrivals_;
   const Distribution& service_;
   Rng rng_;
+  /// Topology observable this run (sim/topology.h gating rule).
+  bool rack_mode_;
+  int per_rack_;
 
   std::vector<std::deque<Job>> queues_;
   std::vector<double> completion_;
@@ -199,6 +216,12 @@ void validate_config(const ClusterConfig& cfg, const Policy& policy) {
   RLB_REQUIRE(cfg.engine != ClusterEngine::kCompact || policy.symmetric(),
               "the compact engine only runs symmetric policies; use "
               "kLegacy or kAuto for identity-aware policies");
+  cfg.topology.validate(cfg.servers);
+  const int req = policy.required_racks();
+  RLB_REQUIRE(req == 0 || req == cfg.topology.racks,
+              "policy '" + policy.name() + "' was built for " +
+                  std::to_string(req) + " racks but the topology has " +
+                  std::to_string(cfg.topology.racks));
 }
 
 /// True when this run should execute on the compact histogram engine.

@@ -13,6 +13,7 @@
 #include "sim/policy.h"
 #include "sim/replica.h"
 #include "sim/stats.h"
+#include "sim/topology.h"
 #include "util/thread_budget.h"
 
 namespace rlb::sim {
@@ -55,6 +56,17 @@ struct ClusterConfig {
   /// Engine selection; kAuto picks per policy and is right for almost
   /// every caller. kCompact with a non-symmetric policy is rejected.
   ClusterEngine engine = ClusterEngine::kAuto;
+
+  /// Rack topology (sim/topology.h, docs/TOPOLOGY.md). The default —
+  /// one rack, no penalty — is the paper's symmetric model and runs
+  /// bit-identically to the pre-topology engines. When the topology is
+  /// OBSERVABLE (racks > 1 with a cross-rack penalty or a locality-aware
+  /// policy) each arrival draws a uniform home rack right after its
+  /// service-time sample, the policy's rack-aware select runs, and
+  /// cross-rack dispatch pays topology.penalize() on the service time
+  /// (after any server-speed scaling). Validation rejects a policy whose
+  /// required_racks() disagrees with topology.racks.
+  Topology topology;
 
   /// Sojourn-quantile reservoir: capacity of the per-replica sample
   /// (ReservoirQuantiles) and the salt XOR-ed into the replica seed for

@@ -20,10 +20,17 @@ CompactClusterEngine::CompactClusterEngine(
       arrivals_(arrivals),
       service_(service),
       rng_(seed),
+      rack_mode_(cfg.topology.racks > 1 &&
+                 (cfg.topology.penalized() || policy.locality_aware())),
+      per_rack_(cfg.topology.servers_per_rack(cfg.servers)),
       dir_(cfg.servers),
       slot_(cfg.servers) {
   RLB_REQUIRE(policy.symmetric(),
               "compact engine requires a symmetric policy");
+  // Per-rack idle FIFOs only when a locality-aware policy will consult
+  // them; blind runs (even penalized ones) skip the maintenance cost.
+  if (cfg.topology.racks > 1 && policy.locality_aware())
+    dir_.arm_racks(cfg.topology.racks);
 }
 
 std::int32_t CompactClusterEngine::acquire_slot() {
@@ -124,16 +131,25 @@ ClusterAccum CompactClusterEngine::run() {
       job.index = arrivals;
       job.arrival_time = now_;
       job.service_time = service_.sample(rng_);
+      // Home-rack draw: mirrors the legacy engine's position exactly —
+      // right after the service sample, before the policy's draws.
+      int home = 0;
+      if (rack_mode_)
+        home = static_cast<int>(rng_.uniform_int(
+            static_cast<std::uint64_t>(cfg_.topology.racks)));
       ++arrivals;
       ++in_system;
       // If the chosen server turns out idle, the departure lands in this
       // bucket; start loading it before the policy's polling misses.
       calendar_.prefetch_slot(now_ + job.service_time);
-      const int s = policy_.select_direct(dir_, rng_);
+      const int s = rack_mode_ ? policy_.select_direct(dir_, home, rng_)
+                               : policy_.select_direct(dir_, rng_);
       RLB_ASSERT(s >= 0 && s < cfg_.servers, "policy picked a bad server");
       util::prefetch(&slot_[s]);
       if (!cfg_.server_speeds.empty())
         job.service_time /= cfg_.server_speeds[s];
+      if (rack_mode_ && s / per_rack_ != home)
+        job.service_time = cfg_.topology.penalize(job.service_time);
       if (dir_.level_of(s) == 0)
         calendar_.push(now_ + job.service_time, s);
       push_job(s, job);

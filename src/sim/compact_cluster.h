@@ -104,6 +104,9 @@ class CompactClusterEngine {
   ArrivalProcess& arrivals_;
   const Distribution& service_;
   Rng rng_;
+  /// Topology observable this run (sim/topology.h gating rule).
+  bool rack_mode_;
+  int per_rack_;
 
   LevelDirectory dir_;
   CalendarQueue calendar_;      ///< pending departures, one per busy server

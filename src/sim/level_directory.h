@@ -62,6 +62,30 @@ class LevelDirectory final : public QueueHistogramView {
                          rng.uniform_int(static_cast<std::uint64_t>(c)))];
   }
 
+  /// O(1) per-rack idle head once arm_racks has run: the slice
+  /// [begin, end) must then be exactly one rack. Unarmed directories fall
+  /// back to the base class's index-order scan. The per-rack FIFOs are
+  /// maintained by the same idle_remove/idle_append calls as the global
+  /// one, so their order is the global I-queue order restricted to the
+  /// rack — first-idle-first-out, server-index order at time zero,
+  /// matching the legacy engine's I-queue slice bit-for-bit.
+  [[nodiscard]] int rack_idle_head(int begin, int end) const override {
+    if (racks_ == 0) return QueueHistogramView::rack_idle_head(begin, end);
+    RLB_REQUIRE(begin % per_rack_ == 0 && end - begin == per_rack_,
+                "rack_idle_head slice must be one armed rack");
+    return rack_head_[begin / per_rack_];
+  }
+
+  /// Thread the level-0 servers onto one idle FIFO per rack (side arrays;
+  /// the packed ServerRec stays 16 bytes). Must be called in the initial
+  /// all-idle state, before any increment — the per-rack FIFOs then track
+  /// every idle transition. Engines arm this only for locality-aware
+  /// policies; blind runs never pay the extra FIFO maintenance.
+  void arm_racks(int racks);
+
+  /// Rack count armed via arm_racks, 0 when unarmed.
+  [[nodiscard]] int racks() const { return racks_; }
+
   /// The i-th server of the level's block, 0 <= i < count_at(level).
   /// Block order is an implementation detail (it changes as servers move
   /// between levels); exposed for tests.
@@ -135,7 +159,35 @@ class LevelDirectory final : public QueueHistogramView {
     rec_[sa].pos = b;
   }
 
+  void rack_idle_remove(int server) {
+    const int r = server / per_rack_;
+    const std::int32_t nx = rack_next_[server];
+    const std::int32_t pv = rack_prev_[server];
+    if (pv >= 0)
+      rack_next_[pv] = nx;
+    else
+      rack_head_[r] = nx;
+    if (nx >= 0)
+      rack_prev_[nx] = pv;
+    else
+      rack_tail_[r] = pv;
+    rack_next_[server] = -1;
+    rack_prev_[server] = -1;
+  }
+
+  void rack_idle_append(int server) {
+    const int r = server / per_rack_;
+    rack_prev_[server] = rack_tail_[r];
+    rack_next_[server] = -1;
+    if (rack_tail_[r] >= 0)
+      rack_next_[rack_tail_[r]] = server;
+    else
+      rack_head_[r] = server;
+    rack_tail_[r] = server;
+  }
+
   void idle_remove(int server) {
+    if (racks_ != 0) rack_idle_remove(server);
     ServerRec& r = rec_[server];
     const std::int32_t nx = r.idle_next;
     const std::int32_t pv = r.idle_prev;
@@ -152,6 +204,7 @@ class LevelDirectory final : public QueueHistogramView {
   }
 
   void idle_append(int server) {
+    if (racks_ != 0) rack_idle_append(server);
     ServerRec& r = rec_[server];
     r.idle_prev = idle_tail_;
     r.idle_next = -1;
@@ -170,6 +223,14 @@ class LevelDirectory final : public QueueHistogramView {
   /// Block starts; invariant: offset_[k+1] == offset_[k] + count_[k].
   std::vector<std::int32_t> offset_;
   std::int32_t idle_head_ = -1, idle_tail_ = -1;
+  /// Per-rack idle FIFOs (arm_racks). Side arrays rather than ServerRec
+  /// fields: the packed record must stay 16 bytes (four per cache line —
+  /// the bench_check gate watches the engine's event rate), and blind
+  /// runs never allocate or touch any of this.
+  int racks_ = 0;      ///< 0 = unarmed
+  int per_rack_ = 0;
+  std::vector<std::int32_t> rack_next_, rack_prev_;  ///< per server
+  std::vector<std::int32_t> rack_head_, rack_tail_;  ///< per rack
 };
 
 }  // namespace rlb::sim

@@ -154,8 +154,29 @@ int ClusterState::idle_server(int i) const {
   return -1;
 }
 
+int ClusterState::rack_idle_head(int begin, int end) const {
+  // Walk the idle view in its own order, so an engine exposing true
+  // became-idle FIFO order (cluster_sim's I-queue) yields the rack's
+  // longest-idle server, and the default index-order scan stays the
+  // per-rack analogue of idle_server(0).
+  const int idle = idle_servers();
+  for (int i = 0; i < idle; ++i) {
+    const int s = idle_server(i);
+    if (s >= begin && s < end) return s;
+  }
+  return -1;
+}
+
+int QueueHistogramView::rack_idle_head(int begin, int end) const {
+  for (int s = begin; s < end; ++s)
+    if (level_of(s) == 0) return s;
+  return -1;
+}
+
 SqdPolicy::SqdPolicy(int n, int d) : d_(d), sampler_(n) {
-  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
+  // d > N clamps to a full poll (the sampler enumerates everyone), so
+  // only non-positive d is a configuration error.
+  RLB_REQUIRE(d >= 1, "need d >= 1");
 }
 
 int SqdPolicy::select(const ClusterState& cluster, Rng& rng) {
@@ -246,7 +267,8 @@ std::string JiqPolicy::name() const {
 
 JbtPolicy::JbtPolicy(int n, int d, int threshold, Fallback fallback)
     : d_(d), threshold_(threshold), fallback_(fallback), sampler_(n) {
-  RLB_REQUIRE(d >= 1 && d <= n, "need 1 <= d <= N");
+  // As in SqdPolicy: d > N is a full poll, not an error.
+  RLB_REQUIRE(d >= 1, "need d >= 1");
   RLB_REQUIRE(threshold >= 0, "threshold must be non-negative");
 }
 
@@ -275,6 +297,135 @@ int JbtPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
 std::string JbtPolicy::name() const {
   return "jbt(" + std::to_string(d_) + ",t=" + std::to_string(threshold_) +
          (fallback_ == Fallback::Shortest ? ",shortest)" : ",random)");
+}
+
+RackLocalSqdPolicy::RackLocalSqdPolicy(int n, int racks, int d,
+                                       int spill_threshold)
+    : n_(n),
+      racks_(racks),
+      per_rack_(racks >= 1 ? n / racks : 0),
+      d_(d),
+      spill_threshold_(spill_threshold),
+      local_sampler_(racks >= 1 && n % racks == 0 ? n / racks : 1),
+      remote_sampler_(std::max(1, n - per_rack_)) {
+  RLB_REQUIRE(racks >= 1, "need at least one rack");
+  RLB_REQUIRE(n % racks == 0, "servers must divide evenly into racks");
+  RLB_REQUIRE(d >= 1, "need d >= 1");
+  RLB_REQUIRE(spill_threshold >= 0, "spill threshold must be non-negative");
+}
+
+/// Rack-local SQ(d) over any queue-length accessor: poll the home rack,
+/// spill to a cross-rack poll only when every local polled queue is at
+/// least spill_threshold_ long, and only move for a STRICT improvement.
+/// One template (like sqd_dispatch) so the ClusterState, histogram-view,
+/// and concrete-directory paths consume identical RNG draws — the
+/// engines' bit-identity contract extends to the rack variants.
+template <typename LenFn>
+int RackLocalSqdPolicy::dispatch(int home_rack, Rng& rng, LenFn&& len_of) {
+  const int base = home_rack * per_rack_;
+  local_sampler_.sample(d_, rng, polled_);  // clamps to the rack size
+  for (int& s : polled_) s += base;
+  const int local_best = shortest_polled_by(polled_, rng, len_of);
+  const int local_len = len_of(local_best);
+  if (racks_ == 1 || spill_threshold_ == 0 || local_len < spill_threshold_)
+    return local_best;
+  // Saturated locally: poll the other racks. Remote sampler indices run
+  // over [0, n - per_rack); skip the home rack's block when mapping back
+  // to server ids.
+  remote_sampler_.sample(d_, rng, polled_);  // clamps to n - per_rack
+  for (int& s : polled_) s = s >= base ? s + per_rack_ : s;
+  const int remote_best = shortest_polled_by(polled_, rng, len_of);
+  return len_of(remote_best) < local_len ? remote_best : local_best;
+}
+
+int RackLocalSqdPolicy::select(const ClusterState& cluster, Rng& rng) {
+  return select(cluster, 0, rng);
+}
+
+int RackLocalSqdPolicy::select(const ClusterState& cluster, int home_rack,
+                               Rng& rng) {
+  return dispatch(home_rack, rng,
+                  [&](int s) { return cluster.queue_length(s); });
+}
+
+int RackLocalSqdPolicy::select_symmetric(const QueueHistogramView& view,
+                                         Rng& rng) {
+  return select_symmetric(view, 0, rng);
+}
+
+int RackLocalSqdPolicy::select_symmetric(const QueueHistogramView& view,
+                                         int home_rack, Rng& rng) {
+  return dispatch(home_rack, rng, [&](int s) { return view.level_of(s); });
+}
+
+int RackLocalSqdPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return select_direct(dir, 0, rng);
+}
+
+int RackLocalSqdPolicy::select_direct(const LevelDirectory& dir,
+                                      int home_rack, Rng& rng) {
+  return dispatch(home_rack, rng, [&](int s) { return dir.level_of(s); });
+}
+
+std::string RackLocalSqdPolicy::name() const {
+  std::string s = "rack-sq(" + std::to_string(d_) + ")";
+  if (spill_threshold_ == 0)
+    s += "/local";
+  else if (spill_threshold_ != 1)
+    s += "/spill=" + std::to_string(spill_threshold_);
+  return s;
+}
+
+RackJiqPolicy::RackJiqPolicy(int n, int racks, int fallback_d,
+                             int spill_threshold)
+    : racks_(racks),
+      per_rack_(racks >= 1 ? n / racks : 0),
+      fallback_(n, racks, fallback_d, spill_threshold) {}
+
+int RackJiqPolicy::select(const ClusterState& cluster, Rng& rng) {
+  return select(cluster, 0, rng);
+}
+
+int RackJiqPolicy::select(const ClusterState& cluster, int home_rack,
+                          Rng& rng) {
+  const int base = home_rack * per_rack_;
+  const int local = cluster.rack_idle_head(base, base + per_rack_);
+  if (local >= 0) return local;
+  // Steal the globally longest-idle server (necessarily cross-rack: the
+  // home rack has no idle server) — the first-idle-first-out contract
+  // holds across the steal in both engines.
+  if (cluster.idle_servers() > 0) return cluster.idle_server(0);
+  return fallback_.select(cluster, home_rack, rng);
+}
+
+int RackJiqPolicy::select_symmetric(const QueueHistogramView& view, Rng& rng) {
+  return select_symmetric(view, 0, rng);
+}
+
+int RackJiqPolicy::select_symmetric(const QueueHistogramView& view,
+                                    int home_rack, Rng& rng) {
+  const int base = home_rack * per_rack_;
+  const int local = view.rack_idle_head(base, base + per_rack_);
+  if (local >= 0) return local;
+  if (view.idle_count() > 0) return view.idle_head();
+  return fallback_.select_symmetric(view, home_rack, rng);
+}
+
+int RackJiqPolicy::select_direct(const LevelDirectory& dir, Rng& rng) {
+  return select_direct(dir, 0, rng);
+}
+
+int RackJiqPolicy::select_direct(const LevelDirectory& dir, int home_rack,
+                                 Rng& rng) {
+  const int base = home_rack * per_rack_;
+  const int local = dir.rack_idle_head(base, base + per_rack_);
+  if (local >= 0) return local;
+  if (dir.idle_count() > 0) return dir.idle_head();
+  return fallback_.select_direct(dir, home_rack, rng);
+}
+
+std::string RackJiqPolicy::name() const {
+  return "rack-jiq/" + fallback_.name();
 }
 
 int LeastWorkLeftPolicy::select(const ClusterState& cluster, Rng& rng) {

@@ -36,6 +36,14 @@ class ClusterState {
   /// simulator tracks becoming-idle order (cluster_sim does), server-index
   /// order in the default scan.
   [[nodiscard]] virtual int idle_server(int i) const;
+
+  /// The longest-idle server with index in [begin, end) — a rack's slice
+  /// of the dispatcher's I-queue — or -1 when no server in the range is
+  /// idle. The default walks the idle view in its order, so it inherits
+  /// whatever ordering idle_server provides (true first-idle-first-out in
+  /// cluster_sim, index order in the default scan). Per-rack JIQ
+  /// dispatches through this.
+  [[nodiscard]] virtual int rack_idle_head(int begin, int end) const;
 };
 
 /// Compressed cluster state for SYMMETRIC (exchangeable) policies: the
@@ -90,6 +98,14 @@ class QueueHistogramView {
   /// uniform_int draw. O(1): this is the histogram's replacement for
   /// "scan all N servers and tie-break among the minima".
   [[nodiscard]] virtual int sample_at_level(int level, Rng& rng) const = 0;
+
+  /// The longest-idle server with index in [begin, end), -1 when that
+  /// slice holds no idle server. The default scans level_of in index
+  /// order (test doubles); the compact engine's LevelDirectory overrides
+  /// it with O(1) per-rack idle FIFOs whose order matches the legacy
+  /// I-queue exactly (first-idle-first-out, index order at time zero) —
+  /// the per-rack analogue of the idle_head() ordering contract.
+  [[nodiscard]] virtual int rack_idle_head(int begin, int end) const;
 };
 
 class Policy {
@@ -134,6 +150,41 @@ class Policy {
   /// head server's state before the next arrival is even drawn; it never
   /// affects which server is selected.
   [[nodiscard]] virtual bool dispatches_to_idle_head() const { return false; }
+
+  /// Capability flag: true when the policy's decision depends on the
+  /// arriving job's home rack (docs/TOPOLOGY.md). Engines running a
+  /// racked topology draw one home rack per arrival and route the
+  /// dispatch through the rack-aware select overloads below.
+  [[nodiscard]] virtual bool locality_aware() const { return false; }
+
+  /// The rack count this policy was built for, 0 when the policy is
+  /// topology-blind and runs under any topology. Config validation
+  /// rejects a mismatch with ClusterConfig::topology.racks, which would
+  /// otherwise silently corrupt the policy's rack arithmetic.
+  [[nodiscard]] virtual int required_racks() const { return 0; }
+
+  /// Rack-aware select variants, one per engine path. Engines call these
+  /// (instead of the overloads above) whenever the run's topology is
+  /// observable — racks > 1 with a penalty or a locality-aware policy —
+  /// passing the arriving job's home rack. The defaults forward to the
+  /// topology-blind overloads, so blind policies under a penalized
+  /// topology dispatch exactly as they always did (and simply pay the
+  /// penalty when they land cross-rack).
+  [[nodiscard]] virtual int select(const ClusterState& cluster, int home_rack,
+                                   Rng& rng) {
+    (void)home_rack;
+    return select(cluster, rng);
+  }
+  [[nodiscard]] virtual int select_symmetric(const QueueHistogramView& view,
+                                             int home_rack, Rng& rng) {
+    (void)home_rack;
+    return select_symmetric(view, rng);
+  }
+  [[nodiscard]] virtual int select_direct(const LevelDirectory& dir,
+                                          int home_rack, Rng& rng) {
+    (void)home_rack;
+    return select_direct(dir, rng);
+  }
 };
 
 /// SQ(d): poll d distinct servers uniformly, join the shortest polled queue
@@ -256,6 +307,92 @@ class JbtPolicy final : public Policy {
   DistinctSampler sampler_;
   std::vector<int> polled_;
   std::vector<int> below_;
+};
+
+/// Rack-local SQ(d) (docs/TOPOLOGY.md): poll up to d distinct servers in
+/// the arriving job's home rack and join the shortest polled local queue
+/// — unless the local pool is saturated (every local polled queue is at
+/// least `spill_threshold` long), in which case the policy polls up to d
+/// distinct servers OUTSIDE the home rack and joins the remote best only
+/// when it is STRICTLY shorter than the local best (a tie never pays the
+/// cross-rack penalty). spill_threshold == 0 disables spilling entirely:
+/// the policy stays rack-local at any load, making each rack an
+/// independent SQ(d) system of N/racks servers — the exact-solver
+/// cross-check configuration of the rack_locality scenario.
+///
+/// Poll sizes clamp to the pool: d > servers-per-rack polls the whole
+/// rack, d > N - servers-per-rack polls every remote server. With
+/// racks == 1 the policy degenerates to plain SQ(d) (the home rack is
+/// the whole cluster and the remote pool is empty).
+class RackLocalSqdPolicy final : public Policy {
+ public:
+  RackLocalSqdPolicy(int n, int racks, int d, int spill_threshold = 1);
+  int select(const ClusterState& cluster, Rng& rng) override;
+  int select(const ClusterState& cluster, int home_rack, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_symmetric(const QueueHistogramView& view, int home_rack,
+                       Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, int home_rack,
+                    Rng& rng) override;
+  [[nodiscard]] bool locality_aware() const override { return true; }
+  [[nodiscard]] int required_racks() const override { return racks_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RackLocalSqdPolicy>(*this);
+  }
+
+ private:
+  template <typename LenFn>
+  int dispatch(int home_rack, Rng& rng, LenFn&& len_of);
+
+  int n_;
+  int racks_;
+  int per_rack_;
+  int d_;
+  int spill_threshold_;
+  DistinctSampler local_sampler_;   ///< over one rack's servers
+  DistinctSampler remote_sampler_;  ///< over the other racks' servers
+  std::vector<int> polled_;
+};
+
+/// Per-rack join-idle-queue (docs/TOPOLOGY.md): the dispatcher keeps one
+/// idle FIFO per rack and sends each arrival to its HOME rack's head.
+/// When the home rack has no idle server the policy STEALS the
+/// longest-idle server anywhere — the global I-queue head, preserving
+/// the first-idle-first-out contract across the steal (both engines
+/// agree on the steal order bit-for-bit; the lockstep audit test pins
+/// it). When no server in the cluster is idle at all, the arrival falls
+/// back to rack-local SQ(fallback_d) polling.
+///
+/// dispatches_to_idle_head() stays false: the dispatch target is the
+/// home rack's head, not the global head, so the engine's idle-head
+/// prefetch hint would stage the wrong server.
+class RackJiqPolicy final : public Policy {
+ public:
+  RackJiqPolicy(int n, int racks, int fallback_d = 1,
+                int spill_threshold = 1);
+  int select(const ClusterState& cluster, Rng& rng) override;
+  int select(const ClusterState& cluster, int home_rack, Rng& rng) override;
+  [[nodiscard]] bool symmetric() const override { return true; }
+  int select_symmetric(const QueueHistogramView& view, Rng& rng) override;
+  int select_symmetric(const QueueHistogramView& view, int home_rack,
+                       Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, Rng& rng) override;
+  int select_direct(const LevelDirectory& dir, int home_rack,
+                    Rng& rng) override;
+  [[nodiscard]] bool locality_aware() const override { return true; }
+  [[nodiscard]] int required_racks() const override { return racks_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RackJiqPolicy>(*this);
+  }
+
+ private:
+  int racks_;
+  int per_rack_;
+  RackLocalSqdPolicy fallback_;
 };
 
 /// Joins the server with the least remaining work (an idealized policy that

@@ -78,7 +78,11 @@ DistinctSampler::DistinctSampler(int n) : n_(n) {
 }
 
 void DistinctSampler::sample(int d, Rng& rng, std::vector<int>& out) {
-  RLB_REQUIRE(d >= 1 && d <= n_, "need 1 <= d <= n");
+  RLB_REQUIRE(d >= 1, "need d >= 1");
+  // Clamp to the population: a poll wider than the pool is a full
+  // enumeration, not an error (rack-local pools can be smaller than the
+  // cluster-wide d).
+  if (d > n_) d = n_;
   out.resize(d);
   touched_pos_.clear();
   touched_val_.clear();

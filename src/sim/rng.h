@@ -49,8 +49,11 @@ class DistinctSampler {
  public:
   explicit DistinctSampler(int n);
 
-  /// Fills `out` (resized to d) with d distinct uniform indices,
-  /// consuming exactly d uniform_int draws.
+  /// Fills `out` (resized to min(d, n)) with distinct uniform indices,
+  /// consuming exactly min(d, n) uniform_int draws. d beyond the
+  /// population clamps to a full enumeration rather than aborting:
+  /// rack-local polls shrink the candidate pool below the configured d,
+  /// and "poll everyone" is the right degenerate behavior there.
   void sample(int d, Rng& rng, std::vector<int>& out);
 
  private:

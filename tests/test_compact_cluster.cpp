@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cluster_sim.h"
+#include "sqd/exact_reference.h"
 #include "util/thread_budget.h"
 
 namespace {
@@ -180,6 +181,72 @@ TEST(LevelDirectory, RejectsBadOperations) {
   EXPECT_THROW(static_cast<void>(dir.count_at(-1)), std::invalid_argument);
 }
 
+TEST(LevelDirectory, ArmedRackFifosTrackBecameIdleOrderPerRack) {
+  LevelDirectory dir(6);
+  dir.arm_racks(2);
+  EXPECT_EQ(dir.racks(), 2);
+  // Time zero: each rack's FIFO holds its servers in index order.
+  EXPECT_EQ(dir.rack_idle_head(0, 3), 0);
+  EXPECT_EQ(dir.rack_idle_head(3, 6), 3);
+  for (int s = 0; s < 6; ++s) dir.increment(s);
+  EXPECT_EQ(dir.rack_idle_head(0, 3), -1);
+  EXPECT_EQ(dir.rack_idle_head(3, 6), -1);
+  // Idle them out of index order: each rack's head is its first-idled.
+  for (int s : {4, 1, 3, 0}) dir.decrement(s);
+  EXPECT_EQ(dir.rack_idle_head(0, 3), 1);
+  EXPECT_EQ(dir.rack_idle_head(3, 6), 4);
+  dir.increment(4);
+  EXPECT_EQ(dir.rack_idle_head(3, 6), 3);
+  dir.increment(1);
+  EXPECT_EQ(dir.rack_idle_head(0, 3), 0);
+  EXPECT_EQ(dir.idle_head(), 3);  // global FIFO unaffected: 3 idled first
+}
+
+TEST(LevelDirectory, ArmRacksValidatesAndUnarmedFallsBack) {
+  LevelDirectory dir(6);
+  EXPECT_THROW(dir.arm_racks(4), std::invalid_argument);  // 6 % 4 != 0
+  EXPECT_THROW(dir.arm_racks(0), std::invalid_argument);
+  dir.increment(0);
+  EXPECT_THROW(dir.arm_racks(2), std::invalid_argument);  // not all idle
+  // Unarmed directories answer through the base index-order scan.
+  EXPECT_EQ(dir.racks(), 0);
+  EXPECT_EQ(dir.rack_idle_head(0, 3), 1);
+  EXPECT_EQ(dir.rack_idle_head(3, 6), 3);
+}
+
+TEST(LevelDirectory, RandomizedRackFifosMatchReferenceModel) {
+  // Drive an armed directory with random level moves and check every
+  // rack's idle head against per-rack reference deques — the per-rack
+  // analogue of the global FIFO stress above.
+  const int n = 12, racks = 3, per = n / racks;
+  LevelDirectory dir(n);
+  dir.arm_racks(racks);
+  std::vector<int> ref_level(n, 0);
+  std::vector<std::deque<int>> ref(racks);
+  for (int s = 0; s < n; ++s) ref[s / per].push_back(s);
+
+  Rng rng(515);
+  for (int step = 0; step < 20'000; ++step) {
+    const int s = static_cast<int>(rng.uniform_int(n));
+    if (ref_level[s] == 0 || rng.uniform_int(3) > 0) {
+      dir.increment(s);
+      if (ref_level[s] == 0) {
+        auto& q = ref[s / per];
+        q.erase(std::find(q.begin(), q.end(), s));
+      }
+      ++ref_level[s];
+    } else {
+      dir.decrement(s);
+      --ref_level[s];
+      if (ref_level[s] == 0) ref[s / per].push_back(s);
+    }
+    for (int r = 0; r < racks; ++r)
+      ASSERT_EQ(dir.rack_idle_head(r * per, (r + 1) * per),
+                ref[r].empty() ? -1 : ref[r].front())
+          << "rack " << r << " step " << step;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Engine equivalence: compact must be bit-identical to legacy.
 
@@ -330,6 +397,208 @@ TEST(CompactCluster, CompactEngineRejectsNonSymmetricPolicies) {
                std::invalid_argument);
   EXPECT_THROW(run_with_engine(ClusterEngine::kCompact, lwl, 4),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Rack topology (docs/TOPOLOGY.md)
+
+ClusterResult run_topology(ClusterEngine engine, Policy& policy, int n,
+                           const Topology& topo, int replicas = 1,
+                           int threads = 1, double rho = 0.9,
+                           std::uint64_t jobs = 60'000) {
+  ClusterConfig cfg;
+  cfg.servers = n;
+  cfg.jobs = jobs;
+  cfg.warmup = jobs / 10;
+  cfg.seed = 4242;
+  cfg.replicas = replicas;
+  cfg.engine = engine;
+  cfg.topology = topo;
+  const auto arr = make_exponential(rho * n);
+  const auto svc = make_exponential(1.0);
+  rlb::util::ThreadBudget budget(threads);
+  return simulate_cluster(cfg, policy, *arr, *svc, budget);
+}
+
+std::vector<std::unique_ptr<Policy>> rack_policies(int n, int racks) {
+  std::vector<std::unique_ptr<Policy>> out;
+  out.push_back(std::make_unique<RackLocalSqdPolicy>(n, racks, 2));
+  out.push_back(std::make_unique<RackLocalSqdPolicy>(n, racks, 2, 0));
+  out.push_back(std::make_unique<RackLocalSqdPolicy>(n, racks, 3, 2));
+  out.push_back(std::make_unique<RackJiqPolicy>(n, racks));
+  return out;
+}
+
+TEST(RackTopology, ZeroPenaltyBlindPoliciesMatchTopologyBlindBitForBit) {
+  // Racks without a penalty are unobservable to a blind policy: no home
+  // draw happens and every output bit equals the untopologized run —
+  // which is why no committed baseline moves under this PR.
+  const int n = 8;
+  Topology racked;
+  racked.racks = 4;  // zero penalty
+  for (const auto& policy : symmetric_policies(n)) {
+    for (ClusterEngine engine :
+         {ClusterEngine::kLegacy, ClusterEngine::kCompact}) {
+      const auto blind = run_with_engine(engine, *policy, n);
+      const auto topo = run_topology(engine, *policy, n, racked);
+      expect_identical(blind, topo, policy->name() + " zero-penalty");
+    }
+  }
+}
+
+TEST(RackTopology, SingleRackPenaltyIsUnobservable) {
+  // One rack means every dispatch is rack-local; the penalty fields are
+  // inert and the run is bit-identical to the default topology.
+  const int n = 6;
+  Topology one_rack;
+  one_rack.cross_latency = 2.0;
+  one_rack.cross_capacity = 0.5;
+  SqdPolicy sqd(n, 2);
+  const auto blind = run_with_engine(ClusterEngine::kCompact, sqd, n);
+  const auto topo = run_topology(ClusterEngine::kCompact, sqd, n, one_rack);
+  expect_identical(blind, topo, "sq(2) single-rack");
+}
+
+TEST(RackTopology, CompactBitIdenticalToLegacyForRackPolicies) {
+  // The engine-equivalence contract extends to locality-aware dispatch
+  // under a real penalty: same home draws, same selections, same
+  // penalized service times, bit for bit.
+  const int n = 8, racks = 2;
+  Topology topo;
+  topo.racks = racks;
+  topo.cross_latency = 0.5;
+  for (const auto& policy : rack_policies(n, racks)) {
+    const auto legacy = run_topology(ClusterEngine::kLegacy, *policy, n, topo);
+    const auto compact =
+        run_topology(ClusterEngine::kCompact, *policy, n, topo);
+    expect_identical(legacy, compact, policy->name());
+  }
+  // Capacity-factor penalties exercise the other penalize() term.
+  Topology slow;
+  slow.racks = racks;
+  slow.cross_capacity = 0.5;
+  for (const auto& policy : rack_policies(n, racks)) {
+    const auto legacy = run_topology(ClusterEngine::kLegacy, *policy, n, slow);
+    const auto compact =
+        run_topology(ClusterEngine::kCompact, *policy, n, slow);
+    expect_identical(legacy, compact, policy->name() + " capacity");
+  }
+}
+
+TEST(RackTopology, BlindPoliciesUnderPenaltyStayEngineIdentical) {
+  // A penalized topology with a blind policy still draws home racks (the
+  // penalty is observable) — both engines must agree on that stream too.
+  const int n = 8;
+  Topology topo;
+  topo.racks = 4;
+  topo.cross_latency = 1.0;
+  for (const auto& policy : symmetric_policies(n)) {
+    const auto legacy = run_topology(ClusterEngine::kLegacy, *policy, n, topo);
+    const auto compact =
+        run_topology(ClusterEngine::kCompact, *policy, n, topo);
+    expect_identical(legacy, compact, policy->name() + " penalized");
+  }
+}
+
+TEST(RackTopology, RackJiqStealOrderAuditAcrossEngines) {
+  // The per-rack JIQ steal contract: when the home rack has no idle
+  // server, both engines must steal the GLOBALLY longest-idle server.
+  // Run the policy in lockstep at loads where steals are common (home
+  // racks empty out constantly) and where they are rare, with a penalty
+  // so any divergence in WHICH server was stolen changes the service
+  // time and is caught bit-for-bit; replicas/threads shuffle nothing.
+  const int n = 12, racks = 3;
+  Topology topo;
+  topo.racks = racks;
+  topo.cross_latency = 0.25;
+  for (double rho : {0.6, 0.95}) {
+    RackJiqPolicy policy(n, racks);
+    const auto legacy = run_topology(ClusterEngine::kLegacy, policy, n, topo,
+                                     1, 1, rho, 80'000);
+    const auto compact = run_topology(ClusterEngine::kCompact, policy, n,
+                                      topo, 1, 1, rho, 80'000);
+    expect_identical(legacy, compact,
+                     "rack-jiq steal audit rho=" + std::to_string(rho));
+    const auto sharded = run_topology(ClusterEngine::kCompact, policy, n,
+                                      topo, 4, 4, rho, 80'000);
+    const auto sharded_legacy = run_topology(
+        ClusterEngine::kLegacy, policy, n, topo, 4, 1, rho, 80'000);
+    expect_identical(sharded_legacy, sharded,
+                     "rack-jiq steal audit sharded rho=" +
+                         std::to_string(rho));
+  }
+}
+
+TEST(RackTopology, PenaltyActuallyHurtsBlindDispatch) {
+  // Sanity on the model itself: a blind sq(2) pays cross-rack latency on
+  // most dispatches, so its delay must climb well beyond the zero-penalty
+  // run; the no-spill rack-local policy never pays it.
+  const int n = 8;
+  Topology topo;
+  topo.racks = 4;
+  topo.cross_latency = 2.0;
+  SqdPolicy blind(n, 2);
+  const auto base = run_with_engine(ClusterEngine::kCompact, blind, n);
+  const auto hurt = run_topology(ClusterEngine::kCompact, blind, n, topo);
+  EXPECT_GT(hurt.mean_sojourn, base.mean_sojourn + 1.0);
+  RackLocalSqdPolicy local(n, 4, 2, 0);
+  Topology racked_free;
+  racked_free.racks = 4;  // zero penalty
+  const auto contained =
+      run_topology(ClusterEngine::kCompact, local, n, topo, 1, 1, 0.7);
+  const auto contained_base =
+      run_topology(ClusterEngine::kCompact, local, n, racked_free, 1, 1, 0.7);
+  // Same policy, same seeds: zero penalty and huge penalty agree exactly
+  // because no dispatch ever leaves its rack.
+  expect_identical(contained, contained_base, "no-spill contains penalty");
+}
+
+TEST(RackTopology, NoSpillZeroPenaltyMatchesTheExactPerRackSolver) {
+  // At zero penalty the no-spill policy partitions the cluster into
+  // independent per-rack SQ(d) systems, so the paper's exact solver for
+  // a 4-server SQ(2) cluster predicts the simulated sojourn (the
+  // rack_locality scenario's zero_penalty_check column). rho 0.70 keeps
+  // the solver's truncation mass at cap 26 around 1e-4; at higher loads
+  // the truncated solve visibly underestimates the true delay.
+  const int n = 8, racks = 2, per = 4, d = 2;
+  const double rho = 0.70;
+  Topology topo;
+  topo.racks = racks;  // zero penalty
+  RackLocalSqdPolicy local(n, racks, d, 0);
+  const auto sim = run_topology(ClusterEngine::kCompact, local, n, topo, 4,
+                                1, rho, 2'000'000);
+  const auto exact = rlb::sqd::solve_exact_truncated(
+      rlb::sqd::Params{per, d, rho, 1.0}, 26);
+  EXPECT_NEAR(sim.mean_sojourn, exact.mean_delay,
+              0.02 * exact.mean_delay);
+}
+
+TEST(RackTopology, ValidatesConfiguration) {
+  SqdPolicy sqd(6, 2);
+  Topology bad;
+  bad.racks = 4;  // 6 % 4 != 0
+  EXPECT_THROW(run_topology(ClusterEngine::kLegacy, sqd, 6, bad),
+               std::invalid_argument);
+  Topology negative;
+  negative.cross_latency = -1.0;
+  EXPECT_THROW(run_topology(ClusterEngine::kLegacy, sqd, 6, negative),
+               std::invalid_argument);
+  Topology zero_cap;
+  zero_cap.cross_capacity = 0.0;
+  EXPECT_THROW(run_topology(ClusterEngine::kLegacy, sqd, 6, zero_cap),
+               std::invalid_argument);
+  // A rack policy built for 2 racks cannot run on 3 (or on the default
+  // single-rack topology).
+  RackLocalSqdPolicy rsqd(6, 2, 2);
+  Topology three;
+  three.racks = 3;
+  EXPECT_THROW(run_topology(ClusterEngine::kCompact, rsqd, 6, three),
+               std::invalid_argument);
+  EXPECT_THROW(run_with_engine(ClusterEngine::kCompact, rsqd, 6),
+               std::invalid_argument);
+  Topology two;
+  two.racks = 2;
+  EXPECT_NO_THROW(run_topology(ClusterEngine::kCompact, rsqd, 6, two));
 }
 
 TEST(CompactCluster, HistogramJsqMatchesJsqStatistically) {

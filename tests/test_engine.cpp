@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/result_cache.h"
 #include "engine/scenario.h"
 #include "engine/sink.h"
 #include "engine/sweep.h"
@@ -295,6 +296,39 @@ ScenarioOutput small_grid_output() {
   table.add_row({"0.90", "4", "3.5", "unstable"});
   out.note("note under grid");
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cache CLI coherence (the rlb_run guard for --refine / --cache-mode)
+// ---------------------------------------------------------------------------
+
+TEST(CacheCliError, FlagsWithoutCacheAreRejectedWithSpecificMessages) {
+  using rlb::engine::cache_cli_error;
+  // Each incoherent combination names the missing --cache=DIR and the
+  // flag(s) that need it, so the error is actionable.
+  const std::string refine_only = cache_cli_error(false, true, false);
+  EXPECT_NE(refine_only.find("--refine"), std::string::npos);
+  EXPECT_NE(refine_only.find("--cache=DIR"), std::string::npos);
+  EXPECT_EQ(refine_only.find("--cache-mode"), std::string::npos);
+
+  const std::string mode_only = cache_cli_error(false, false, true);
+  EXPECT_NE(mode_only.find("--cache-mode"), std::string::npos);
+  EXPECT_NE(mode_only.find("--cache=DIR"), std::string::npos);
+
+  const std::string both = cache_cli_error(false, true, true);
+  EXPECT_NE(both.find("--refine"), std::string::npos);
+  EXPECT_NE(both.find("--cache-mode"), std::string::npos);
+  EXPECT_NE(both.find("--cache=DIR"), std::string::npos);
+}
+
+TEST(CacheCliError, CoherentCombinationsPass) {
+  using rlb::engine::cache_cli_error;
+  // No cache flags at all, or --cache present with any companion set.
+  EXPECT_TRUE(cache_cli_error(false, false, false).empty());
+  EXPECT_TRUE(cache_cli_error(true, false, false).empty());
+  EXPECT_TRUE(cache_cli_error(true, true, false).empty());
+  EXPECT_TRUE(cache_cli_error(true, false, true).empty());
+  EXPECT_TRUE(cache_cli_error(true, true, true).empty());
 }
 
 std::vector<std::vector<std::string>> parse_csv(const std::string& path) {

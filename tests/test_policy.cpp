@@ -108,9 +108,19 @@ TEST(PolicyNames, Informative) {
             "jbt(2,t=0,random)");
 }
 
-TEST(SqdPolicy, RejectsBadD) {
+TEST(SqdPolicy, RejectsNonPositiveD) {
   EXPECT_THROW(SqdPolicy(3, 0), std::invalid_argument);
-  EXPECT_THROW(SqdPolicy(3, 4), std::invalid_argument);
+  EXPECT_THROW(SqdPolicy(3, -1), std::invalid_argument);
+}
+
+TEST(SqdPolicy, DBeyondThePoolClampsToAFullPoll) {
+  // d > N used to abort mid-run; rack-local pools made "poll everyone"
+  // the required degenerate behavior. d = 10 over 3 servers is JSQ.
+  FakeCluster cluster({4, 1, 2});
+  SqdPolicy policy(3, 10);
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, rng), 1);
+  EXPECT_EQ(policy.name(), "sq(10)");  // name keeps the requested d
 }
 
 TEST(ClusterStateView, DefaultIdleScanUsesIndexOrder) {
@@ -202,8 +212,17 @@ TEST(JbtPolicy, ZeroThresholdWithShortestFallbackIsSqd) {
 
 TEST(JbtPolicy, ValidatesParameters) {
   EXPECT_THROW(JbtPolicy(3, 0, 1), std::invalid_argument);
-  EXPECT_THROW(JbtPolicy(3, 4, 1), std::invalid_argument);
   EXPECT_THROW(JbtPolicy(3, 2, -1), std::invalid_argument);
+  // d > N clamps to a full poll instead of throwing (same contract as
+  // SqdPolicy); with everything below threshold that is uniform routing.
+  JbtPolicy policy(2, 5, 10);
+  FakeCluster cluster({1, 1});
+  Rng rng(53);
+  std::vector<int> counts(2, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, rng)];
+  EXPECT_NEAR(counts[0], trials / 2.0, 400);
+  EXPECT_NEAR(counts[1], trials / 2.0, 400);
 }
 
 /// Test double for the compressed-state view: levels given directly;
@@ -319,6 +338,136 @@ TEST(HistogramJsqPolicy, UniformAmongMinimaOnBothPaths) {
     EXPECT_EQ(counts[4], 0);
     EXPECT_NEAR(counts[1], trials / 2.0, 450);
     EXPECT_NEAR(counts[3], trials / 2.0, 450);
+  }
+}
+
+TEST(ClusterStateView, RackIdleHeadScansTheSlice) {
+  FakeCluster cluster({2, 0, 1, 0, 0, 1});
+  EXPECT_EQ(cluster.rack_idle_head(0, 3), 1);
+  EXPECT_EQ(cluster.rack_idle_head(3, 6), 3);
+  FakeCluster busy({1, 1, 1, 0});
+  EXPECT_EQ(busy.rack_idle_head(0, 3), -1);
+  EXPECT_EQ(busy.rack_idle_head(3, 4), 3);
+}
+
+TEST(RackLocalSqdPolicy, StaysLocalWhenTheHomeRackHasRoom) {
+  // 2 racks x 2 servers; the home rack has an idle server, so the
+  // dispatch must never leave it even though rack 1 is entirely idle.
+  FakeCluster cluster({0, 1, 0, 0});
+  RackLocalSqdPolicy policy(4, 2, 2);
+  Rng rng(71);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, 0, rng), 0);
+}
+
+TEST(RackLocalSqdPolicy, SpillsOnlyForAStrictImprovement) {
+  RackLocalSqdPolicy policy(4, 2, 2);
+  Rng rng(73);
+  // Saturated at home, but the remote rack is no better: a tie stays
+  // local (never pay the penalty for nothing).
+  FakeCluster tie({1, 1, 1, 1});
+  for (int i = 0; i < 100; ++i) {
+    const int s = policy.select(tie, 0, rng);
+    EXPECT_TRUE(s == 0 || s == 1) << s;
+  }
+  // Strictly shorter remote queue: the spill takes it.
+  FakeCluster better({2, 2, 0, 1});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(policy.select(better, 0, rng), 2);
+}
+
+TEST(RackLocalSqdPolicy, NoSpillVariantStaysLocalUnderPressure) {
+  // spill_threshold = 0: pure rack-local, even with idle remote servers.
+  FakeCluster cluster({5, 6, 0, 0});
+  RackLocalSqdPolicy policy(4, 2, 2, 0);
+  Rng rng(79);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, 0, rng), 0);
+}
+
+TEST(RackLocalSqdPolicy, ClampsDToBothPoolSizes) {
+  // d = 10 over 2-server racks: a full local poll, and on spill a full
+  // remote poll — the d > pool edge the clamped sampler guard covers.
+  FakeCluster cluster({4, 4, 3, 1});
+  RackLocalSqdPolicy policy(4, 2, 10);
+  Rng rng(83);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.select(cluster, 0, rng), 3);
+}
+
+TEST(RackJiqPolicy, DispatchesToTheHomeRacksIdleHead) {
+  FakeCluster cluster({1, 0, 0, 0});
+  RackJiqPolicy policy(4, 2);
+  Rng rng(89);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, 0, rng), 1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, 1, rng), 2);
+}
+
+TEST(RackJiqPolicy, StealsTheGlobalIdleHeadWhenHomeRackIsBusy) {
+  // Home rack 0 fully busy: the steal takes the longest-idle server
+  // anywhere (index order under the default scan), not an arbitrary one.
+  FakeCluster cluster({2, 1, 0, 0});
+  RackJiqPolicy policy(4, 2);
+  Rng rng(97);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(policy.select(cluster, 0, rng), 2);
+}
+
+TEST(RackJiqPolicy, FallsBackToRackLocalPollingWhenNoneIdle) {
+  // Nothing idle anywhere: rack-local sq(1) polls the home rack, and the
+  // much deeper remote queues never win the strict-improvement spill.
+  FakeCluster cluster({1, 1, 9, 9});
+  RackJiqPolicy policy(4, 2);
+  Rng rng(101);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[policy.select(cluster, 0, rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_NEAR(counts[0], trials / 2.0, 500);
+  EXPECT_NEAR(counts[1], trials / 2.0, 500);
+}
+
+TEST(RackPolicies, CapabilitiesAndNames) {
+  RackLocalSqdPolicy rsqd(8, 2, 2);
+  RackJiqPolicy rjiq(8, 2);
+  EXPECT_TRUE(rsqd.symmetric());
+  EXPECT_TRUE(rjiq.symmetric());
+  EXPECT_TRUE(rsqd.locality_aware());
+  EXPECT_TRUE(rjiq.locality_aware());
+  EXPECT_FALSE(rjiq.dispatches_to_idle_head());  // home head != global head
+  EXPECT_EQ(rsqd.required_racks(), 2);
+  EXPECT_EQ(rjiq.required_racks(), 2);
+  EXPECT_FALSE(SqdPolicy(8, 2).locality_aware());
+  EXPECT_EQ(SqdPolicy(8, 2).required_racks(), 0);
+  EXPECT_EQ(rsqd.name(), "rack-sq(2)");
+  EXPECT_EQ(RackLocalSqdPolicy(8, 2, 2, 0).name(), "rack-sq(2)/local");
+  EXPECT_EQ(RackLocalSqdPolicy(8, 2, 2, 3).name(), "rack-sq(2)/spill=3");
+  EXPECT_EQ(rjiq.name(), "rack-jiq/rack-sq(1)");
+  EXPECT_THROW(RackLocalSqdPolicy(7, 2, 2), std::invalid_argument);
+  EXPECT_THROW(RackLocalSqdPolicy(8, 0, 2), std::invalid_argument);
+  EXPECT_THROW(RackLocalSqdPolicy(8, 2, 0), std::invalid_argument);
+}
+
+TEST(RackDispatch, MatchesSelectDrawForDrawOnTheSameState) {
+  // The bit-identity contract extends to the rack-aware overloads: on
+  // equal states (and the same home rack) the legacy and symmetric paths
+  // walk the same random stream to the same server. The fakes agree on
+  // idle order (index order), as the real engines do (I-queue FIFO).
+  const std::vector<int> lens{2, 0, 1, 2, 0, 3};
+  FakeCluster cluster(lens);
+  FakeHistogramView view(lens);
+  RackLocalSqdPolicy rsqd(6, 2, 2);
+  RackLocalSqdPolicy rlocal(6, 2, 2, 0);
+  RackJiqPolicy rjiq(6, 2);
+  for (Policy* p :
+       {static_cast<Policy*>(&rsqd), static_cast<Policy*>(&rlocal),
+        static_cast<Policy*>(&rjiq)}) {
+    Rng rng_a(107), rng_b(107);
+    for (int i = 0; i < 300; ++i) {
+      const int home = i % 2;
+      EXPECT_EQ(p->select(cluster, home, rng_a),
+                p->select_symmetric(view, home, rng_b))
+          << p->name() << " draw " << i;
+    }
+    EXPECT_EQ(rng_a.uniform_int(1u << 30), rng_b.uniform_int(1u << 30))
+        << p->name();
   }
 }
 

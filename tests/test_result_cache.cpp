@@ -87,6 +87,26 @@ TEST(CacheKey, DoubleValuesKeyExactly) {
   EXPECT_NE(a.canonical(), b.canonical());
 }
 
+TEST(CacheKey, TopologyCoordinatesProduceDistinctKeys) {
+  // rack_locality keys its cells on the full topology coordinates; every
+  // knob a cell's simulation depends on must move the canonical key.
+  const auto racked = [](int racks, const std::string& kind, double penalty,
+                         std::uint64_t task) {
+    CacheKey key("rack_locality");
+    key.set("racks", racks);
+    key.set("penalty_kind", kind);
+    key.set("penalty", penalty);
+    key.set("task", task);
+    return key;
+  };
+  const CacheKey base = racked(4, "latency", 0.5, 1);
+  EXPECT_NE(base.canonical(), racked(2, "latency", 0.5, 1).canonical());
+  EXPECT_NE(base.canonical(), racked(4, "capacity", 0.5, 1).canonical());
+  EXPECT_NE(base.canonical(), racked(4, "latency", 0.25, 1).canonical());
+  EXPECT_NE(base.canonical(), racked(4, "latency", 0.5, 2).canonical());
+  EXPECT_EQ(base.canonical(), racked(4, "latency", 0.5, 1).canonical());
+}
+
 TEST(CacheKey, DigestIs32HexChars) {
   const std::string d = sample_key().digest();
   EXPECT_EQ(d.size(), 32u);

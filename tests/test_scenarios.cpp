@@ -64,6 +64,10 @@ std::vector<QuickScenario> new_scenarios() {
       // windowed / SLA diurnal capacity sweep.
       {"heavy_tail_service", {"--jobs=15000"}},
       {"diurnal_surge", {"--jobs=20000", "--ns=10,14"}},
+      // Racked topology sweep: blind vs locality-aware dispatch across
+      // both engines' rack-aware paths (37 cells, so small per-cell
+      // budgets).
+      {"rack_locality", {"--jobs=8000"}},
   };
 }
 
@@ -158,6 +162,22 @@ TEST(Scenarios, VariancePlannerIsThreadCountInvariant) {
     const std::string one = run_to_json(base.name, args, 1, 2);
     const std::string four = run_to_json(base.name, args, 4, 2);
     EXPECT_EQ(one, four) << base.name;
+  }
+}
+
+TEST(Scenarios, RackLocalityAdaptiveIsThreadCountInvariant) {
+  // The new racked sweep drives the rack-aware RNG path (home-rack draws
+  // + locality polls) through the adaptive planner; like every sweep it
+  // must stay bit-identical across thread counts under both planners.
+  for (const char* planner : {"geometric", "variance"}) {
+    const std::vector<std::string> args{
+        "--jobs=8000", "--target-ci=0.25", "--max-jobs=24000",
+        std::string("--planner=") + planner};
+    const std::string one = run_to_json("rack_locality", args, 1, 2);
+    const std::string four = run_to_json("rack_locality", args, 4, 2);
+    EXPECT_EQ(one, four) << planner;
+    for (const char* column : {"half_width", "jobs_used", "converged"})
+      EXPECT_NE(one.find(column), std::string::npos) << column;
   }
 }
 
@@ -266,6 +286,39 @@ TEST_F(ScenarioCache, WarmRerunIsByteIdenticalToColdAcrossThreadCounts) {
     EXPECT_EQ(warm_cache.hits(), cold_cache.stored()) << s.name;
     EXPECT_EQ(warm_cache.stored(), 0u) << s.name;
   }
+}
+
+TEST_F(ScenarioCache, RackLocalityKeysCellsOnTopologyCoordinates) {
+  // Topology coordinates (penalty kind, rack count) are part of the cell
+  // key: a warm re-run with identical flags is all hits and byte-
+  // identical, while flipping any topology knob shares nothing.
+  const std::vector<std::string> args{"--jobs=6000"};
+  auto cold_cache = make_cache();
+  const std::string cold =
+      run_to_json("rack_locality", args, 4, 1, &cold_cache);
+  EXPECT_EQ(cold_cache.hits(), 0u);
+  EXPECT_GT(cold_cache.stored(), 0u);
+
+  auto warm_cache = make_cache();
+  const std::string warm =
+      run_to_json("rack_locality", args, 1, 1, &warm_cache);
+  EXPECT_EQ(warm, cold) << "warm re-run drifted";
+  EXPECT_EQ(warm_cache.misses(), 0u);
+  EXPECT_EQ(warm_cache.hits(), cold_cache.stored());
+
+  auto kind_cache = make_cache();
+  (void)run_to_json("rack_locality",
+                    {"--jobs=6000", "--penalty-kind=capacity"}, 2, 1,
+                    &kind_cache);
+  EXPECT_EQ(kind_cache.hits(), 0u)
+      << "penalty kind missing from the cell key";
+
+  auto racks_cache = make_cache();
+  (void)run_to_json("rack_locality",
+                    {"--jobs=6000", "--racks=2", "--per-rack=8"}, 2, 1,
+                    &racks_cache);
+  EXPECT_EQ(racks_cache.hits(), 0u)
+      << "rack geometry missing from the cell key";
 }
 
 TEST_F(ScenarioCache, AdaptiveRunsHitUnderBothPlanners) {

@@ -146,6 +146,15 @@ int main(int argc, char** argv) {
       baseline_json = rlb::engine::read_text_file(baseline_path);
 
     const std::string cache_dir = cli.get("cache", "");
+    // --refine / --cache-mode without --cache used to be consumed (so the
+    // typo check passed) but silently did nothing; reject the combination
+    // before anything runs.
+    const std::string cache_err = rlb::engine::cache_cli_error(
+        !cache_dir.empty(), cli.has("refine"), cli.has("cache-mode"));
+    if (!cache_err.empty()) {
+      std::cerr << "error: " << cache_err << "\n";
+      return 2;
+    }
     const rlb::engine::CacheMode cache_mode =
         rlb::engine::parse_cache_mode(cli.get("cache-mode", "readwrite"));
     std::optional<rlb::engine::ResultCache> cache;
